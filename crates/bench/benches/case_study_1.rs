@@ -1,0 +1,157 @@
+//! Criterion benches for the low-power face-authentication case study:
+//! one group per paper artifact (Fig. 4c scan kernels; the §III-A NN
+//! topology/geometry/bit-width studies' inference kernels; the end-to-end
+//! pipeline of the §III evaluation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incam_imaging::faces::{render_face, render_non_face, Identity, Nuisance};
+use incam_imaging::image::GrayImage;
+use incam_imaging::motion::MotionDetector;
+use incam_nn::mlp::Mlp;
+use incam_nn::quant::QuantizedMlp;
+use incam_nn::sigmoid::Sigmoid;
+use incam_nn::topology::Topology;
+use incam_snnap::config::SnnapConfig;
+use incam_snnap::sim::SnnapAccelerator;
+use incam_snnap::sweep::{bitwidth_sweep, geometry_sweep};
+use incam_viola::scan::{scan, ScanParams, StepSize};
+use incam_viola::train::{train_cascade, CascadeTrainConfig};
+use incam_wispcam::pipeline::FaPipelineConfig;
+use incam_wispcam::workload::{TrainEffort, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn quick_cascade(rng: &mut StdRng) -> incam_viola::train::TrainedCascade {
+    let pos: Vec<GrayImage> = (0..80)
+        .map(|_| {
+            let id = Identity::sample(rng);
+            render_face(&id, &Nuisance::sample(rng, 0.25), 16, rng)
+        })
+        .collect();
+    let neg: Vec<GrayImage> = (0..160).map(|_| render_non_face(16, rng)).collect();
+    train_cascade(&pos, &neg, &CascadeTrainConfig::fast())
+}
+
+/// Fig. 4c — the multi-scale scan kernel across the swept parameters.
+fn bench_fig4c_scan(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let cascade = quick_cascade(&mut rng);
+    let frame = GrayImage::from_fn(160, 120, |x, y| ((x * 7 + y * 13) % 97) as f32 / 97.0);
+
+    let mut group = c.benchmark_group("fig4c_vj_scan");
+    for sf in [1.25f64, 1.5, 2.0] {
+        group.bench_with_input(BenchmarkId::new("scale_factor", sf), &sf, |b, &sf| {
+            let params = ScanParams {
+                scale_factor: sf,
+                step: StepSize::Static(4),
+                min_scale: 1.0,
+                min_neighbors: 1,
+            };
+            b.iter(|| scan(black_box(&cascade.cascade), black_box(&frame), &params));
+        });
+    }
+    for step in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("static_step", step), &step, |b, &step| {
+            let params = ScanParams {
+                scale_factor: 1.25,
+                step: StepSize::Static(step),
+                min_scale: 1.0,
+                min_neighbors: 1,
+            };
+            b.iter(|| scan(black_box(&cascade.cascade), black_box(&frame), &params));
+        });
+    }
+    group.finish();
+}
+
+/// §III-A topology study — float inference across the candidate input
+/// windows.
+fn bench_nn_topology(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("nn_topology_inference");
+    for side in [5usize, 10, 20] {
+        let net = Mlp::random(Topology::new(vec![side * side, 8, 1]), &mut rng);
+        let input = vec![0.5f32; side * side];
+        group.bench_with_input(
+            BenchmarkId::new("float_forward", side * side),
+            &side,
+            |b, _| b.iter(|| net.forward(black_box(&input), &Sigmoid::Exact)),
+        );
+    }
+    group.finish();
+}
+
+/// §III-A geometry/bit-width studies — the analytical sweeps plus the
+/// bit-accurate quantized forward pass they cost.
+fn bench_nn_precision(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = Mlp::random(Topology::paper_default(), &mut rng);
+    let input = vec![0.5f32; 400];
+
+    let mut group = c.benchmark_group("nn_precision");
+    group.bench_function("float32_forward", |b| {
+        b.iter(|| net.forward(black_box(&input), &Sigmoid::Exact))
+    });
+    for bits in [16u32, 8, 4] {
+        let q = QuantizedMlp::from_mlp(&net, bits, Sigmoid::lut256());
+        group.bench_with_input(BenchmarkId::new("fixed_forward", bits), &bits, |b, _| {
+            b.iter(|| q.forward(black_box(&input)))
+        });
+    }
+    let acc = SnnapAccelerator::new(&net, SnnapConfig::paper_default());
+    group.bench_function("snnap_accelerated", |b| {
+        b.iter(|| acc.infer(black_box(&input)))
+    });
+    group.bench_function("geometry_sweep_model", |b| {
+        b.iter(|| {
+            geometry_sweep(
+                &Topology::paper_default(),
+                &SnnapConfig::paper_default(),
+                &[1, 2, 4, 8, 16, 32],
+            )
+        })
+    });
+    group.bench_function("bitwidth_sweep_model", |b| {
+        b.iter(|| {
+            bitwidth_sweep(
+                &Topology::paper_default(),
+                &SnnapConfig::paper_default(),
+                &[16, 8, 4],
+            )
+        })
+    });
+    group.finish();
+}
+
+/// §III end-to-end evaluation — the full pipeline over a frame stream,
+/// plus its cheapest block in isolation.
+fn bench_fa_pipeline(c: &mut Criterion) {
+    let workload = Workload::generate(4, 40, TrainEffort::Quick);
+    let mut group = c.benchmark_group("fa_pipeline");
+    group.sample_size(10);
+    group.bench_function("full_pipeline_40_frames", |b| {
+        b.iter(|| {
+            let mut pipeline = workload.pipeline(FaPipelineConfig::full_accelerated());
+            pipeline.run(black_box(&workload.frames))
+        })
+    });
+    group.bench_function("motion_detection_frame", |b| {
+        let mut md = MotionDetector::new(0.08, 0.01);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % workload.frames.len();
+            md.observe(black_box(&workload.frames[i].image))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    case_study_1,
+    bench_fig4c_scan,
+    bench_nn_topology,
+    bench_nn_precision,
+    bench_fa_pipeline
+);
+criterion_main!(case_study_1);

@@ -1,0 +1,165 @@
+//! Criterion benches for the real-time VR case study: one group per paper
+//! artifact (Fig. 6 filters; Fig. 7 grid kernels; Fig. 9/10 pipeline
+//! analyses; Table I design placement), plus the functional block kernels
+//! behind them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incam_bilateral::filter::{bilateral_filter, bilateral_via_grid};
+use incam_bilateral::grid::{BilateralGrid, GridParams};
+use incam_bilateral::signal::{bilateral_filter_1d, moving_average, step_signal};
+use incam_bilateral::stereo::{block_match, bssa_depth, BssaConfig, MatchParams, SolverParams};
+use incam_core::link::Link;
+use incam_fpga::design::FpgaDesign;
+use incam_imaging::quality::{ms_ssim, MsSsimConfig};
+use incam_imaging::scenes::stereo_scene;
+use incam_vr::analysis::VrModel;
+use incam_vr::blocks::{align, preprocess, run_functional_pipeline, stitch};
+use incam_vr::frame::{synthetic_capture, PairCalibration};
+use incam_vr::rig::CameraRig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Fig. 6 — the 1-D filters of the bilateral demonstration.
+fn bench_fig6_filters(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let signal = step_signal(1000, 500, 20.0, 80.0, 5.0, &mut rng);
+    let mut group = c.benchmark_group("fig6_1d_filters");
+    group.bench_function("moving_average", |b| {
+        b.iter(|| moving_average(black_box(&signal), 9))
+    });
+    group.bench_function("bilateral", |b| {
+        b.iter(|| bilateral_filter_1d(black_box(&signal), 3.0, 20.0))
+    });
+    group.finish();
+}
+
+/// Fig. 7 — the grid kernels whose cost the grid-size knob trades against
+/// quality: splat/blur/slice at fine and coarse grids, plus the full BSSA
+/// flow.
+fn bench_fig7_grid(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(12);
+    let scene = stereo_scene(256, 192, 8, 4, &mut rng);
+
+    let mut group = c.benchmark_group("fig7_bilateral_grid");
+    for sigma in [4.0f32, 16.0] {
+        let params = GridParams::new(sigma, 0.1);
+        group.bench_with_input(
+            BenchmarkId::new("splat_blur_slice", sigma as u32),
+            &params,
+            |b, &params| {
+                b.iter(|| {
+                    let mut grid = BilateralGrid::new(256, 192, params);
+                    grid.splat(black_box(&scene.right), black_box(&scene.disparity), None);
+                    grid.blur(2);
+                    grid.slice(black_box(&scene.right))
+                })
+            },
+        );
+    }
+    group.bench_function("block_match", |b| {
+        b.iter(|| {
+            block_match(
+                black_box(&scene.left),
+                black_box(&scene.right),
+                &MatchParams {
+                    max_disparity: 8,
+                    block_radius: 2,
+                },
+            )
+        })
+    });
+    group.sample_size(20);
+    group.bench_function("bssa_depth_full", |b| {
+        let cfg = BssaConfig {
+            matching: MatchParams {
+                max_disparity: 8,
+                block_radius: 2,
+            },
+            grid: GridParams::new(8.0, 0.1),
+            solver: SolverParams::default(),
+        };
+        b.iter(|| bssa_depth(black_box(&scene.left), black_box(&scene.right), &cfg))
+    });
+    group.bench_function("ms_ssim_256x192", |b| {
+        b.iter(|| {
+            ms_ssim(
+                black_box(&scene.left),
+                black_box(&scene.right),
+                &MsSsimConfig::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// The 2-D bilateral filter: brute force vs. grid acceleration (the
+/// speedup that motivates bilateral-space processing).
+fn bench_bilateral_2d(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let scene = stereo_scene(96, 96, 6, 3, &mut rng);
+    let mut group = c.benchmark_group("bilateral_2d");
+    group.sample_size(20);
+    group.bench_function("brute_force_96", |b| {
+        b.iter(|| bilateral_filter(black_box(&scene.left), 3.0, 0.15))
+    });
+    group.bench_function("via_grid_96", |b| {
+        b.iter(|| bilateral_via_grid(black_box(&scene.left), GridParams::new(3.0, 0.15), 1))
+    });
+    group.finish();
+}
+
+/// Fig. 9 / Fig. 10 / Table I — the analytical models, plus the functional
+/// pipeline blocks at scaled resolution.
+fn bench_vr_pipeline(c: &mut Criterion) {
+    let model = VrModel::paper_default();
+    let link = Link::ethernet_25g();
+    let mut group = c.benchmark_group("vr_pipeline");
+    group.bench_function("fig9_analysis", |b| {
+        b.iter(|| incam_vr::analysis::fig9(black_box(&model)))
+    });
+    group.bench_function("fig10_analysis", |b| {
+        b.iter(|| model.fig10(black_box(&link)))
+    });
+    group.bench_function("table1_design_placement", |b| {
+        b.iter(|| (FpgaDesign::paper_evaluation(), FpgaDesign::paper_target()))
+    });
+
+    let rig = CameraRig::scaled(4, 96, 64);
+    let mut rng = StdRng::seed_from_u64(14);
+    let capture = synthetic_capture(&rig, 6, &mut rng);
+    group.sample_size(10);
+    group.bench_function("functional_pipeline_4cam_96px", |b| {
+        b.iter(|| run_functional_pipeline(black_box(&capture)))
+    });
+
+    let raw = &capture.pairs[0].reference_raw;
+    group.bench_function("b1_preprocess", |b| {
+        b.iter(|| preprocess::preprocess(black_box(raw)))
+    });
+    let luma = preprocess::preprocess(raw);
+    group.bench_function("b2_align", |b| {
+        b.iter(|| align::align_pair(black_box(&luma), black_box(&luma), &PairCalibration::sample(&mut StdRng::seed_from_u64(15))))
+    });
+    let pair_depths: Vec<stitch::PairDepth> = capture
+        .pairs
+        .iter()
+        .map(|p| stitch::PairDepth {
+            reference: preprocess::preprocess(&p.reference_raw),
+            disparity: p.truth_disparity.clone(),
+        })
+        .collect();
+    group.bench_function("b4_stitch", |b| {
+        b.iter(|| stitch::stitch(black_box(&pair_depths), 12, 0.5))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    case_study_2,
+    bench_fig6_filters,
+    bench_fig7_grid,
+    bench_bilateral_2d,
+    bench_vr_pipeline
+);
+criterion_main!(case_study_2);

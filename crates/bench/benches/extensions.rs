@@ -1,0 +1,42 @@
+//! Criterion benches for the extension studies: the compression codecs
+//! (the optional block the paper defers) and the ablation kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incam_imaging::codec::{compress_lossless, decompress_lossless, DctCodec};
+use incam_imaging::noise::add_gaussian_noise;
+use incam_imaging::scenes::stereo_scene_sloped;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(77);
+    let scene = stereo_scene_sloped(320, 240, 8, 6, 0.6, &mut rng);
+    let luma = add_gaussian_noise(&scene.right, 0.02, &mut rng);
+    let raw = luma.to_u8();
+
+    let mut group = c.benchmark_group("compression_codecs");
+    group.bench_function("lossless_encode_320x240", |b| {
+        b.iter(|| compress_lossless(black_box(&raw)))
+    });
+    let encoded = compress_lossless(&raw);
+    group.bench_function("lossless_decode_320x240", |b| {
+        b.iter(|| decompress_lossless(black_box(&encoded)))
+    });
+    for quality in [20u8, 50, 90] {
+        let codec = DctCodec::new(quality);
+        group.bench_with_input(
+            BenchmarkId::new("dct_encode_320x240", quality),
+            &codec,
+            |b, codec| b.iter(|| codec.encode(black_box(&luma))),
+        );
+    }
+    let dct_bytes = DctCodec::new(50).encode(&luma);
+    group.bench_function("dct_decode_320x240", |b| {
+        b.iter(|| DctCodec::decode(black_box(&dct_bytes)))
+    });
+    group.finish();
+}
+
+criterion_group!(extensions, bench_codecs);
+criterion_main!(extensions);

@@ -1,0 +1,98 @@
+//! The end-to-end face-authentication evaluation: pipeline configurations
+//! on the real-world-style synthetic video, with energy, power,
+//! harvested-energy feasibility and accuracy.
+
+use incam_core::report::Table;
+use incam_core::units::Fps;
+use incam_wispcam::mcu::McuModel;
+use incam_wispcam::pipeline::{FaPipelineConfig, RunSummary, Substrate, TransmitPolicy};
+use incam_wispcam::platform::WispCamPlatform;
+use incam_wispcam::workload::{TrainEffort, Workload};
+
+/// One evaluated configuration.
+pub struct FaConfigResult {
+    /// The run summary.
+    pub summary: RunSummary,
+    /// Sustainable frame rate on the default WISPCam harvest budget.
+    pub sustainable_fps: f64,
+}
+
+/// Runs the pipeline-configuration comparison.
+///
+/// Configurations: the raw-offload baseline (no processing, ship the
+/// frame), NN-only, MD+NN, FD+NN, MD+FD+NN (the paper's full pipeline),
+/// and the full pipeline on the general-purpose-MCU substrate.
+pub fn run(seed: u64, frames: usize, effort: TrainEffort) -> Vec<FaConfigResult> {
+    let workload = Workload::generate(seed, frames, effort);
+    let platform = WispCamPlatform::wispcam_default();
+
+    let configs: Vec<FaPipelineConfig> = vec![
+        // raw offload: no in-camera vision, ship every frame
+        {
+            let mut c = FaPipelineConfig::full_accelerated().with_blocks(false, false);
+            c.transmit = TransmitPolicy::RawFrame;
+            // no NN either: grid disabled by scoring nothing
+            c.grid_sides = vec![];
+            c
+        },
+        FaPipelineConfig::full_accelerated().with_blocks(false, false),
+        FaPipelineConfig::full_accelerated().with_blocks(true, false),
+        FaPipelineConfig::full_accelerated().with_blocks(false, true),
+        FaPipelineConfig::full_accelerated(),
+        FaPipelineConfig::full_accelerated()
+            .on_substrate(Substrate::Mcu(McuModel::cortex_m_class())),
+    ];
+
+    configs
+        .into_iter()
+        .map(|config| {
+            let mut pipeline = workload.pipeline(config);
+            let summary = pipeline.run(&workload.frames);
+            let sustainable_fps = platform
+                .sustainable_fps(summary.energy_per_frame())
+                .fps();
+            FaConfigResult {
+                summary,
+                sustainable_fps,
+            }
+        })
+        .collect()
+}
+
+/// Renders the comparison table.
+pub fn render(results: &[FaConfigResult]) -> String {
+    let mut table = Table::new(&[
+        "configuration",
+        "energy/frame",
+        "power @1FPS",
+        "sustainable FPS",
+        "NN windows",
+        "frame miss %",
+        "event miss %",
+        "FP rate %",
+    ]);
+    let mut labels: Vec<String> = results.iter().map(|r| r.summary.label.clone()).collect();
+    if let Some(first) = labels.first_mut() {
+        *first = "raw offload (no vision)".to_string();
+    }
+    for (r, label) in results.iter().zip(labels) {
+        let s = &r.summary;
+        table.row_owned(vec![
+            label,
+            s.energy_per_frame().human(),
+            s.average_power(Fps::new(1.0)).human(),
+            format!("{:.2}", r.sustainable_fps),
+            s.windows_scored.to_string(),
+            format!("{:.1}", 100.0 * s.confusion.miss_rate()),
+            format!("{:.1}", 100.0 * s.event_miss_rate()),
+            format!("{:.1}", 100.0 * s.confusion.false_positive_rate()),
+        ]);
+    }
+    let mut out = table.render();
+    out.push('\n');
+    // energy breakdown of the paper's full configuration
+    if let Some(full) = results.get(4) {
+        out.push_str(&format!("{}\n", full.summary.energy));
+    }
+    out
+}

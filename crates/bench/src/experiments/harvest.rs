@@ -1,0 +1,69 @@
+//! Platform study — achievable frame rate vs. distance from the RFID
+//! reader, per pipeline configuration.
+//!
+//! The WISPCam's harvested power falls with the square of the distance to
+//! the reader; which pipeline configurations remain viable, and how far
+//! out, is the deployment-facing version of the case study's energy
+//! numbers.
+
+use incam_core::report::{sig3, Table};
+use incam_core::units::Fps;
+use incam_wispcam::pipeline::FaPipelineConfig;
+use incam_wispcam::platform::WispCamPlatform;
+use incam_wispcam::workload::{TrainEffort, Workload};
+
+/// Runs the distance sweep.
+pub fn run(seed: u64, quick: bool) -> String {
+    let (frames, effort) = if quick {
+        (80, TrainEffort::Quick)
+    } else {
+        (200, TrainEffort::Quick)
+    };
+    let workload = Workload::generate(seed, frames, effort);
+
+    // per-frame energy of three configurations
+    let configs = [
+        ("NN only", FaPipelineConfig::full_accelerated().with_blocks(false, false)),
+        ("FD+NN", FaPipelineConfig::full_accelerated().with_blocks(false, true)),
+        ("MD+FD+NN", FaPipelineConfig::full_accelerated()),
+    ];
+    let energies: Vec<(&str, incam_core::units::Joules)> = configs
+        .into_iter()
+        .map(|(name, config)| {
+            let mut pipeline = workload.pipeline(config);
+            let summary = pipeline.run(&workload.frames);
+            (name, summary.energy_per_frame())
+        })
+        .collect();
+
+    let mut table = Table::new(&[
+        "distance (m)",
+        "harvest power",
+        "NN only (FPS)",
+        "FD+NN (FPS)",
+        "MD+FD+NN (FPS)",
+    ]);
+    for distance in [0.5f64, 1.0, 2.0, 3.0, 4.0, 6.0] {
+        let mut platform = WispCamPlatform::wispcam_default();
+        platform.harvester_mut().set_distance(distance);
+        let mut row = vec![
+            sig3(distance),
+            platform.harvester().output_power().human(),
+        ];
+        for (_, energy) in &energies {
+            let fps = platform.sustainable_fps(*energy);
+            row.push(if fps >= Fps::new(1.0) {
+                sig3(fps.fps())
+            } else {
+                format!("{} (sub-1)", sig3(fps.fps()))
+            });
+        }
+        table.row_owned(row);
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\n(continuous 1 FPS authentication holds as long as the column \
+         stays above 1.0)\n",
+    );
+    out
+}

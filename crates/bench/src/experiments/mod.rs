@@ -1,0 +1,12 @@
+//! Experiment implementations shared by the `repro` binary and the
+//! Criterion benches. Each module regenerates one of the paper's tables,
+//! figures, or in-text design studies (see the experiment index in
+//! `DESIGN.md`).
+
+pub mod ablations;
+pub mod compression;
+pub mod fa_pipeline;
+pub mod fig4c;
+pub mod harvest;
+pub mod nn_studies;
+pub mod vr_studies;

@@ -1,0 +1,276 @@
+//! The §III-A accelerator design studies: NN topology (accuracy vs.
+//! energy), PE geometry, datapath bit width, and sigmoid approximation.
+//!
+//! Methodology notes: every variant of a network (float reference, LUT
+//! sigmoids, quantized datapaths) is scored on the *same* freshly
+//! rendered evaluation set (1 500 pairs), so the reported deltas are
+//! paired measurements with ~0.03 pp granularity — fine enough to resolve
+//! the paper's 0.4 pp quantization losses. The dataset difficulty
+//! (nuisance 0.6) is calibrated so the selected 400-8-1 float network
+//! lands near the paper's 5.9 % LFW error.
+
+use incam_core::report::Table;
+use incam_imaging::faces::{render_face, Nuisance};
+use incam_imaging::resample::resize_bilinear;
+use incam_nn::dataset::{FaceAuthConfig, FaceAuthDataset};
+use incam_nn::eval::Confusion;
+use incam_nn::mlp::Mlp;
+use incam_nn::quant::QuantizedMlp;
+use incam_nn::sigmoid::Sigmoid;
+use incam_nn::topology::Topology;
+use incam_nn::train::{train, TrainConfig};
+use incam_snnap::config::SnnapConfig;
+use incam_snnap::sweep::{bitwidth_sweep, geometry_sweep, topology_sweep};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Difficulty calibrated to land the 400-8-1 reference near the paper's
+/// 5.9 % error.
+const EVAL_NUISANCE: f32 = 0.6;
+
+fn dataset_config(input_side: usize) -> FaceAuthConfig {
+    FaceAuthConfig {
+        input_side,
+        nuisance: EVAL_NUISANCE,
+        target_samples: 240,
+        impostor_samples: 30,
+        ..Default::default()
+    }
+}
+
+fn face_train_config(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        learning_rate: 0.05,
+        momentum: 0.9,
+        max_epochs: epochs,
+        target_mse: 0.005,
+    }
+}
+
+/// A fixed evaluation set: the same rendered windows scored by every
+/// network variant (paired comparison).
+pub struct EvalSet {
+    inputs: Vec<Vec<f32>>,
+    labels: Vec<bool>,
+}
+
+impl EvalSet {
+    /// Renders `n_pairs` enrolled/impostor pairs at the given window size.
+    pub fn generate(dataset: &FaceAuthDataset, n_pairs: usize, input_side: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut inputs = Vec::with_capacity(2 * n_pairs);
+        let mut labels = Vec::with_capacity(2 * n_pairs);
+        for i in 0..n_pairs {
+            for (id, label) in [
+                (&dataset.enrolled, true),
+                (&dataset.impostors[i % dataset.impostors.len()], false),
+            ] {
+                let nz = Nuisance::sample(&mut rng, EVAL_NUISANCE);
+                let face = render_face(id, &nz, 24, &mut rng);
+                inputs.push(resize_bilinear(&face, input_side, input_side).to_vec_f32());
+                labels.push(label);
+            }
+        }
+        Self { inputs, labels }
+    }
+
+    /// Scores every window and returns the confusion matrix.
+    pub fn evaluate(&self, mut score: impl FnMut(&[f32]) -> f32) -> Confusion {
+        let mut c = Confusion::default();
+        for (input, &label) in self.inputs.iter().zip(&self.labels) {
+            c.record(score(input) >= 0.5, label);
+        }
+        c
+    }
+}
+
+/// Trains the paper's reference authenticator and builds its evaluation
+/// set (shared by the bit-width and sigmoid studies).
+fn reference_setup(seed: u64) -> (Mlp, EvalSet) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dataset = FaceAuthDataset::generate(&dataset_config(20), &mut rng);
+    let mut net = Mlp::random(Topology::paper_default(), &mut rng);
+    train(&mut net, &dataset.train, &face_train_config(300), &mut rng);
+    let eval = EvalSet::generate(&dataset, 750, 20, seed ^ 0xe5a1);
+    (net, eval)
+}
+
+/// Result of training one candidate topology.
+pub struct TopologyPoint {
+    /// The candidate (input² – hidden – 1).
+    pub topology: Topology,
+    /// Evaluation classification error.
+    pub error: f64,
+    /// Energy per inference on the 8-PE, 8-bit accelerator.
+    pub energy_nj: f64,
+}
+
+/// The topology study: input windows 5×5 … 20×20, hidden widths 4/8/16.
+pub fn nn_topology(seed: u64) -> Vec<TopologyPoint> {
+    let mut points = Vec::new();
+    for &side in &[5usize, 10, 15, 20] {
+        for &hidden in &[4usize, 8, 16] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dataset = FaceAuthDataset::generate(&dataset_config(side), &mut rng);
+            let topology = Topology::new(vec![side * side, hidden, 1]);
+            let mut net = Mlp::random(topology.clone(), &mut rng);
+            train(&mut net, &dataset.train, &face_train_config(300), &mut rng);
+            let eval = EvalSet::generate(&dataset, 500, side, seed ^ 0xe5a1);
+            let confusion = eval.evaluate(|x| net.forward(x, &Sigmoid::Exact)[0]);
+            let energy = topology_sweep(std::slice::from_ref(&topology), &SnnapConfig::paper_default())[0]
+                .energy
+                .nanos();
+            points.push(TopologyPoint {
+                topology,
+                error: confusion.error(),
+                energy_nj: energy,
+            });
+        }
+    }
+    points
+}
+
+/// Renders the topology study.
+pub fn render_topology(points: &[TopologyPoint]) -> String {
+    let mut table = Table::new(&["topology", "eval error %", "energy/inference (nJ)"]);
+    for p in points {
+        table.row_owned(vec![
+            p.topology.to_string(),
+            format!("{:.1}", 100.0 * p.error),
+            format!("{:.2}", p.energy_nj),
+        ]);
+    }
+    table.render()
+}
+
+/// Renders the PE-geometry sweep (energy-optimal at 8 PEs).
+pub fn render_pe_geometry() -> String {
+    let rows = geometry_sweep(
+        &Topology::paper_default(),
+        &SnnapConfig::paper_default(),
+        &[1, 2, 4, 8, 16, 32],
+    );
+    let mut table = Table::new(&[
+        "PEs",
+        "cycles",
+        "latency (us)",
+        "throughput (inf/s)",
+        "energy (nJ)",
+        "power (uW)",
+        "utilization %",
+    ]);
+    for r in &rows {
+        table.row_owned(vec![
+            r.num_pes.to_string(),
+            r.cycles.to_string(),
+            format!("{:.1}", r.latency.micros()),
+            format!("{:.0}", r.throughput.fps()),
+            format!("{:.2}", r.energy.nanos()),
+            format!("{:.0}", r.power.microwatts()),
+            format!("{:.1}", 100.0 * r.utilization),
+        ]);
+    }
+    table.render()
+}
+
+/// One row of the bit-width study.
+pub struct BitwidthPoint {
+    /// Datapath width label (`float` for the reference).
+    pub label: String,
+    /// Evaluation accuracy.
+    pub accuracy: f64,
+    /// Accuracy loss vs. the float reference (percentage points).
+    pub loss_pp: f64,
+    /// Accelerator power, µW (None for the float reference).
+    pub power_uw: Option<f64>,
+    /// Power relative to the 16-bit configuration.
+    pub power_vs_16: Option<f64>,
+}
+
+/// The datapath-width study: train in float, deploy at 16/8/4 bits.
+pub fn nn_bitwidth(seed: u64) -> Vec<BitwidthPoint> {
+    let (net, eval) = reference_setup(seed);
+    let float_acc = eval
+        .evaluate(|x| net.forward(x, &Sigmoid::Exact)[0])
+        .accuracy();
+
+    let power_rows = bitwidth_sweep(
+        &Topology::paper_default(),
+        &SnnapConfig::paper_default(),
+        &[16, 8, 4],
+    );
+
+    let mut points = vec![BitwidthPoint {
+        label: "float32 (reference)".to_string(),
+        accuracy: float_acc,
+        loss_pp: 0.0,
+        power_uw: None,
+        power_vs_16: None,
+    }];
+    for row in &power_rows {
+        let q = QuantizedMlp::from_mlp(&net, row.data_bits, Sigmoid::lut256());
+        let acc = eval.evaluate(|x| q.forward(x)[0]).accuracy();
+        points.push(BitwidthPoint {
+            label: format!("{}-bit fixed", row.data_bits),
+            accuracy: acc,
+            loss_pp: 100.0 * (float_acc - acc),
+            power_uw: Some(row.power.microwatts()),
+            power_vs_16: Some(row.power_vs_16bit),
+        });
+    }
+    points
+}
+
+/// Renders the bit-width study.
+pub fn render_bitwidth(points: &[BitwidthPoint]) -> String {
+    let mut table = Table::new(&[
+        "datapath",
+        "accuracy %",
+        "loss vs float (pp)",
+        "power (uW)",
+        "power vs 16-bit",
+    ]);
+    for p in points {
+        table.row_owned(vec![
+            p.label.clone(),
+            format!("{:.2}", 100.0 * p.accuracy),
+            format!("{:+.2}", p.loss_pp),
+            p.power_uw.map_or("-".into(), |v| format!("{v:.0}")),
+            p.power_vs_16.map_or("-".into(), |v| format!("{:.2}x", v)),
+        ]);
+    }
+    table.render()
+}
+
+/// The sigmoid-approximation study: accuracy with LUTs of shrinking size.
+pub fn sigmoid_study(seed: u64) -> String {
+    let (net, eval) = reference_setup(seed);
+    let accuracy_with = |sigmoid: &Sigmoid| {
+        eval.evaluate(|x| net.forward(x, sigmoid)[0]).accuracy()
+    };
+    let reference = accuracy_with(&Sigmoid::Exact);
+
+    let mut table = Table::new(&[
+        "sigmoid",
+        "max |error|",
+        "accuracy %",
+        "loss vs exact (pp)",
+    ]);
+    table.row_owned(vec![
+        "exact".into(),
+        "0".into(),
+        format!("{:.2}", 100.0 * reference),
+        "+0.00".into(),
+    ]);
+    for entries in [1024usize, 256, 64, 16] {
+        let sigmoid = Sigmoid::lut(entries);
+        let acc = accuracy_with(&sigmoid);
+        table.row_owned(vec![
+            format!("LUT-{entries}"),
+            format!("{:.4}", sigmoid.max_abs_error()),
+            format!("{:.2}", 100.0 * acc),
+            format!("{:+.2}", 100.0 * (reference - acc)),
+        ]);
+    }
+    table.render()
+}

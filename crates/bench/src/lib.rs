@@ -1,0 +1,11 @@
+//! # incam-bench — the reproduction harness
+//!
+//! One module per paper artifact (figures 4c, 6, 7, 9, 10; Table I; the
+//! §III-A design studies; the end-to-end face-authentication evaluation).
+//! The `repro` binary prints every table; the Criterion benches in
+//! `benches/` measure the underlying Rust kernels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;

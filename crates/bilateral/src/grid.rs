@@ -1,0 +1,345 @@
+//! The bilateral grid: a 3-D (x, y, intensity) resampling of an image in
+//! which simple local filters are equivalent to costly global edge-aware
+//! filters in pixel space — the data structure at the heart of
+//! bilateral-space stereo (paper §IV-A).
+//!
+//! Values are *splatted* into grid vertices with trilinear weights,
+//! processed in the grid (blurring, solver iterations), and *sliced* back
+//! out at pixel locations. Pixels that are spatial neighbours but differ
+//! strongly in intensity land in different grid cells along the third
+//! axis, so grid-space smoothing never mixes across an image edge.
+
+use incam_core::units::Bytes;
+use incam_imaging::image::GrayImage;
+
+/// Grid resolution parameters.
+///
+/// `sigma_spatial` is the pixel extent of one grid cell (the paper's
+/// "pixels per grid vertex", swept 4–64 in Fig. 7); `sigma_range` is the
+/// intensity extent of one cell for images in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridParams {
+    /// Pixels per grid cell in x and y.
+    pub sigma_spatial: f32,
+    /// Intensity units per grid cell.
+    pub sigma_range: f32,
+}
+
+impl GridParams {
+    /// Validates and creates parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_spatial < 1` or `sigma_range` is not in `(0, 1]`.
+    pub fn new(sigma_spatial: f32, sigma_range: f32) -> Self {
+        assert!(sigma_spatial >= 1.0, "sigma_spatial must be >= 1 pixel");
+        assert!(
+            sigma_range > 0.0 && sigma_range <= 1.0,
+            "sigma_range must be in (0, 1]"
+        );
+        Self {
+            sigma_spatial,
+            sigma_range,
+        }
+    }
+}
+
+/// A homogeneous bilateral grid: per-vertex accumulated `value·weight` and
+/// `weight`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BilateralGrid {
+    gw: usize,
+    gh: usize,
+    gz: usize,
+    values: Vec<f32>,
+    weights: Vec<f32>,
+    params: GridParams,
+}
+
+impl BilateralGrid {
+    /// Creates an empty grid sized for a `width × height` image in
+    /// `[0, 1]` under `params`.
+    pub fn new(width: usize, height: usize, params: GridParams) -> Self {
+        let gw = ((width - 1) as f32 / params.sigma_spatial).floor() as usize + 2;
+        let gh = ((height - 1) as f32 / params.sigma_spatial).floor() as usize + 2;
+        let gz = (1.0 / params.sigma_range).floor() as usize + 2;
+        let n = gw * gh * gz;
+        Self {
+            gw,
+            gh,
+            gz,
+            values: vec![0.0; n],
+            weights: vec![0.0; n],
+            params,
+        }
+    }
+
+    /// Grid dimensions `(x, y, intensity)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.gw, self.gh, self.gz)
+    }
+
+    /// Number of grid vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.gw * self.gh * self.gz
+    }
+
+    /// Memory footprint with `bytes_per_vertex` of per-vertex state.
+    ///
+    /// The plain homogeneous grid stores 8 bytes/vertex (value + weight);
+    /// a full BSSA solver additionally stores per-vertex cost-volume
+    /// slices, which is the accounting the paper's Fig. 7 x-axis uses.
+    pub fn memory(&self, bytes_per_vertex: usize) -> Bytes {
+        Bytes::new((self.vertex_count() * bytes_per_vertex) as f64)
+    }
+
+    /// The grid parameters.
+    pub fn params(&self) -> GridParams {
+        self.params
+    }
+
+    #[inline]
+    fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        (z * self.gh + y) * self.gw + x
+    }
+
+    /// Grid-space coordinates of a pixel.
+    #[inline]
+    fn coords(&self, x: usize, y: usize, intensity: f32) -> (f32, f32, f32) {
+        (
+            x as f32 / self.params.sigma_spatial,
+            y as f32 / self.params.sigma_spatial,
+            intensity.clamp(0.0, 1.0) / self.params.sigma_range,
+        )
+    }
+
+    /// Splats `values` (weighted by `confidence`, or 1) into the grid,
+    /// guided by `guide`'s intensities, with trilinear weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn splat(&mut self, guide: &GrayImage, values: &GrayImage, confidence: Option<&GrayImage>) {
+        assert_eq!(guide.dims(), values.dims(), "guide/values must match");
+        if let Some(c) = confidence {
+            assert_eq!(guide.dims(), c.dims(), "guide/confidence must match");
+        }
+        for y in 0..guide.height() {
+            for x in 0..guide.width() {
+                let v = values.get(x, y);
+                let w = confidence.map_or(1.0, |c| c.get(x, y));
+                if w <= 0.0 {
+                    continue;
+                }
+                self.splat_one(x, y, guide.get(x, y), v, w);
+            }
+        }
+    }
+
+    fn splat_one(&mut self, x: usize, y: usize, intensity: f32, value: f32, weight: f32) {
+        let (fx, fy, fz) = self.coords(x, y, intensity);
+        let (x0, y0, z0) = (fx.floor() as usize, fy.floor() as usize, fz.floor() as usize);
+        let (tx, ty, tz) = (fx - x0 as f32, fy - y0 as f32, fz - z0 as f32);
+        for dz in 0..2usize {
+            let wz = if dz == 0 { 1.0 - tz } else { tz };
+            for dy in 0..2usize {
+                let wy = if dy == 0 { 1.0 - ty } else { ty };
+                for dx in 0..2usize {
+                    let wx = if dx == 0 { 1.0 - tx } else { tx };
+                    let w = wx * wy * wz * weight;
+                    if w <= 0.0 {
+                        continue;
+                    }
+                    let i = self.idx(
+                        (x0 + dx).min(self.gw - 1),
+                        (y0 + dy).min(self.gh - 1),
+                        (z0 + dz).min(self.gz - 1),
+                    );
+                    self.values[i] += w * value;
+                    self.weights[i] += w;
+                }
+            }
+        }
+    }
+
+    /// Applies `iterations` of a separable `[1, 2, 1]/4` blur along each
+    /// grid axis, to values and weights alike (homogeneous blur). Borders
+    /// replicate, which preserves total mass.
+    pub fn blur(&mut self, iterations: usize) {
+        for _ in 0..iterations {
+            for axis in 0..3 {
+                self.values = self.blur_axis(&self.values, axis);
+                self.weights = self.blur_axis(&self.weights, axis);
+            }
+        }
+    }
+
+    fn blur_axis(&self, data: &[f32], axis: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; data.len()];
+        let (nx, ny, nz) = (self.gw, self.gh, self.gz);
+        let get = |x: isize, y: isize, z: isize| -> f32 {
+            let cx = x.clamp(0, nx as isize - 1) as usize;
+            let cy = y.clamp(0, ny as isize - 1) as usize;
+            let cz = z.clamp(0, nz as isize - 1) as usize;
+            data[(cz * ny + cy) * nx + cx]
+        };
+        for z in 0..nz as isize {
+            for y in 0..ny as isize {
+                for x in 0..nx as isize {
+                    let (dx, dy, dz) = match axis {
+                        0 => (1, 0, 0),
+                        1 => (0, 1, 0),
+                        _ => (0, 0, 1),
+                    };
+                    let v = (get(x - dx, y - dy, z - dz)
+                        + 2.0 * get(x, y, z)
+                        + get(x + dx, y + dy, z + dz))
+                        / 4.0;
+                    out[((z as usize) * ny + y as usize) * nx + x as usize] = v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Reads the filtered value at every pixel of `guide` (trilinear
+    /// interpolation of `value/weight`). Vertices with no support yield 0.
+    pub fn slice(&self, guide: &GrayImage) -> GrayImage {
+        GrayImage::from_fn(guide.width(), guide.height(), |x, y| {
+            self.slice_one(x, y, guide.get(x, y))
+        })
+    }
+
+    fn slice_one(&self, x: usize, y: usize, intensity: f32) -> f32 {
+        let (fx, fy, fz) = self.coords(x, y, intensity);
+        let (x0, y0, z0) = (fx.floor() as usize, fy.floor() as usize, fz.floor() as usize);
+        let (tx, ty, tz) = (fx - x0 as f32, fy - y0 as f32, fz - z0 as f32);
+        let mut num = 0.0f32;
+        let mut den = 0.0f32;
+        for dz in 0..2usize {
+            let wz = if dz == 0 { 1.0 - tz } else { tz };
+            for dy in 0..2usize {
+                let wy = if dy == 0 { 1.0 - ty } else { ty };
+                for dx in 0..2usize {
+                    let wx = if dx == 0 { 1.0 - tx } else { tx };
+                    let w = wx * wy * wz;
+                    let i = self.idx(
+                        (x0 + dx).min(self.gw - 1),
+                        (y0 + dy).min(self.gh - 1),
+                        (z0 + dz).min(self.gz - 1),
+                    );
+                    num += w * self.values[i];
+                    den += w * self.weights[i];
+                }
+            }
+        }
+        if den > 1e-8 {
+            num / den
+        } else {
+            0.0
+        }
+    }
+
+    /// Total splatted weight (for conservation checks).
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().map(|&w| w as f64).sum()
+    }
+
+    /// Raw per-vertex accumulators `(values, weights)` — used by the
+    /// bilateral-space solver.
+    pub fn raw(&self) -> (&[f32], &[f32]) {
+        (&self.values, &self.weights)
+    }
+
+    /// Mutable raw accumulators.
+    pub fn raw_mut(&mut self) -> (&mut [f32], &mut [f32]) {
+        (&mut self.values, &mut self.weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incam_imaging::image::Image;
+
+    fn params() -> GridParams {
+        GridParams::new(4.0, 0.1)
+    }
+
+    #[test]
+    fn splat_weight_partitions_unity() {
+        let guide = Image::from_fn(16, 12, |x, y| ((x * 7 + y * 3) % 10) as f32 / 10.0);
+        let mut grid = BilateralGrid::new(16, 12, params());
+        grid.splat(&guide, &guide, None);
+        // each pixel contributes exactly weight 1 across its 8 vertices
+        assert!((grid.total_weight() - (16.0 * 12.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn blur_preserves_total_mass() {
+        let guide = Image::from_fn(16, 16, |x, _| (x % 5) as f32 / 5.0);
+        let mut grid = BilateralGrid::new(16, 16, params());
+        grid.splat(&guide, &guide, None);
+        let before = grid.total_weight();
+        grid.blur(3);
+        assert!((grid.total_weight() - before).abs() < before * 1e-5);
+    }
+
+    #[test]
+    fn constant_image_round_trips() {
+        let guide = GrayImage::new(24, 24, 0.5);
+        let values = GrayImage::new(24, 24, 0.7);
+        let mut grid = BilateralGrid::new(24, 24, params());
+        grid.splat(&guide, &values, None);
+        grid.blur(2);
+        let out = grid.slice(&guide);
+        for &p in out.pixels() {
+            assert!((p - 0.7).abs() < 1e-4, "got {p}");
+        }
+    }
+
+    #[test]
+    fn grid_smoothing_respects_intensity_edges() {
+        // two flat regions with very different intensities; values follow
+        // the regions. After grid blur, slicing must not leak across.
+        let guide = Image::from_fn(32, 8, |x, _| if x < 16 { 0.1 } else { 0.9 });
+        let values = Image::from_fn(32, 8, |x, _| if x < 16 { 0.0 } else { 1.0 });
+        let mut grid = BilateralGrid::new(32, 8, GridParams::new(4.0, 0.2));
+        grid.splat(&guide, &values, None);
+        grid.blur(2);
+        let out = grid.slice(&guide);
+        // sample well inside each region and right at the edge
+        assert!(out.get(4, 4) < 0.1, "left leaked: {}", out.get(4, 4));
+        assert!(out.get(28, 4) > 0.9, "right leaked: {}", out.get(28, 4));
+        assert!(out.get(14, 4) < 0.25, "edge-left {}", out.get(14, 4));
+        assert!(out.get(17, 4) > 0.75, "edge-right {}", out.get(17, 4));
+    }
+
+    #[test]
+    fn confidence_weights_bias_the_result() {
+        let guide = GrayImage::new(16, 16, 0.5);
+        let values = Image::from_fn(16, 16, |x, _| if x < 8 { 0.0 } else { 1.0 });
+        // only trust the right half
+        let conf = Image::from_fn(16, 16, |x, _| if x < 8 { 0.0 } else { 1.0 });
+        let mut grid = BilateralGrid::new(16, 16, params());
+        grid.splat(&guide, &values, Some(&conf));
+        grid.blur(4);
+        let out = grid.slice(&guide);
+        // everything collapses toward the trusted value 1.0
+        assert!(out.mean() > 0.9, "mean {}", out.mean());
+    }
+
+    #[test]
+    fn coarser_grid_has_fewer_vertices() {
+        let fine = BilateralGrid::new(128, 128, GridParams::new(4.0, 0.05));
+        let coarse = BilateralGrid::new(128, 128, GridParams::new(16.0, 0.2));
+        assert!(fine.vertex_count() > 20 * coarse.vertex_count());
+        assert!(fine.memory(8) > coarse.memory(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma_spatial")]
+    fn sub_pixel_cells_rejected() {
+        let _ = GridParams::new(0.5, 0.1);
+    }
+}

@@ -1,0 +1,33 @@
+//! # incam-bilateral — bilateral grids and bilateral-space stereo
+//!
+//! The algorithmic core of the paper's VR case study (§IV): the bilateral
+//! filter (Fig. 6 — [`signal`], [`filter`]), the bilateral grid data
+//! structure ([`grid`]), and the bilateral-space stereo algorithm (BSSA)
+//! that computes edge-aware depth maps from rectified stereo pairs
+//! ([`stereo`]). The Fig. 7 grid-size/quality study lives in [`sweep`].
+//!
+//! # Examples
+//!
+//! ```
+//! use incam_bilateral::stereo::{bssa_depth, BssaConfig};
+//! use incam_imaging::scenes::stereo_scene;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let scene = stereo_scene(96, 64, 6, 3, &mut rng);
+//! let depth = bssa_depth(&scene.left, &scene.right, &BssaConfig::default());
+//! println!("grid {:?}, memory {}", depth.grid_dims, depth.grid_memory.human());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod filter;
+pub mod grid;
+pub mod signal;
+pub mod stereo;
+pub mod sweep;
+
+pub use grid::{BilateralGrid, GridParams};
+pub use stereo::{bssa_depth, BssaConfig, DepthResult};
+pub use sweep::{grid_quality_sweep, GridQualityPoint, GridSweepConfig, Resolution};

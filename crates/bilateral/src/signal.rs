@@ -1,0 +1,179 @@
+//! 1-D signals and filters — the paper's Fig. 6 demonstration that the
+//! bilateral filter smooths noise while preserving edges, where a moving
+//! average smears them.
+
+use rand::Rng;
+
+/// Generates a noisy step signal: `lo` before `edge`, `hi` after, plus
+/// uniform noise of amplitude `noise`.
+///
+/// # Panics
+///
+/// Panics if `edge >= len` or `len == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use incam_bilateral::signal::step_signal;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let s = step_signal(100, 50, 20.0, 80.0, 4.0, &mut rng);
+/// assert_eq!(s.len(), 100);
+/// assert!(s[10] < 40.0 && s[90] > 60.0);
+/// ```
+pub fn step_signal(
+    len: usize,
+    edge: usize,
+    lo: f32,
+    hi: f32,
+    noise: f32,
+    rng: &mut impl Rng,
+) -> Vec<f32> {
+    assert!(len > 0, "signal must be non-empty");
+    assert!(edge < len, "edge must lie inside the signal");
+    (0..len)
+        .map(|i| {
+            let base = if i < edge { lo } else { hi };
+            base + rng.gen_range(-noise..=noise)
+        })
+        .collect()
+}
+
+/// 1-D moving average of (odd) window `width` — Fig. 6b's smoother.
+/// Borders replicate.
+///
+/// # Panics
+///
+/// Panics if `width` is even or zero.
+pub fn moving_average(signal: &[f32], width: usize) -> Vec<f32> {
+    assert!(width % 2 == 1 && width > 0, "width must be odd");
+    let r = (width / 2) as isize;
+    let n = signal.len() as isize;
+    (0..n)
+        .map(|i| {
+            let mut acc = 0.0f32;
+            for d in -r..=r {
+                let j = (i + d).clamp(0, n - 1) as usize;
+                acc += signal[j];
+            }
+            acc / width as f32
+        })
+        .collect()
+}
+
+/// 1-D bilateral filter: Gaussian in position (`sigma_s`) *and* in value
+/// (`sigma_r`), so samples across a large intensity jump contribute little
+/// — Fig. 6d's edge-preserving smoother.
+///
+/// # Panics
+///
+/// Panics if either sigma is non-positive.
+pub fn bilateral_filter_1d(signal: &[f32], sigma_s: f32, sigma_r: f32) -> Vec<f32> {
+    assert!(sigma_s > 0.0 && sigma_r > 0.0, "sigmas must be positive");
+    let radius = (3.0 * sigma_s).ceil() as isize;
+    let n = signal.len() as isize;
+    (0..n)
+        .map(|i| {
+            let center = signal[i as usize];
+            let mut num = 0.0f32;
+            let mut den = 0.0f32;
+            for d in -radius..=radius {
+                let j = i + d;
+                if j < 0 || j >= n {
+                    continue;
+                }
+                let v = signal[j as usize];
+                let w_s = (-0.5 * (d as f32 / sigma_s).powi(2)).exp();
+                let w_r = (-0.5 * ((v - center) / sigma_r).powi(2)).exp();
+                let w = w_s * w_r;
+                num += w * v;
+                den += w;
+            }
+            num / den
+        })
+        .collect()
+}
+
+/// Edge sharpness at `edge`: the difference between the mean of the few
+/// samples just after and just before the edge. A preserved step keeps
+/// this near `hi - lo`; a smeared one shrinks it.
+pub fn edge_sharpness(signal: &[f32], edge: usize, span: usize) -> f32 {
+    assert!(span > 0 && edge >= span && edge + span <= signal.len());
+    let before: f32 = signal[edge - span..edge].iter().sum::<f32>() / span as f32;
+    let after: f32 = signal[edge..edge + span].iter().sum::<f32>() / span as f32;
+    after - before
+}
+
+/// Residual noise: standard deviation within a flat region.
+pub fn region_noise(signal: &[f32], start: usize, end: usize) -> f32 {
+    assert!(start < end && end <= signal.len());
+    let region = &signal[start..end];
+    let mean = region.iter().sum::<f32>() / region.len() as f32;
+    (region.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / region.len() as f32).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn noisy_step(rng: &mut StdRng) -> Vec<f32> {
+        step_signal(100, 50, 20.0, 80.0, 5.0, rng)
+    }
+
+    #[test]
+    fn both_filters_reduce_noise() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = noisy_step(&mut rng);
+        let raw = region_noise(&s, 5, 40);
+        let avg = region_noise(&moving_average(&s, 9), 5, 40);
+        let bil = region_noise(&bilateral_filter_1d(&s, 3.0, 20.0), 5, 40);
+        assert!(avg < raw * 0.6, "avg {avg} vs raw {raw}");
+        assert!(bil < raw * 0.6, "bil {bil} vs raw {raw}");
+    }
+
+    #[test]
+    fn bilateral_preserves_edge_moving_average_smears_it() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = noisy_step(&mut rng);
+        let full = 60.0; // hi - lo
+        let sharp_avg = edge_sharpness(&moving_average(&s, 9), 50, 3);
+        let sharp_bil = edge_sharpness(&bilateral_filter_1d(&s, 3.0, 20.0), 50, 3);
+        // the moving average loses a large part of the step within +/-3
+        assert!(sharp_avg < full * 0.75, "avg sharpness {sharp_avg}");
+        // the bilateral filter keeps nearly all of it
+        assert!(sharp_bil > full * 0.9, "bil sharpness {sharp_bil}");
+        assert!(sharp_bil > sharp_avg + 5.0);
+    }
+
+    #[test]
+    fn bilateral_with_huge_range_sigma_acts_like_gaussian() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let s = noisy_step(&mut rng);
+        // sigma_r >> signal range: range weight ~ 1 everywhere
+        let bil = bilateral_filter_1d(&s, 3.0, 1e6);
+        let sharp = edge_sharpness(&bil, 50, 3);
+        assert!(sharp < 50.0, "should smear like a gaussian, got {sharp}");
+    }
+
+    #[test]
+    fn constant_signal_is_fixed_point() {
+        let s = vec![5.0f32; 32];
+        for out in [
+            moving_average(&s, 5),
+            bilateral_filter_1d(&s, 2.0, 10.0),
+        ] {
+            for v in out {
+                assert!((v - 5.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_window_rejected() {
+        let _ = moving_average(&[1.0, 2.0], 2);
+    }
+}

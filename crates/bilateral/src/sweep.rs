@@ -1,0 +1,274 @@
+//! The Fig. 7 study: depth-map quality (MS-SSIM) versus bilateral-grid
+//! size, across input resolutions.
+//!
+//! The paper scales the grid from 4 to 64 pixels-per-vertex *in each of
+//! the three grid dimensions* on 5/7/8 MP inputs and finds that grid
+//! size, not input resolution, controls output quality. Two substitutions
+//! (documented in `EXPERIMENTS.md`):
+//!
+//! * quality is measured against the *reference configuration's* output
+//!   (a finer-than-sweep grid), matching the paper's "impact of scaling
+//!   the grid" methodology — scaled grids are compared to the unscaled
+//!   algorithm, not to unobtainable ground truth;
+//! * the measurement runs on a proportionally decimated working image
+//!   (default ⅛ scale). A `p`-pixels-per-vertex grid over the full-res
+//!   image and a `p/8`-per-vertex grid over the ⅛-scale image have the
+//!   same vertex geometry, so the quality comparison is preserved while
+//!   the sweep stays laptop-sized. Grid *memory* is reported at the
+//!   nominal full resolution.
+
+use crate::grid::GridParams;
+use crate::stereo::{bssa_depth, normalize_disparity, BssaConfig, MatchParams, SolverParams};
+use incam_core::units::Bytes;
+use incam_imaging::image::GrayImage;
+use incam_imaging::noise::add_gaussian_noise;
+use incam_imaging::quality::{ms_ssim, MsSsimConfig};
+use incam_imaging::scenes::stereo_scene_sloped;
+use rand::Rng;
+
+/// A nominal sensor resolution the sweep reports against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Resolution {
+    /// Label, e.g. `"8 MP"`.
+    pub label: &'static str,
+    /// Full-resolution width.
+    pub width: usize,
+    /// Full-resolution height.
+    pub height: usize,
+}
+
+impl Resolution {
+    /// The paper's three input resolutions.
+    pub const PAPER_SET: [Resolution; 3] = [
+        Resolution {
+            label: "5 MP",
+            width: 2560,
+            height: 1920,
+        },
+        Resolution {
+            label: "7 MP",
+            width: 3072,
+            height: 2304,
+        },
+        Resolution {
+            label: "8 MP",
+            width: 3840,
+            height: 2160,
+        },
+    ];
+
+    /// Megapixels.
+    pub fn megapixels(&self) -> f64 {
+        (self.width * self.height) as f64 / 1e6
+    }
+}
+
+/// One point of the Fig. 7 curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridQualityPoint {
+    /// Input-resolution label.
+    pub resolution: &'static str,
+    /// Pixels per grid vertex per dimension (at nominal resolution).
+    pub pixels_per_vertex: f64,
+    /// Grid memory at the nominal resolution, under full-solver
+    /// accounting.
+    pub grid_memory: Bytes,
+    /// Depth-map MS-SSIM against the reference configuration's output.
+    pub quality: f64,
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridSweepConfig {
+    /// Decimation factor between nominal and working resolution.
+    pub scale_divisor: f64,
+    /// Maximum disparity in the synthetic scene (at working resolution).
+    pub max_disparity: usize,
+    /// Number of foreground layers in the scene.
+    pub layers: usize,
+    /// Ground-plane slope fraction (sloped surfaces are what coarse grids
+    /// flatten).
+    pub slope: f32,
+    /// Per-view sensor noise.
+    pub view_noise: f32,
+    /// Pixels-per-vertex of the reference (finest) configuration.
+    pub reference_ppv: f64,
+    /// Disparity hypotheses counted in the memory accounting (the full
+    /// BSSA solver stores a cost slice per hypothesis per vertex).
+    pub nominal_disparities: usize,
+}
+
+impl Default for GridSweepConfig {
+    fn default() -> Self {
+        Self {
+            scale_divisor: 8.0,
+            max_disparity: 8,
+            layers: 6,
+            slope: 0.6,
+            view_noise: 0.02,
+            reference_ppv: 2.0,
+            nominal_disparities: 128,
+        }
+    }
+}
+
+fn run_bssa(
+    left: &GrayImage,
+    right: &GrayImage,
+    ppv: f64,
+    config: &GridSweepConfig,
+) -> GrayImage {
+    let sigma_s = ((ppv / config.scale_divisor) as f32).max(1.0);
+    let sigma_r = ((ppv / 256.0) as f32).clamp(0.004, 1.0);
+    let cfg = BssaConfig {
+        matching: MatchParams {
+            max_disparity: config.max_disparity,
+            block_radius: 1,
+        },
+        grid: GridParams::new(sigma_s, sigma_r),
+        solver: SolverParams {
+            lambda: 2.0,
+            iterations: 10,
+            blur_per_iteration: 1,
+        },
+    };
+    normalize_disparity(
+        &bssa_depth(left, right, &cfg).disparity,
+        config.max_disparity,
+    )
+}
+
+/// Runs the grid-size/quality sweep for one nominal resolution.
+///
+/// # Panics
+///
+/// Panics if `pixels_per_vertex` is empty or the configuration produces a
+/// working image smaller than 64×64.
+pub fn grid_quality_sweep(
+    resolution: Resolution,
+    pixels_per_vertex: &[f64],
+    config: &GridSweepConfig,
+    rng: &mut impl Rng,
+) -> Vec<GridQualityPoint> {
+    assert!(!pixels_per_vertex.is_empty(), "need at least one grid size");
+    let working_w = (resolution.width as f64 / config.scale_divisor).round() as usize;
+    let working_h = (resolution.height as f64 / config.scale_divisor).round() as usize;
+    assert!(
+        working_w >= 64 && working_h >= 64,
+        "working image {working_w}x{working_h} too small; lower scale_divisor"
+    );
+    let scene = stereo_scene_sloped(
+        working_w,
+        working_h,
+        config.max_disparity,
+        config.layers,
+        config.slope,
+        rng,
+    );
+    let left = add_gaussian_noise(&scene.left, config.view_noise, rng);
+    let right = add_gaussian_noise(&scene.right, config.view_noise, rng);
+    let reference = run_bssa(&left, &right, config.reference_ppv, config);
+
+    pixels_per_vertex
+        .iter()
+        .map(|&ppv| {
+            let out = run_bssa(&left, &right, ppv, config);
+            let quality = ms_ssim(&out, &reference, &MsSsimConfig::default());
+
+            // nominal-resolution grid memory (all three axes scale)
+            let gw = (resolution.width as f64 / ppv).ceil() + 1.0;
+            let gh = (resolution.height as f64 / ppv).ceil() + 1.0;
+            let gz = (256.0 / ppv).ceil() + 1.0;
+            let per_vertex = 4.0 * (config.nominal_disparities as f64 + 1.0) + 8.0;
+            let grid_memory = Bytes::new(gw * gh * gz * per_vertex);
+
+            GridQualityPoint {
+                resolution: resolution.label,
+                pixels_per_vertex: ppv,
+                grid_memory,
+                quality,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_config() -> GridSweepConfig {
+        GridSweepConfig {
+            scale_divisor: 16.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn quality_decreases_as_grid_coarsens() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let points = grid_quality_sweep(
+            Resolution::PAPER_SET[2],
+            &[4.0, 16.0, 64.0],
+            &quick_config(),
+            &mut rng,
+        );
+        assert_eq!(points.len(), 3);
+        assert!(
+            points[0].quality > points[1].quality,
+            "4 ppv {} vs 16 ppv {}",
+            points[0].quality,
+            points[1].quality
+        );
+        assert!(
+            points[1].quality > points[2].quality - 0.02,
+            "16 ppv {} vs 64 ppv {}",
+            points[1].quality,
+            points[2].quality
+        );
+        // the fine end stays near the reference
+        assert!(points[0].quality > 0.9, "fine-grid quality {}", points[0].quality);
+        // memory shrinks as cells grow (all three axes)
+        assert!(points[0].grid_memory.bytes() > 50.0 * points[1].grid_memory.bytes());
+    }
+
+    #[test]
+    fn resolutions_share_the_quality_trend() {
+        // the paper's finding: input resolution matters less than grid size
+        let cfg = quick_config();
+        let ppv = [16.0];
+        let mut rng = StdRng::seed_from_u64(92);
+        let q5 = grid_quality_sweep(Resolution::PAPER_SET[0], &ppv, &cfg, &mut rng)[0].quality;
+        let mut rng = StdRng::seed_from_u64(92);
+        let q8 = grid_quality_sweep(Resolution::PAPER_SET[2], &ppv, &cfg, &mut rng)[0].quality;
+        assert!((q5 - q8).abs() < 0.25, "5MP {q5} vs 8MP {q8}");
+    }
+
+    #[test]
+    fn memory_accounting_matches_formula() {
+        let mut rng = StdRng::seed_from_u64(93);
+        let res = Resolution {
+            label: "test",
+            width: 2048,
+            height: 1024,
+        };
+        let cfg = GridSweepConfig {
+            nominal_disparities: 10,
+            ..quick_config()
+        };
+        let p = &grid_quality_sweep(res, &[128.0], &cfg, &mut rng)[0];
+        // gw = 17, gh = 9, gz = 3, per-vertex = 4*11 + 8 = 52
+        let expected = 17.0 * 9.0 * 3.0 * 52.0;
+        assert!(
+            (p.grid_memory.bytes() - expected).abs() < 1e-6,
+            "got {}",
+            p.grid_memory.bytes()
+        );
+    }
+
+    #[test]
+    fn megapixel_labels() {
+        assert!((Resolution::PAPER_SET[2].megapixels() - 8.29).abs() < 0.1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Energy accounting for power-constrained camera pipelines.
+//!
+//! The face-authentication case study minimizes *energy* rather than
+//! maximizing throughput: the WISPCam runs from harvested RF energy, so the
+//! relevant question is whether the per-frame energy of the chosen pipeline
+//! configuration fits inside the harvested power budget at the target frame
+//! rate. [`EnergyBreakdown`] itemizes where each joule goes and converts
+//! per-frame energy to average power.
+
+use crate::units::{Fps, Joules, Watts};
+use core::fmt;
+
+/// A named per-frame energy contribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyItem {
+    /// Component name (e.g. `"sensor"`, `"NN accelerator"`, `"radio"`).
+    pub name: String,
+    /// Energy charged per processed frame. For blocks that run on only a
+    /// fraction of frames (downstream of a filter), this is already the
+    /// *expected* per-frame energy.
+    pub energy: Joules,
+}
+
+/// Itemized per-frame energy of a pipeline configuration.
+///
+/// # Examples
+///
+/// ```
+/// use incam_core::energy::EnergyBreakdown;
+/// use incam_core::units::{Fps, Joules, Watts};
+///
+/// let mut bd = EnergyBreakdown::new("MD+FD+NN");
+/// bd.add("sensor", Joules::from_micro(20.0));
+/// bd.add("motion detection", Joules::from_micro(1.5));
+/// bd.add("NN accelerator", Joules::from_micro(4.0));
+/// assert!((bd.total().micros() - 25.5).abs() < 1e-9);
+/// // at 1 FPS the average power equals the per-frame energy per second
+/// let p = bd.average_power(Fps::new(1.0));
+/// assert!(p < Watts::from_milli(1.0)); // sub-mW operation
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyBreakdown {
+    label: String,
+    items: Vec<EnergyItem>,
+}
+
+impl EnergyBreakdown {
+    /// Creates an empty breakdown for the named configuration.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            items: Vec::new(),
+        }
+    }
+
+    /// The configuration label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Adds a named contribution.
+    pub fn add(&mut self, name: impl Into<String>, energy: Joules) {
+        self.items.push(EnergyItem {
+            name: name.into(),
+            energy,
+        });
+    }
+
+    /// The itemized contributions, in insertion order.
+    pub fn items(&self) -> &[EnergyItem] {
+        &self.items
+    }
+
+    /// Total per-frame energy.
+    pub fn total(&self) -> Joules {
+        self.items.iter().map(|i| i.energy).sum()
+    }
+
+    /// Average power when frames are processed at `rate`.
+    pub fn average_power(&self, rate: Fps) -> Watts {
+        self.total() * rate
+    }
+
+    /// Maximum sustainable frame rate under a harvested power budget.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use incam_core::energy::EnergyBreakdown;
+    /// # use incam_core::units::{Joules, Watts};
+    /// let mut bd = EnergyBreakdown::new("cfg");
+    /// bd.add("all", Joules::from_micro(100.0));
+    /// let fps = bd.max_rate(Watts::from_micro(200.0));
+    /// assert!((fps.fps() - 2.0).abs() < 1e-9);
+    /// ```
+    pub fn max_rate(&self, budget: Watts) -> Fps {
+        Fps::new(budget.watts() / self.total().joules())
+    }
+
+    /// Whether the configuration fits a power budget at a target rate.
+    pub fn fits(&self, budget: Watts, rate: Fps) -> bool {
+        self.average_power(rate) <= budget
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.label)?;
+        for item in &self.items {
+            writeln!(f, "  {:<24} {}", item.name, item.energy.human())?;
+        }
+        write!(f, "  {:<24} {}", "total", self.total().human())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EnergyBreakdown {
+        let mut bd = EnergyBreakdown::new("test");
+        bd.add("a", Joules::from_micro(10.0));
+        bd.add("b", Joules::from_micro(30.0));
+        bd
+    }
+
+    #[test]
+    fn totals_and_power() {
+        let bd = sample();
+        assert!((bd.total().micros() - 40.0).abs() < 1e-12);
+        let p = bd.average_power(Fps::new(2.0));
+        assert!((p.microwatts() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_rate_inverse_of_power() {
+        let bd = sample();
+        let budget = Watts::from_micro(120.0);
+        let fps = bd.max_rate(budget);
+        assert!((fps.fps() - 3.0).abs() < 1e-9);
+        assert!(bd.fits(budget, Fps::new(3.0)));
+        assert!(!bd.fits(budget, Fps::new(3.01)));
+    }
+
+    #[test]
+    fn display_lists_items() {
+        let s = sample().to_string();
+        assert!(s.contains("a"));
+        assert!(s.contains("total"));
+        assert!(s.contains("uJ"));
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let bd = EnergyBreakdown::new("empty");
+        assert_eq!(bd.total(), Joules::ZERO);
+        assert!(bd.items().is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! Communication-link models for offloading data out of the camera.
+//!
+//! The paper treats cloud computation as free but the *communication* to
+//! reach it as a first-class cost (`Cc` in Fig. 1). For the VR case study
+//! the cost is bandwidth (frames/sec the uplink can carry); for the
+//! energy-harvesting case study it is the per-bit radio energy. [`Link`]
+//! models both.
+
+use crate::units::{Bytes, BytesPerSec, Fps, Joules, Seconds};
+
+/// A network or radio uplink with a raw signalling rate, a protocol
+/// efficiency, and an optional per-bit transmit energy.
+///
+/// `efficiency` captures framing/protocol/contention overhead: the
+/// effective goodput is `raw × efficiency`. The paper's Fig. 10 numbers
+/// imply ~67 % effective efficiency on the loaded 25 GbE link, while the
+/// hypothetical 400 Gb link is quoted near line rate; both are expressed
+/// here as explicit parameters (see `EXPERIMENTS.md`).
+///
+/// # Examples
+///
+/// ```
+/// use incam_core::link::Link;
+/// use incam_core::units::{Bytes, BytesPerSec};
+///
+/// let link = Link::new("25GbE", BytesPerSec::from_gbps(25.0), 0.671);
+/// let frame = Bytes::from_bits(1.0617e9); // 16 x 4K Bayer frames
+/// let fps = link.upload_fps(frame);
+/// assert!((fps.fps() - 15.8).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    name: String,
+    raw: BytesPerSec,
+    efficiency: f64,
+    energy_per_bit: Joules,
+}
+
+impl Link {
+    /// Creates a link with the given raw rate and protocol efficiency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `efficiency` is not in `(0, 1]` or `raw` is not positive.
+    pub fn new(name: impl Into<String>, raw: BytesPerSec, efficiency: f64) -> Self {
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "link efficiency must be in (0, 1], got {efficiency}"
+        );
+        assert!(raw.per_sec() > 0.0, "link rate must be positive");
+        Self {
+            name: name.into(),
+            raw,
+            efficiency,
+            energy_per_bit: Joules::ZERO,
+        }
+    }
+
+    /// Sets the transmit energy per bit (used by energy-constrained
+    /// platforms such as WISPCam's backscatter radio).
+    pub fn with_energy_per_bit(mut self, energy: Joules) -> Self {
+        self.energy_per_bit = energy;
+        self
+    }
+
+    /// The paper's evaluation uplink: 25 Gigabit Ethernet. Efficiency is
+    /// calibrated so a raw 16-camera 4K Bayer stream uploads at the
+    /// paper's 15.8 FPS.
+    pub fn ethernet_25g() -> Self {
+        Self::new("25GbE", BytesPerSec::from_gbps(25.0), 0.671)
+    }
+
+    /// The paper's hypothetical ultra-high-throughput uplink: 400 Gb
+    /// Ethernet at near line rate (the paper quotes 395 FPS for the raw
+    /// 16-camera stream).
+    pub fn ethernet_400g() -> Self {
+        Self::new("400GbE", BytesPerSec::from_gbps(400.0), 0.99)
+    }
+
+    /// The link's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Raw signalling rate.
+    pub fn raw_rate(&self) -> BytesPerSec {
+        self.raw
+    }
+
+    /// Protocol efficiency in `(0, 1]`.
+    pub fn efficiency(&self) -> f64 {
+        self.efficiency
+    }
+
+    /// Effective goodput (`raw × efficiency`).
+    pub fn effective_rate(&self) -> BytesPerSec {
+        self.raw * self.efficiency
+    }
+
+    /// Frame rate at which frames of `frame_size` can be uploaded.
+    pub fn upload_fps(&self, frame_size: Bytes) -> Fps {
+        self.effective_rate() / frame_size
+    }
+
+    /// Time to upload a single payload.
+    pub fn upload_time(&self, payload: Bytes) -> Seconds {
+        payload / self.effective_rate()
+    }
+
+    /// Energy spent by the camera to transmit a payload.
+    pub fn upload_energy(&self, payload: Bytes) -> Joules {
+        self.energy_per_bit * payload.bits()
+    }
+
+    /// Per-bit transmit energy.
+    pub fn energy_per_bit(&self) -> Joules {
+        self.energy_per_bit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_rate_scales_with_efficiency() {
+        let link = Link::new("test", BytesPerSec::from_gbps(10.0), 0.5);
+        assert!((link.effective_rate().gbps() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_25gbe_calibration() {
+        // 16 cameras x 3840x2160 x 8-bit Bayer = 1.0617 Gb per rig frame.
+        let frame = Bytes::from_bits(16.0 * 3840.0 * 2160.0 * 8.0);
+        let fps = Link::ethernet_25g().upload_fps(frame);
+        assert!((fps.fps() - 15.8).abs() < 0.15, "got {}", fps.fps());
+    }
+
+    #[test]
+    fn paper_400gbe_sensitivity() {
+        let frame = Bytes::from_bits(16.0 * 3840.0 * 2160.0 * 8.0);
+        let fps = Link::ethernet_400g().upload_fps(frame);
+        // paper quotes ~395 FPS for the hypothetical 400Gb link
+        assert!(fps.fps() > 350.0 && fps.fps() < 420.0, "got {}", fps.fps());
+    }
+
+    #[test]
+    fn upload_energy_uses_per_bit_cost() {
+        let link = Link::new("radio", BytesPerSec::from_bits_per_sec(1e6), 1.0)
+            .with_energy_per_bit(Joules::from_pico(500.0));
+        let e = link.upload_energy(Bytes::new(1000.0)); // 8000 bits
+        assert!((e.nanos() - 8000.0 * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upload_time_inverse_of_fps() {
+        let link = Link::ethernet_25g();
+        let frame = Bytes::from_mib(10.0);
+        let t = link.upload_time(frame);
+        let fps = link.upload_fps(frame);
+        assert!((t.secs() * fps.fps() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn rejects_bad_efficiency() {
+        let _ = Link::new("bad", BytesPerSec::from_gbps(1.0), 1.5);
+    }
+}

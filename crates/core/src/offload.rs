@@ -1,0 +1,254 @@
+//! Offload-cut analysis: where should the pipeline hand data to the cloud?
+//!
+//! For each *cut point* `k` (offload after the first `k` blocks), the
+//! system's sustained frame rate is limited by two costs:
+//!
+//! * **computation** — the pipelined throughput of the in-camera blocks,
+//! * **communication** — the rate at which the cut's output data fits
+//!   through the uplink.
+//!
+//! The paper's Fig. 10 plots exactly these two bars (plus their minimum,
+//! the *total*) for nine pipeline configurations; only the configuration
+//! that computes everything in-camera with FPGA-accelerated depth
+//! estimation passes a 30 FPS requirement on both axes.
+
+use crate::link::Link;
+use crate::pipeline::Pipeline;
+use crate::units::{Bytes, Fps};
+use core::fmt;
+
+/// Cost breakdown for one offload cut.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CutAnalysis {
+    /// Number of in-camera blocks executed before offload (0 = raw sensor).
+    pub cut: usize,
+    /// Human-readable configuration label, e.g. `S+B1+B2`.
+    pub label: String,
+    /// Pipelined in-camera compute throughput.
+    pub compute: Fps,
+    /// Uplink throughput for this cut's output data.
+    pub communication: Fps,
+    /// Data uploaded per frame at this cut.
+    pub upload_size: Bytes,
+}
+
+impl CutAnalysis {
+    /// Sustained end-to-end frame rate: the binding constraint of the two.
+    pub fn total(&self) -> Fps {
+        self.compute.min(self.communication)
+    }
+
+    /// Whether both computation and communication meet a target rate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use incam_core::offload::CutAnalysis;
+    /// use incam_core::units::{Bytes, Fps};
+    ///
+    /// let cut = CutAnalysis {
+    ///     cut: 4,
+    ///     label: "S+B1+B2+B3F+B4".into(),
+    ///     compute: Fps::new(31.6),
+    ///     communication: Fps::new(31.6),
+    ///     upload_size: Bytes::from_mib(12.0),
+    /// };
+    /// assert!(cut.meets(Fps::new(30.0)));
+    /// assert!(!cut.meets(Fps::new(60.0)));
+    /// ```
+    pub fn meets(&self, target: Fps) -> bool {
+        self.total() >= target
+    }
+
+    /// Which of the two costs binds at this cut.
+    pub fn binding(&self) -> Constraint {
+        if self.compute <= self.communication {
+            Constraint::Computation
+        } else {
+            Constraint::Communication
+        }
+    }
+}
+
+/// Which cost limits a configuration's frame rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Constraint {
+    /// In-camera compute is the bottleneck.
+    Computation,
+    /// The uplink is the bottleneck.
+    Communication,
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Computation => f.write_str("compute-bound"),
+            Constraint::Communication => f.write_str("comm-bound"),
+        }
+    }
+}
+
+/// Analyzes every offload cut of `pipeline` over `link`.
+///
+/// Returns one [`CutAnalysis`] per cut, from raw-sensor offload (`cut = 0`)
+/// to full in-camera processing (`cut = pipeline.len()`).
+///
+/// # Examples
+///
+/// ```
+/// use incam_core::block::{Backend, BlockSpec, DataTransform};
+/// use incam_core::link::Link;
+/// use incam_core::offload::analyze_cuts;
+/// use incam_core::pipeline::{Pipeline, Source, Stage};
+/// use incam_core::units::{Bytes, BytesPerSec, Fps};
+///
+/// let p = Pipeline::new(Source::new("sensor", Bytes::from_mib(8.0), Fps::new(100.0)))
+///     .then(Stage::new(BlockSpec::core("reduce", DataTransform::Scale(0.25)),
+///                      Backend::Asic, Fps::new(60.0)));
+/// let link = Link::new("uplink", BytesPerSec::from_gbps(1.0), 1.0);
+/// let cuts = analyze_cuts(&p, &link);
+/// assert_eq!(cuts.len(), 2);
+/// // reducing data 4x quadruples the communication rate
+/// assert!((cuts[1].communication.fps() / cuts[0].communication.fps() - 4.0).abs() < 1e-9);
+/// ```
+pub fn analyze_cuts(pipeline: &Pipeline, link: &Link) -> Vec<CutAnalysis> {
+    (0..=pipeline.len())
+        .map(|k| analyze_cut(pipeline, link, k))
+        .collect()
+}
+
+/// Analyzes a single offload cut `k` of `pipeline` over `link`.
+///
+/// # Panics
+///
+/// Panics if `k` exceeds the number of stages.
+pub fn analyze_cut(pipeline: &Pipeline, link: &Link, k: usize) -> CutAnalysis {
+    assert!(
+        k <= pipeline.len(),
+        "cut {k} out of range for a {}-stage pipeline",
+        pipeline.len()
+    );
+    let upload = pipeline.data_after(k);
+    let label = cut_label(pipeline, k);
+    CutAnalysis {
+        cut: k,
+        label,
+        compute: pipeline.compute_fps_through(k),
+        communication: link.upload_fps(upload),
+        upload_size: upload,
+    }
+}
+
+/// Returns the cut that maximizes the end-to-end frame rate, together with
+/// its analysis. Ties resolve to the earliest cut (least in-camera work).
+pub fn best_cut(pipeline: &Pipeline, link: &Link) -> CutAnalysis {
+    analyze_cuts(pipeline, link)
+        .into_iter()
+        .max_by(|a, b| a.total().fps().total_cmp(&b.total().fps()))
+        .expect("a pipeline always has at least the raw-sensor cut")
+}
+
+fn cut_label(pipeline: &Pipeline, k: usize) -> String {
+    let mut label = String::from("S");
+    for stage in pipeline.stages().iter().take(k) {
+        label.push('+');
+        label.push_str(stage.spec().name());
+        match stage.backend() {
+            crate::block::Backend::Cpu => label.push_str("(C)"),
+            crate::block::Backend::Gpu => label.push_str("(G)"),
+            crate::block::Backend::Fpga => label.push_str("(F)"),
+            _ => {}
+        }
+    }
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Backend, BlockSpec, DataTransform};
+    use crate::pipeline::{Source, Stage};
+    use crate::units::BytesPerSec;
+
+    fn vr_like() -> (Pipeline, Link) {
+        let p = Pipeline::new(Source::new("S", Bytes::new(1000.0), Fps::new(100.0)))
+            .then(Stage::new(
+                BlockSpec::core("B1", DataTransform::Identity),
+                Backend::Cpu,
+                Fps::new(174.0),
+            ))
+            .then(Stage::new(
+                BlockSpec::core("B2", DataTransform::Scale(4.0)),
+                Backend::Cpu,
+                Fps::new(174.0),
+            ))
+            .then(Stage::new(
+                BlockSpec::core("B3", DataTransform::Scale(0.75)),
+                Backend::Fpga,
+                Fps::new(31.6),
+            ))
+            .then(Stage::new(
+                BlockSpec::core("B4", DataTransform::Scale(1.0 / 6.0)),
+                Backend::Fpga,
+                Fps::new(140.0),
+            ));
+        // effective 15_800 B/s so raw sensor uploads at 15.8 FPS
+        let link = Link::new("L", BytesPerSec::new(15_800.0), 1.0);
+        (p, link)
+    }
+
+    #[test]
+    fn cut_count_and_labels() {
+        let (p, link) = vr_like();
+        let cuts = analyze_cuts(&p, &link);
+        assert_eq!(cuts.len(), 5);
+        assert_eq!(cuts[0].label, "S");
+        assert_eq!(cuts[3].label, "S+B1(C)+B2(C)+B3(F)");
+    }
+
+    #[test]
+    fn raw_offload_is_comm_bound() {
+        let (p, link) = vr_like();
+        let cuts = analyze_cuts(&p, &link);
+        assert!((cuts[0].communication.fps() - 15.8).abs() < 1e-9);
+        assert_eq!(cuts[0].binding(), Constraint::Communication);
+        assert!((cuts[0].total().fps() - 15.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expansion_block_hurts_communication() {
+        let (p, link) = vr_like();
+        let cuts = analyze_cuts(&p, &link);
+        // B2 expands data 4x, so comm FPS drops 4x
+        assert!((cuts[2].communication.fps() - 15.8 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_pipeline_wins() {
+        let (p, link) = vr_like();
+        let best = best_cut(&p, &link);
+        assert_eq!(best.cut, 4);
+        assert!((best.total().fps() - 31.6).abs() < 1e-6);
+        assert!(best.meets(Fps::new(30.0)));
+    }
+
+    #[test]
+    fn compute_bound_detection() {
+        let (p, link) = vr_like();
+        let cut3 = analyze_cut(&p, &link, 3);
+        // B3 FPGA at 31.6 > comm 5.27 => comm-bound
+        assert_eq!(cut3.binding(), Constraint::Communication);
+        let cut4 = analyze_cut(&p, &link, 4);
+        // data after B4: 1000 * 4 * 0.75 / 6 = 500 B => comm = 31.6 FPS
+        assert!((cut4.communication.fps() - 31.6).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cut_out_of_range_panics() {
+        let (p, link) = vr_like();
+        let _ = analyze_cut(&p, &link, 9);
+    }
+}

@@ -1,0 +1,375 @@
+//! Pipeline composition: a sensor source followed by an ordered sequence of
+//! processing stages.
+//!
+//! A [`Pipeline`] is the executable form of Fig. 1: a [`Source`] (the image
+//! sensor) followed by [`Stage`]s, each binding a block description to a
+//! backend with a computation cost (throughput and/or per-frame energy). The pipeline
+//! exposes the two cost views the paper uses:
+//!
+//! * **Throughput view** (VR case study): every stage runs concurrently on
+//!   its own hardware, so sustained frame rate is the *minimum* stage
+//!   throughput ([`Pipeline::compute_fps_through`]).
+//! * **Energy view** (face-authentication case study): per-frame energies
+//!   are *additive* ([`Pipeline::energy_per_frame_through`]).
+
+use crate::block::{Backend, BlockSpec};
+use crate::units::{Bytes, Fps, Joules, Seconds};
+
+/// The image-sensor source feeding a pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Source {
+    name: String,
+    frame_size: Bytes,
+    max_fps: Fps,
+    capture_energy: Joules,
+}
+
+impl Source {
+    /// Creates a source producing `frame_size` bytes per frame, capped at
+    /// `max_fps` (sensor readout limit).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use incam_core::pipeline::Source;
+    /// use incam_core::units::{Bytes, Fps};
+    ///
+    /// let rig = Source::new("16x4K rig", Bytes::from_bits(1.06e9), Fps::new(100.0));
+    /// assert_eq!(rig.name(), "16x4K rig");
+    /// ```
+    pub fn new(name: impl Into<String>, frame_size: Bytes, max_fps: Fps) -> Self {
+        Self {
+            name: name.into(),
+            frame_size,
+            max_fps,
+            capture_energy: Joules::ZERO,
+        }
+    }
+
+    /// Sets the per-frame capture energy (sensor + readout).
+    pub fn with_capture_energy(mut self, energy: Joules) -> Self {
+        self.capture_energy = energy;
+        self
+    }
+
+    /// The source's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Bytes produced per frame.
+    pub fn frame_size(&self) -> Bytes {
+        self.frame_size
+    }
+
+    /// Maximum capture rate.
+    pub fn max_fps(&self) -> Fps {
+        self.max_fps
+    }
+
+    /// Per-frame capture energy.
+    pub fn capture_energy(&self) -> Joules {
+        self.capture_energy
+    }
+}
+
+/// A block bound to a backend with concrete costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    spec: BlockSpec,
+    backend: Backend,
+    throughput: Fps,
+    energy_per_frame: Joules,
+}
+
+impl Stage {
+    /// Binds `spec` to `backend` with the given sustained throughput.
+    pub fn new(spec: BlockSpec, backend: Backend, throughput: Fps) -> Self {
+        Self {
+            spec,
+            backend,
+            throughput,
+            energy_per_frame: Joules::ZERO,
+        }
+    }
+
+    /// Sets the per-frame processing energy of this stage.
+    pub fn with_energy_per_frame(mut self, energy: Joules) -> Self {
+        self.energy_per_frame = energy;
+        self
+    }
+
+    /// The underlying block description.
+    pub fn spec(&self) -> &BlockSpec {
+        &self.spec
+    }
+
+    /// The backend executing the block.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Sustained stage throughput.
+    pub fn throughput(&self) -> Fps {
+        self.throughput
+    }
+
+    /// Per-frame processing time (`1 / throughput`).
+    pub fn frame_time(&self) -> Seconds {
+        self.throughput.period()
+    }
+
+    /// Per-frame processing energy.
+    pub fn energy_per_frame(&self) -> Joules {
+        self.energy_per_frame
+    }
+}
+
+/// An in-camera processing pipeline: a source plus ordered stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pipeline {
+    source: Source,
+    stages: Vec<Stage>,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with only a source (offloading raw sensor data).
+    pub fn new(source: Source) -> Self {
+        Self {
+            source,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Appends a stage, consuming and returning the pipeline (builder style).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use incam_core::block::{Backend, BlockSpec, DataTransform};
+    /// use incam_core::pipeline::{Pipeline, Source, Stage};
+    /// use incam_core::units::{Bytes, Fps};
+    ///
+    /// let p = Pipeline::new(Source::new("sensor", Bytes::from_mib(8.0), Fps::new(100.0)))
+    ///     .then(Stage::new(
+    ///         BlockSpec::core("pre-processing", DataTransform::Identity),
+    ///         Backend::Cpu,
+    ///         Fps::new(174.0),
+    ///     ));
+    /// assert_eq!(p.len(), 1);
+    /// ```
+    #[must_use]
+    pub fn then(mut self, stage: Stage) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// Appends a stage in place.
+    pub fn push(&mut self, stage: Stage) {
+        self.stages.push(stage);
+    }
+
+    /// The pipeline's source.
+    pub fn source(&self) -> &Source {
+        &self.source
+    }
+
+    /// The pipeline's stages, in order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Number of stages (excluding the source).
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// `true` if the pipeline has no stages beyond the source.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Data size emitted after the first `k` stages (`k = 0` is the raw
+    /// sensor output). Values of `k` beyond the stage count saturate at the
+    /// final output.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use incam_core::block::{Backend, BlockSpec, DataTransform};
+    /// # use incam_core::pipeline::{Pipeline, Source, Stage};
+    /// # use incam_core::units::{Bytes, Fps};
+    /// let p = Pipeline::new(Source::new("s", Bytes::new(100.0), Fps::new(30.0)))
+    ///     .then(Stage::new(BlockSpec::core("x4", DataTransform::Scale(4.0)),
+    ///                      Backend::Cpu, Fps::new(10.0)));
+    /// assert_eq!(p.data_after(0), Bytes::new(100.0));
+    /// assert_eq!(p.data_after(1), Bytes::new(400.0));
+    /// ```
+    pub fn data_after(&self, k: usize) -> Bytes {
+        self.stages
+            .iter()
+            .take(k)
+            .fold(self.source.frame_size, |data, stage| {
+                stage.spec().output_size(data)
+            })
+    }
+
+    /// Final output data size after all stages.
+    pub fn output_size(&self) -> Bytes {
+        self.data_after(self.stages.len())
+    }
+
+    /// Pipelined compute throughput through the first `k` stages: the
+    /// minimum of the sensor capture rate and every included stage's
+    /// throughput. This models each block on its own hardware with frames
+    /// streaming through (the paper: "the slowest step will dominate
+    /// overall throughput").
+    pub fn compute_fps_through(&self, k: usize) -> Fps {
+        self.stages
+            .iter()
+            .take(k)
+            .map(Stage::throughput)
+            .fold(self.source.max_fps, Fps::min)
+    }
+
+    /// Pipelined compute throughput of the whole pipeline.
+    pub fn compute_fps(&self) -> Fps {
+        self.compute_fps_through(self.stages.len())
+    }
+
+    /// Serial (non-pipelined) latency of one frame through the first `k`
+    /// stages — relevant for a single low-power processor executing stages
+    /// back-to-back, as in the WISPCam case study.
+    pub fn serial_latency_through(&self, k: usize) -> Seconds {
+        self.stages
+            .iter()
+            .take(k)
+            .map(Stage::frame_time)
+            .fold(Seconds::ZERO, |acc, t| acc + t)
+    }
+
+    /// Total per-frame in-camera energy through the first `k` stages,
+    /// including the sensor's capture energy.
+    pub fn energy_per_frame_through(&self, k: usize) -> Joules {
+        self.stages
+            .iter()
+            .take(k)
+            .map(Stage::energy_per_frame)
+            .fold(self.source.capture_energy, |acc, e| acc + e)
+    }
+
+    /// Total per-frame in-camera energy of the whole pipeline.
+    pub fn energy_per_frame(&self) -> Joules {
+        self.energy_per_frame_through(self.stages.len())
+    }
+
+    /// The index of the stage with the largest per-frame compute time — the
+    /// pipeline's compute bottleneck (e.g. depth estimation at 70 % in the
+    /// paper's Fig. 9). Returns `None` for an empty pipeline.
+    pub fn bottleneck(&self) -> Option<usize> {
+        (0..self.stages.len()).max_by(|&a, &b| {
+            self.stages[a]
+                .frame_time()
+                .secs()
+                .total_cmp(&self.stages[b].frame_time().secs())
+        })
+    }
+
+    /// Fraction of total serial compute time spent in each stage
+    /// (the paper's Fig. 9 "computation time" breakdown).
+    pub fn compute_shares(&self) -> Vec<f64> {
+        let total = self.serial_latency_through(self.stages.len()).secs();
+        if total <= 0.0 {
+            return vec![0.0; self.stages.len()];
+        }
+        self.stages
+            .iter()
+            .map(|s| s.frame_time().secs() / total)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::DataTransform;
+
+    fn sample_pipeline() -> Pipeline {
+        Pipeline::new(
+            Source::new("sensor", Bytes::new(1000.0), Fps::new(100.0))
+                .with_capture_energy(Joules::from_micro(1.0)),
+        )
+        .then(Stage::new(
+            BlockSpec::core("b1", DataTransform::Identity),
+            Backend::Cpu,
+            Fps::new(174.0),
+        ))
+        .then(
+            Stage::new(
+                BlockSpec::core("b2", DataTransform::Scale(4.0)),
+                Backend::Cpu,
+                Fps::new(50.0),
+            )
+            .with_energy_per_frame(Joules::from_micro(2.0)),
+        )
+        .then(Stage::new(
+            BlockSpec::core("b3", DataTransform::Scale(0.75)),
+            Backend::Fpga,
+            Fps::new(31.6),
+        ))
+    }
+
+    #[test]
+    fn data_propagates_through_transforms() {
+        let p = sample_pipeline();
+        assert_eq!(p.data_after(0), Bytes::new(1000.0));
+        assert_eq!(p.data_after(1), Bytes::new(1000.0));
+        assert_eq!(p.data_after(2), Bytes::new(4000.0));
+        assert_eq!(p.data_after(3), Bytes::new(3000.0));
+        assert_eq!(p.output_size(), Bytes::new(3000.0));
+        // saturates beyond the end
+        assert_eq!(p.data_after(99), Bytes::new(3000.0));
+    }
+
+    #[test]
+    fn pipelined_throughput_is_min_stage() {
+        let p = sample_pipeline();
+        assert_eq!(p.compute_fps_through(0), Fps::new(100.0)); // sensor cap
+        assert_eq!(p.compute_fps_through(1), Fps::new(100.0));
+        assert_eq!(p.compute_fps_through(2), Fps::new(50.0));
+        assert_eq!(p.compute_fps(), Fps::new(31.6));
+    }
+
+    #[test]
+    fn serial_latency_is_additive() {
+        let p = sample_pipeline();
+        let expected = 1.0 / 174.0 + 1.0 / 50.0 + 1.0 / 31.6;
+        assert!((p.serial_latency_through(3).secs() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_accumulates_with_capture() {
+        let p = sample_pipeline();
+        assert!((p.energy_per_frame_through(0).micros() - 1.0).abs() < 1e-12);
+        assert!((p.energy_per_frame().micros() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bottleneck_is_slowest_stage() {
+        let p = sample_pipeline();
+        assert_eq!(p.bottleneck(), Some(2)); // b3 at 31.6 FPS
+        let empty = Pipeline::new(Source::new("s", Bytes::new(1.0), Fps::new(1.0)));
+        assert_eq!(empty.bottleneck(), None);
+    }
+
+    #[test]
+    fn compute_shares_sum_to_one() {
+        let p = sample_pipeline();
+        let shares = p.compute_shares();
+        assert_eq!(shares.len(), 3);
+        let total: f64 = shares.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // slowest stage has the largest share
+        assert!(shares[2] > shares[1] && shares[1] > shares[0]);
+    }
+}

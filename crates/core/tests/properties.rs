@@ -1,0 +1,111 @@
+//! Property-based tests of the cost framework's algebra.
+
+use incam_core::block::{Backend, BlockSpec, DataTransform};
+use incam_core::energy::EnergyBreakdown;
+use incam_core::link::Link;
+use incam_core::pipeline::{Pipeline, Source, Stage};
+use incam_core::units::{Bytes, BytesPerSec, Fps, Joules, Seconds, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantity arithmetic is consistent: (a + b) - b == a within float
+    /// tolerance, and scalar multiplication distributes.
+    #[test]
+    fn quantity_ring_axioms(a in 0.0f64..1e12, b in 0.0f64..1e12, k in 0.0f64..1e3) {
+        let (qa, qb) = (Joules::new(a), Joules::new(b));
+        let round_trip = (qa + qb) - qb;
+        prop_assert!((round_trip.joules() - a).abs() <= a.max(b) * 1e-12);
+        let dist = (qa + qb) * k;
+        let expanded = qa * k + qb * k;
+        prop_assert!((dist.joules() - expanded.joules()).abs() <= (a + b) * k * 1e-12 + 1e-12);
+    }
+
+    /// Energy/power/time triangle: E = P·t = (E/t)·t.
+    #[test]
+    fn energy_power_time_consistency(e in 1e-12f64..1.0, t in 1e-6f64..1e3) {
+        let energy = Joules::new(e);
+        let time = Seconds::new(t);
+        let p = energy / time;
+        let back = p * time;
+        prop_assert!((back.joules() - e).abs() < e * 1e-9);
+    }
+
+    /// Frame-rate/data-rate duality: rate = fps × size and
+    /// fps = rate / size are inverses.
+    #[test]
+    fn rate_duality(fps in 0.001f64..1e4, bytes in 1.0f64..1e10) {
+        let rate = Fps::new(fps) * Bytes::new(bytes);
+        let back = rate / Bytes::new(bytes);
+        prop_assert!((back.fps() - fps).abs() < fps * 1e-9);
+    }
+
+    /// Data transforms compose: applying Scale(a) then Scale(b) equals
+    /// Scale(a*b).
+    #[test]
+    fn scale_transforms_compose(a in 0.01f64..100.0, b in 0.01f64..100.0, x in 1.0f64..1e9) {
+        let two_steps = DataTransform::Scale(b)
+            .apply(DataTransform::Scale(a).apply(Bytes::new(x)));
+        let one_step = DataTransform::Scale(a * b).apply(Bytes::new(x));
+        prop_assert!((two_steps.bytes() - one_step.bytes()).abs() < one_step.bytes() * 1e-9);
+    }
+
+    /// A pipeline's energy through k stages is nondecreasing in k.
+    #[test]
+    fn pipeline_energy_monotone(
+        energies in prop::collection::vec(0.0f64..1e-3, 0..6),
+        capture in 0.0f64..1e-3,
+    ) {
+        let mut p = Pipeline::new(
+            Source::new("s", Bytes::new(100.0), Fps::new(30.0))
+                .with_capture_energy(Joules::new(capture)),
+        );
+        for e in &energies {
+            p.push(
+                Stage::new(
+                    BlockSpec::core("b", DataTransform::Identity),
+                    Backend::Asic,
+                    Fps::new(100.0),
+                )
+                .with_energy_per_frame(Joules::new(*e)),
+            );
+        }
+        for k in 1..=p.len() {
+            prop_assert!(
+                p.energy_per_frame_through(k).joules()
+                    >= p.energy_per_frame_through(k - 1).joules()
+            );
+        }
+    }
+
+    /// A link's upload FPS scales linearly with its raw rate at fixed
+    /// efficiency, and never exceeds the zero-overhead bound.
+    #[test]
+    fn link_efficiency_bounds(gbps in 0.01f64..500.0, eff in 0.01f64..1.0, payload in 1.0f64..1e10) {
+        let link = Link::new("l", BytesPerSec::from_gbps(gbps), eff);
+        let ideal = Link::new("ideal", BytesPerSec::from_gbps(gbps), 1.0);
+        let fps = link.upload_fps(Bytes::new(payload));
+        let bound = ideal.upload_fps(Bytes::new(payload));
+        prop_assert!(fps.fps() <= bound.fps() * (1.0 + 1e-12));
+        prop_assert!((fps.fps() / bound.fps() - eff).abs() < 1e-9);
+    }
+
+    /// Energy breakdowns are order-independent and max_rate inverts
+    /// average_power.
+    #[test]
+    fn breakdown_permutation_invariant(items in prop::collection::vec(1e-9f64..1e-3, 1..8)) {
+        let mut forward = EnergyBreakdown::new("f");
+        let mut reverse = EnergyBreakdown::new("r");
+        for &e in &items {
+            forward.add("x", Joules::new(e));
+        }
+        for &e in items.iter().rev() {
+            reverse.add("x", Joules::new(e));
+        }
+        prop_assert!((forward.total().joules() - reverse.total().joules()).abs() < 1e-15);
+
+        let budget = Watts::from_micro(123.0);
+        let rate = forward.max_rate(budget);
+        let power = forward.average_power(rate);
+        prop_assert!((power.watts() - budget.watts()).abs() < budget.watts() * 1e-9);
+    }
+}

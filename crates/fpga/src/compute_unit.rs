@@ -1,0 +1,111 @@
+//! The streaming bilateral-filter compute unit (paper Fig. 8).
+//!
+//! Each compute unit is a pipelined datapath of single-precision
+//! floating-point adders/multipliers (BSSA "requires at least 32-bit
+//! floating-point precision to produce high-quality depth maps") built
+//! from DSP slices — 18 per unit in the paper's design. A unit sustains
+//! one grid-vertex blur operation per cycle once its pipeline is full.
+
+use crate::resources::Resources;
+use incam_core::units::{Fps, Hertz};
+
+/// Resource and throughput specification of one compute unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputeUnitSpec {
+    /// Fabric resources per unit.
+    pub resources: Resources,
+    /// Grid-vertex blur operations sustained per cycle.
+    pub ops_per_cycle: f64,
+}
+
+impl ComputeUnitSpec {
+    /// The paper's unit: 18 DSPs (plus the LUT/BRAM share backed out of
+    /// Table I's utilization figures; see `EXPERIMENTS.md`), one vertex
+    /// per cycle.
+    pub fn paper_default() -> Self {
+        Self {
+            resources: Resources::new(1_692.0, 0.691, 18),
+            ops_per_cycle: 1.0,
+        }
+    }
+}
+
+/// Shared per-design infrastructure (DMA engine, HDMI in/out cores,
+/// Ethernet core, AXI interconnect — Fig. 8's non-CU blocks).
+pub fn infrastructure_default() -> Resources {
+    Resources::new(5_812.0, 1.78, 9)
+}
+
+/// Aggregate throughput of `units` compute units at `clock`, processing a
+/// workload of `ops_per_frame` vertex operations per frame, derated by
+/// `efficiency` for DMA/memory stalls.
+///
+/// # Panics
+///
+/// Panics if `ops_per_frame` is zero or `efficiency` is not in `(0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use incam_core::units::Hertz;
+/// use incam_fpga::compute_unit::{throughput, ComputeUnitSpec};
+///
+/// let spec = ComputeUnitSpec::paper_default();
+/// let fps = throughput(&spec, 682, Hertz::from_mhz(125.0), 2.2e9, 0.815);
+/// assert!(fps.fps() > 30.0); // the projection target is real-time
+/// ```
+pub fn throughput(
+    spec: &ComputeUnitSpec,
+    units: usize,
+    clock: Hertz,
+    ops_per_frame: f64,
+    efficiency: f64,
+) -> Fps {
+    assert!(ops_per_frame > 0.0, "workload must be nonzero");
+    assert!(
+        efficiency > 0.0 && efficiency <= 1.0,
+        "efficiency must be in (0, 1]"
+    );
+    let ops_per_sec = spec.ops_per_cycle * units as f64 * clock.hertz() * efficiency;
+    Fps::new(ops_per_sec / ops_per_frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_linear_in_units() {
+        let spec = ComputeUnitSpec::paper_default();
+        let clock = Hertz::from_mhz(125.0);
+        let one = throughput(&spec, 1, clock, 1e9, 1.0);
+        let ten = throughput(&spec, 10, clock, 1e9, 1.0);
+        assert!((ten.fps() / one.fps() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_derates() {
+        let spec = ComputeUnitSpec::paper_default();
+        let clock = Hertz::from_mhz(125.0);
+        let full = throughput(&spec, 4, clock, 1e9, 1.0);
+        let half = throughput(&spec, 4, clock, 1e9, 0.5);
+        assert!((full.fps() / half.fps() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_unit_uses_18_dsps() {
+        assert_eq!(ComputeUnitSpec::paper_default().resources.dsps, 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn super_unity_efficiency_rejected() {
+        let _ = throughput(
+            &ComputeUnitSpec::paper_default(),
+            1,
+            Hertz::from_mhz(125.0),
+            1e9,
+            1.5,
+        );
+    }
+}

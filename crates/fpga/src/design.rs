@@ -1,0 +1,191 @@
+//! A placed design: infrastructure plus as many compute units as the
+//! device can hold.
+
+use crate::compute_unit::{infrastructure_default, ComputeUnitSpec};
+use crate::device::FpgaDevice;
+use crate::resources::{Resources, Utilization};
+use incam_core::units::{Fps, Hertz};
+
+/// A concrete FPGA design: a device populated with compute units and the
+/// shared infrastructure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaDesign {
+    device: FpgaDevice,
+    unit_spec: ComputeUnitSpec,
+    infrastructure: Resources,
+    units: usize,
+}
+
+impl FpgaDesign {
+    /// Creates a design with an explicit unit count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design does not fit the device.
+    pub fn new(
+        device: FpgaDevice,
+        unit_spec: ComputeUnitSpec,
+        infrastructure: Resources,
+        units: usize,
+    ) -> Self {
+        let design = Self {
+            device,
+            unit_spec,
+            infrastructure,
+            units,
+        };
+        assert!(
+            design.used().fits_within(design.device.resources()),
+            "design does not fit {}: needs {}, has {}",
+            design.device.name(),
+            design.used(),
+            design.device.resources()
+        );
+        design
+    }
+
+    /// Fills the device with the maximum number of compute units that fit
+    /// next to the infrastructure.
+    pub fn max_units(device: FpgaDevice, unit_spec: ComputeUnitSpec) -> Self {
+        let infrastructure = infrastructure_default();
+        let units = max_units_with(&device, &unit_spec, &infrastructure);
+        Self::new(device, unit_spec, infrastructure, units)
+    }
+
+    /// The evaluation design of the paper: the Zynq-7020 filled with
+    /// compute units (11 fit beside the infrastructure; the paper quotes
+    /// "up to 12" from the raw 220/18 DSP budget).
+    pub fn paper_evaluation() -> Self {
+        Self::max_units(FpgaDevice::zynq_7020(), ComputeUnitSpec::paper_default())
+    }
+
+    /// The projection target: a Virtex UltraScale+ filled to 682 units.
+    pub fn paper_target() -> Self {
+        Self::max_units(
+            FpgaDevice::virtex_ultrascale_plus(),
+            ComputeUnitSpec::paper_default(),
+        )
+    }
+
+    /// The device this design is placed on.
+    pub fn device(&self) -> &FpgaDevice {
+        &self.device
+    }
+
+    /// Number of compute units placed.
+    pub fn units(&self) -> usize {
+        self.units
+    }
+
+    /// Total fabric resources consumed.
+    pub fn used(&self) -> Resources {
+        self.infrastructure + self.unit_spec.resources * self.units as f64
+    }
+
+    /// Utilization against the device.
+    pub fn utilization(&self) -> Utilization {
+        Utilization::of(&self.used(), self.device.resources())
+    }
+
+    /// Design clock.
+    pub fn clock(&self) -> Hertz {
+        self.device.clock()
+    }
+
+    /// Design throughput on a workload of `ops_per_frame` vertex
+    /// operations, derated by `efficiency`.
+    pub fn throughput(&self, ops_per_frame: f64, efficiency: f64) -> Fps {
+        crate::compute_unit::throughput(
+            &self.unit_spec,
+            self.units,
+            self.device.clock(),
+            ops_per_frame,
+            efficiency,
+        )
+    }
+}
+
+/// Maximum number of compute units that fit beside `infrastructure`.
+pub fn max_units_with(
+    device: &FpgaDevice,
+    spec: &ComputeUnitSpec,
+    infrastructure: &Resources,
+) -> usize {
+    let avail = device.resources();
+    let by_dsp = (avail.dsps.saturating_sub(infrastructure.dsps)) / spec.resources.dsps.max(1);
+    let by_lut = ((avail.luts - infrastructure.luts) / spec.resources.luts).floor() as u64;
+    let by_bram = ((avail.bram36 - infrastructure.bram36) / spec.resources.bram36).floor() as u64;
+    by_dsp.min(by_lut).min(by_bram) as usize
+}
+
+/// The paper's headline unit-count arithmetic: device DSPs divided by
+/// DSPs per unit, ignoring infrastructure ("so we can scale up to 12
+/// parallel compute units on the ZC702" / "682 compute units" on the
+/// UltraScale+).
+pub fn max_units_ignoring_infrastructure(device: &FpgaDevice, spec: &ComputeUnitSpec) -> usize {
+    (device.resources().dsps / spec.resources.dsps.max(1)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_evaluation_counts() {
+        let design = FpgaDesign::paper_evaluation();
+        assert_eq!(design.units(), 11);
+        // the text's "up to 12" figure comes from ignoring infrastructure
+        assert_eq!(
+            max_units_ignoring_infrastructure(
+                &FpgaDevice::zynq_7020(),
+                &ComputeUnitSpec::paper_default()
+            ),
+            12
+        );
+    }
+
+    #[test]
+    fn paper_target_reaches_682_units() {
+        let design = FpgaDesign::paper_target();
+        assert_eq!(design.units(), 682);
+    }
+
+    #[test]
+    fn table1_utilization_matches_paper() {
+        let eval = FpgaDesign::paper_evaluation().utilization();
+        assert!((eval.logic_pct - 45.91).abs() < 1.0, "logic {eval}");
+        assert!((eval.ram_pct - 6.70).abs() < 1.0, "ram {eval}");
+        assert!((eval.dsp_pct - 94.09).abs() < 0.5, "dsp {eval}");
+
+        let target = FpgaDesign::paper_target().utilization();
+        assert!((target.logic_pct - 67.10).abs() < 1.0, "logic {target}");
+        assert!((target.ram_pct - 17.60).abs() < 1.0, "ram {target}");
+        assert!((target.dsp_pct - 99.98).abs() < 0.1, "dsp {target}");
+    }
+
+    #[test]
+    fn designs_always_feasible() {
+        for design in [FpgaDesign::paper_evaluation(), FpgaDesign::paper_target()] {
+            assert!(design.utilization().feasible());
+        }
+    }
+
+    #[test]
+    fn more_units_more_throughput() {
+        let target = FpgaDesign::paper_target();
+        let eval = FpgaDesign::paper_evaluation();
+        let ops = 2.2e9;
+        assert!(target.throughput(ops, 0.8).fps() > 30.0 * eval.throughput(ops, 0.8).fps());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversubscribed_design_rejected() {
+        let _ = FpgaDesign::new(
+            FpgaDevice::zynq_7020(),
+            ComputeUnitSpec::paper_default(),
+            crate::compute_unit::infrastructure_default(),
+            100,
+        );
+    }
+}

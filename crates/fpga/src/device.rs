@@ -1,0 +1,78 @@
+//! The FPGA device catalog: the evaluation part (Zynq-7020, as on the
+//! ZC702 board) and the projection target (a top-of-the-line Virtex
+//! UltraScale+, whose 12 288 DSP slices are what make the paper's
+//! "682 compute units" arithmetic work out: 682 × 18 + 9 ≈ 99.98 %).
+
+use crate::resources::Resources;
+use incam_core::units::Hertz;
+
+/// An FPGA device with its fabric resources and the design clock used in
+/// the paper (125 MHz for both parts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaDevice {
+    name: String,
+    resources: Resources,
+    clock: Hertz,
+}
+
+impl FpgaDevice {
+    /// Creates a device.
+    pub fn new(name: impl Into<String>, resources: Resources, clock: Hertz) -> Self {
+        Self {
+            name: name.into(),
+            resources,
+            clock,
+        }
+    }
+
+    /// The Zynq-7020 SoC's programmable logic (ZC702 board): 53 200 LUTs,
+    /// 140 BRAM36, 220 DSP48E1.
+    pub fn zynq_7020() -> Self {
+        Self::new(
+            "Zynq-7000 (XC7Z020)",
+            Resources::new(53_200.0, 140.0, 220),
+            Hertz::from_mhz(125.0),
+        )
+    }
+
+    /// A top-of-the-line Virtex UltraScale+ (VU13P-class): 1 728 000
+    /// LUTs, 2 688 BRAM36, 12 288 DSP slices.
+    pub fn virtex_ultrascale_plus() -> Self {
+        Self::new(
+            "Virtex UltraScale+ (VU13P)",
+            Resources::new(1_728_000.0, 2_688.0, 12_288),
+            Hertz::from_mhz(125.0),
+        )
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Available fabric resources.
+    pub fn resources(&self) -> &Resources {
+        &self.resources
+    }
+
+    /// Design clock frequency.
+    pub fn clock(&self) -> Hertz {
+        self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_parts() {
+        let z = FpgaDevice::zynq_7020();
+        assert_eq!(z.resources().dsps, 220);
+        assert_eq!(z.clock().mhz(), 125.0);
+        let v = FpgaDevice::virtex_ultrascale_plus();
+        assert_eq!(v.resources().dsps, 12_288);
+        // the paper's "682 compute units" arithmetic
+        assert_eq!(v.resources().dsps / 18, 682);
+    }
+}

@@ -1,0 +1,36 @@
+//! # incam-fpga — FPGA platform and resource model
+//!
+//! The paper's VR accelerator (Fig. 8) maps BSSA's grid blurs onto
+//! streaming compute units of 18 DSP slices each on a Xilinx Zynq-7020,
+//! and projects a 16-FPGA Virtex UltraScale+ system for real-time
+//! 16-camera operation (Table I). This crate models the device catalog
+//! ([`device`]), resource vectors ([`resources`]), the compute-unit
+//! design ([`compute_unit`]), placed designs with utilization
+//! ([`design`]), and regenerates Table I ([`report`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use incam_fpga::design::FpgaDesign;
+//!
+//! let eval = FpgaDesign::paper_evaluation();
+//! assert_eq!(eval.units(), 11);           // fits beside the DMA/HDMI cores
+//! let target = FpgaDesign::paper_target();
+//! assert_eq!(target.units(), 682);        // the paper's projection
+//! println!("{}", target.utilization());   // DSP ~99.98%
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compute_unit;
+pub mod design;
+pub mod device;
+pub mod report;
+pub mod resources;
+
+pub use compute_unit::ComputeUnitSpec;
+pub use design::{max_units_ignoring_infrastructure, FpgaDesign};
+pub use device::FpgaDevice;
+pub use report::{table1, PlatformRow};
+pub use resources::{Resources, Utilization};

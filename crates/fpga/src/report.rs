@@ -1,0 +1,88 @@
+//! Table I regeneration: the FPGA-platform requirements table.
+
+use crate::design::FpgaDesign;
+
+/// One column of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformRow {
+    /// Column label (`Evaluation` / `Target`).
+    pub column: &'static str,
+    /// FPGA part name.
+    pub fpga_model: String,
+    /// FPGAs in the system.
+    pub fpga_count: usize,
+    /// Cameras served.
+    pub cameras: usize,
+    /// Per-FPGA logic utilization, percent.
+    pub logic_pct: f64,
+    /// Per-FPGA BRAM utilization, percent.
+    pub ram_pct: f64,
+    /// Per-FPGA DSP utilization, percent.
+    pub dsp_pct: f64,
+    /// Clock in MHz.
+    pub clock_mhz: f64,
+    /// Compute units per FPGA.
+    pub compute_units: usize,
+}
+
+/// Builds both Table I columns from the paper's designs.
+///
+/// # Examples
+///
+/// ```
+/// use incam_fpga::report::table1;
+///
+/// let rows = table1();
+/// assert_eq!(rows.len(), 2);
+/// assert_eq!(rows[0].cameras, 2);
+/// assert_eq!(rows[1].cameras, 16);
+/// ```
+pub fn table1() -> Vec<PlatformRow> {
+    let eval = FpgaDesign::paper_evaluation();
+    let target = FpgaDesign::paper_target();
+    vec![
+        platform_row("Evaluation", &eval, 1, 2),
+        platform_row("Target", &target, 16, 16),
+    ]
+}
+
+fn platform_row(
+    column: &'static str,
+    design: &FpgaDesign,
+    fpga_count: usize,
+    cameras: usize,
+) -> PlatformRow {
+    let u = design.utilization();
+    PlatformRow {
+        column,
+        fpga_model: design.device().name().to_string(),
+        fpga_count,
+        cameras,
+        logic_pct: u.logic_pct,
+        ram_pct: u.ram_pct,
+        dsp_pct: u.dsp_pct,
+        clock_mhz: design.clock().mhz(),
+        compute_units: design.units(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_match_paper_structure() {
+        let rows = table1();
+        assert_eq!(rows[0].fpga_count, 1);
+        assert_eq!(rows[1].fpga_count, 16);
+        assert_eq!(rows[0].clock_mhz, 125.0);
+        assert_eq!(rows[1].clock_mhz, 125.0);
+        assert!(rows[0].fpga_model.contains("Zynq"));
+        assert!(rows[1].fpga_model.contains("UltraScale+"));
+        // DSP utilization dominates both columns
+        for row in &rows {
+            assert!(row.dsp_pct > row.logic_pct);
+            assert!(row.dsp_pct > row.ram_pct);
+        }
+    }
+}

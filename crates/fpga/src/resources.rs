@@ -1,0 +1,179 @@
+//! FPGA resource vectors: logic (LUTs), block RAM and DSP slices.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul};
+
+/// A bundle of FPGA fabric resources.
+///
+/// BRAM is counted in BRAM36-equivalents (fractional values represent
+/// BRAM18 halves or distributed-RAM usage folded in).
+///
+/// # Examples
+///
+/// ```
+/// use incam_fpga::resources::Resources;
+///
+/// let cu = Resources::new(1692.0, 0.691, 18);
+/// let four = cu * 4.0;
+/// assert_eq!(four.dsps, 72);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Resources {
+    /// Look-up tables.
+    pub luts: f64,
+    /// BRAM36-equivalent blocks.
+    pub bram36: f64,
+    /// DSP slices.
+    pub dsps: u64,
+}
+
+impl Resources {
+    /// Creates a resource bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if LUT or BRAM counts are negative.
+    pub fn new(luts: f64, bram36: f64, dsps: u64) -> Self {
+        assert!(luts >= 0.0 && bram36 >= 0.0, "resources must be non-negative");
+        Self { luts, bram36, dsps }
+    }
+
+    /// The zero bundle.
+    pub const ZERO: Resources = Resources {
+        luts: 0.0,
+        bram36: 0.0,
+        dsps: 0,
+    };
+
+    /// Component-wise `self <= other`.
+    pub fn fits_within(&self, other: &Resources) -> bool {
+        self.luts <= other.luts && self.bram36 <= other.bram36 && self.dsps <= other.dsps
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            luts: self.luts + rhs.luts,
+            bram36: self.bram36 + rhs.bram36,
+            dsps: self.dsps + rhs.dsps,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<f64> for Resources {
+    type Output = Resources;
+    fn mul(self, rhs: f64) -> Resources {
+        Resources {
+            luts: self.luts * rhs,
+            bram36: self.bram36 * rhs,
+            dsps: (self.dsps as f64 * rhs).round() as u64,
+        }
+    }
+}
+
+impl Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, |acc, r| acc + r)
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} LUTs, {:.1} BRAM36, {} DSPs",
+            self.luts, self.bram36, self.dsps
+        )
+    }
+}
+
+/// Percent utilization of `used` against `available` for each resource
+/// class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Utilization {
+    /// Logic utilization in percent.
+    pub logic_pct: f64,
+    /// BRAM utilization in percent.
+    pub ram_pct: f64,
+    /// DSP utilization in percent.
+    pub dsp_pct: f64,
+}
+
+impl Utilization {
+    /// Computes utilization percentages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `available` component is zero.
+    pub fn of(used: &Resources, available: &Resources) -> Self {
+        assert!(
+            available.luts > 0.0 && available.bram36 > 0.0 && available.dsps > 0,
+            "device must have nonzero resources"
+        );
+        Self {
+            logic_pct: 100.0 * used.luts / available.luts,
+            ram_pct: 100.0 * used.bram36 / available.bram36,
+            dsp_pct: 100.0 * used.dsps as f64 / available.dsps as f64,
+        }
+    }
+
+    /// Whether everything is at or under 100 %.
+    pub fn feasible(&self) -> bool {
+        self.logic_pct <= 100.0 && self.ram_pct <= 100.0 && self.dsp_pct <= 100.0
+    }
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "logic {:.2}%, RAM {:.2}%, DSP {:.2}%",
+            self.logic_pct, self.ram_pct, self.dsp_pct
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Resources::new(100.0, 1.0, 10);
+        let b = Resources::new(50.0, 0.5, 5);
+        let sum = a + b;
+        assert_eq!(sum.dsps, 15);
+        assert_eq!((a * 2.0).luts, 200.0);
+        let total: Resources = vec![a, b, b].into_iter().sum();
+        assert_eq!(total.dsps, 20);
+    }
+
+    #[test]
+    fn fits_and_utilization() {
+        let used = Resources::new(500.0, 2.0, 50);
+        let device = Resources::new(1000.0, 10.0, 100);
+        assert!(used.fits_within(&device));
+        let u = Utilization::of(&used, &device);
+        assert_eq!(u.logic_pct, 50.0);
+        assert_eq!(u.ram_pct, 20.0);
+        assert_eq!(u.dsp_pct, 50.0);
+        assert!(u.feasible());
+        let over = Resources::new(2000.0, 1.0, 10);
+        assert!(!Utilization::of(&over, &device).feasible());
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = Resources::new(1692.0, 0.7, 18);
+        assert!(r.to_string().contains("18 DSPs"));
+    }
+}

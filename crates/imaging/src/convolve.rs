@@ -1,0 +1,175 @@
+//! Separable convolution and the small set of kernels the workspace needs
+//! (box, Gaussian). Borders use pixel replication.
+
+use crate::image::GrayImage;
+
+/// Convolves `img` with a horizontal 1-D `kernel` (replicate border).
+///
+/// # Panics
+///
+/// Panics if the kernel is empty or of even length.
+pub fn convolve_h(img: &GrayImage, kernel: &[f32]) -> GrayImage {
+    check_kernel(kernel);
+    let r = (kernel.len() / 2) as isize;
+    GrayImage::from_fn(img.width(), img.height(), |x, y| {
+        let mut acc = 0.0f32;
+        for (i, &k) in kernel.iter().enumerate() {
+            let sx = x as isize + i as isize - r;
+            acc += k * img.get_clamped(sx, y as isize);
+        }
+        acc
+    })
+}
+
+/// Convolves `img` with a vertical 1-D `kernel` (replicate border).
+///
+/// # Panics
+///
+/// Panics if the kernel is empty or of even length.
+pub fn convolve_v(img: &GrayImage, kernel: &[f32]) -> GrayImage {
+    check_kernel(kernel);
+    let r = (kernel.len() / 2) as isize;
+    GrayImage::from_fn(img.width(), img.height(), |x, y| {
+        let mut acc = 0.0f32;
+        for (i, &k) in kernel.iter().enumerate() {
+            let sy = y as isize + i as isize - r;
+            acc += k * img.get_clamped(x as isize, sy);
+        }
+        acc
+    })
+}
+
+/// Separable convolution: horizontal then vertical pass with the same
+/// 1-D kernel.
+pub fn convolve_separable(img: &GrayImage, kernel: &[f32]) -> GrayImage {
+    convolve_v(&convolve_h(img, kernel), kernel)
+}
+
+fn check_kernel(kernel: &[f32]) {
+    assert!(!kernel.is_empty(), "kernel must be non-empty");
+    assert!(
+        kernel.len() % 2 == 1,
+        "kernel length must be odd, got {}",
+        kernel.len()
+    );
+}
+
+/// A normalized box kernel of the given (odd) length.
+///
+/// # Examples
+///
+/// ```
+/// use incam_imaging::convolve::box_kernel;
+/// let k = box_kernel(3);
+/// assert_eq!(k, vec![1.0 / 3.0; 3]);
+/// ```
+pub fn box_kernel(len: usize) -> Vec<f32> {
+    assert!(len % 2 == 1 && len > 0, "box kernel length must be odd");
+    vec![1.0 / len as f32; len]
+}
+
+/// A normalized Gaussian kernel with standard deviation `sigma`, truncated
+/// at `±3σ`.
+///
+/// # Panics
+///
+/// Panics if `sigma` is not positive.
+pub fn gaussian_kernel(sigma: f32) -> Vec<f32> {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let r = (3.0 * sigma).ceil() as isize;
+    let mut k: Vec<f32> = (-r..=r)
+        .map(|i| (-0.5 * (i as f32 / sigma).powi(2)).exp())
+        .collect();
+    let sum: f32 = k.iter().sum();
+    for v in &mut k {
+        *v /= sum;
+    }
+    k
+}
+
+/// Gaussian blur with standard deviation `sigma` (separable).
+///
+/// # Examples
+///
+/// ```
+/// use incam_imaging::convolve::gaussian_blur;
+/// use incam_imaging::image::Image;
+///
+/// let mut img = Image::new(9, 9, 0.0f32);
+/// img.set(4, 4, 1.0);
+/// let blurred = gaussian_blur(&img, 1.0);
+/// // energy spreads but the center stays the peak
+/// assert!(blurred.get(4, 4) < 1.0);
+/// assert!(blurred.get(4, 4) > blurred.get(0, 0));
+/// ```
+pub fn gaussian_blur(img: &GrayImage, sigma: f32) -> GrayImage {
+    convolve_separable(img, &gaussian_kernel(sigma))
+}
+
+/// Moving-average (box) blur of the given odd window length — the
+/// non-edge-aware smoother contrasted with the bilateral filter in the
+/// paper's Fig. 6.
+pub fn box_blur(img: &GrayImage, len: usize) -> GrayImage {
+    convolve_separable(img, &box_kernel(len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Image;
+
+    #[test]
+    fn box_blur_preserves_constant_image() {
+        let img = GrayImage::new(6, 6, 0.4);
+        let out = box_blur(&img, 3);
+        for &p in out.pixels() {
+            assert!((p - 0.4).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gaussian_kernel_normalized_and_symmetric() {
+        let k = gaussian_kernel(1.5);
+        let sum: f32 = k.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert_eq!(k.len() % 2, 1);
+        let n = k.len();
+        for i in 0..n / 2 {
+            assert!((k[i] - k[n - 1 - i]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn blur_preserves_total_mass_interior() {
+        // away from borders, blurring conserves the sum
+        let mut img = GrayImage::zeros(15, 15);
+        img.set(7, 7, 1.0);
+        let out = gaussian_blur(&img, 1.0);
+        let total: f32 = out.pixels().iter().sum();
+        assert!((total - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn horizontal_and_vertical_are_directional() {
+        let mut img = GrayImage::zeros(7, 7);
+        img.set(3, 3, 1.0);
+        let h = convolve_h(&img, &box_kernel(3));
+        assert!(h.get(2, 3) > 0.0 && h.get(3, 2) == 0.0);
+        let v = convolve_v(&img, &box_kernel(3));
+        assert!(v.get(3, 2) > 0.0 && v.get(2, 3) == 0.0);
+    }
+
+    #[test]
+    fn box_blur_smooths_edge() {
+        let img = Image::from_fn(10, 1, |x, _| if x < 5 { 0.0 } else { 1.0 });
+        let out = box_blur(&img, 3);
+        // edge pixel becomes intermediate
+        assert!(out.get(4, 0) > 0.0 && out.get(4, 0) < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_kernel_rejected() {
+        let _ = convolve_h(&GrayImage::zeros(3, 3), &[0.5, 0.5]);
+    }
+}

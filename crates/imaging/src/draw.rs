@@ -1,0 +1,170 @@
+//! Drawing primitives used by the synthetic workload generators.
+//!
+//! All operations draw into an existing [`GrayImage`] with clipping, so
+//! generators can place shapes partially off-frame (people walking into
+//! the scene, faces near borders).
+
+use crate::image::GrayImage;
+
+/// Fills an axis-aligned rectangle (clipped to the image).
+pub fn fill_rect(img: &mut GrayImage, x: isize, y: isize, w: usize, h: usize, value: f32) {
+    let (iw, ih) = img.dims();
+    let x0 = x.max(0) as usize;
+    let y0 = y.max(0) as usize;
+    let x1 = ((x + w as isize).max(0) as usize).min(iw);
+    let y1 = ((y + h as isize).max(0) as usize).min(ih);
+    for yy in y0..y1 {
+        for xx in x0..x1 {
+            img.set(xx, yy, value);
+        }
+    }
+}
+
+/// Fills an ellipse centered at `(cx, cy)` with radii `(rx, ry)` (clipped).
+///
+/// # Examples
+///
+/// ```
+/// use incam_imaging::draw::fill_ellipse;
+/// use incam_imaging::image::GrayImage;
+///
+/// let mut img = GrayImage::zeros(16, 16);
+/// fill_ellipse(&mut img, 8.0, 8.0, 4.0, 6.0, 1.0);
+/// assert_eq!(img.get(8, 8), 1.0);  // center is filled
+/// assert_eq!(img.get(0, 0), 0.0);  // corner is not
+/// ```
+pub fn fill_ellipse(img: &mut GrayImage, cx: f32, cy: f32, rx: f32, ry: f32, value: f32) {
+    if rx <= 0.0 || ry <= 0.0 {
+        return;
+    }
+    let (iw, ih) = img.dims();
+    let x0 = ((cx - rx).floor().max(0.0)) as usize;
+    let y0 = ((cy - ry).floor().max(0.0)) as usize;
+    let x1 = (((cx + rx).ceil() as usize) + 1).min(iw);
+    let y1 = (((cy + ry).ceil() as usize) + 1).min(ih);
+    for yy in y0..y1 {
+        for xx in x0..x1 {
+            let dx = (xx as f32 - cx) / rx;
+            let dy = (yy as f32 - cy) / ry;
+            if dx * dx + dy * dy <= 1.0 {
+                img.set(xx, yy, value);
+            }
+        }
+    }
+}
+
+/// Blends an ellipse: `p ← (1-alpha)·p + alpha·value` inside the ellipse.
+pub fn blend_ellipse(
+    img: &mut GrayImage,
+    cx: f32,
+    cy: f32,
+    rx: f32,
+    ry: f32,
+    value: f32,
+    alpha: f32,
+) {
+    if rx <= 0.0 || ry <= 0.0 {
+        return;
+    }
+    let (iw, ih) = img.dims();
+    let x0 = ((cx - rx).floor().max(0.0)) as usize;
+    let y0 = ((cy - ry).floor().max(0.0)) as usize;
+    let x1 = (((cx + rx).ceil() as usize) + 1).min(iw);
+    let y1 = (((cy + ry).ceil() as usize) + 1).min(ih);
+    for yy in y0..y1 {
+        for xx in x0..x1 {
+            let dx = (xx as f32 - cx) / rx;
+            let dy = (yy as f32 - cy) / ry;
+            if dx * dx + dy * dy <= 1.0 {
+                let p = img.get(xx, yy);
+                img.set(xx, yy, p * (1.0 - alpha) + value * alpha);
+            }
+        }
+    }
+}
+
+/// Fills the whole image with a vertical linear gradient from `top` to
+/// `bottom`.
+pub fn vertical_gradient(img: &mut GrayImage, top: f32, bottom: f32) {
+    let h = img.height();
+    for y in 0..h {
+        let t = if h > 1 { y as f32 / (h - 1) as f32 } else { 0.0 };
+        let v = top + (bottom - top) * t;
+        for x in 0..img.width() {
+            img.set(x, y, v);
+        }
+    }
+}
+
+/// Composites `src` onto `dst` with its top-left at `(x, y)` (clipped),
+/// replacing destination pixels.
+pub fn blit(dst: &mut GrayImage, src: &GrayImage, x: isize, y: isize) {
+    let (dw, dh) = dst.dims();
+    for sy in 0..src.height() {
+        let ty = y + sy as isize;
+        if ty < 0 || ty >= dh as isize {
+            continue;
+        }
+        for sx in 0..src.width() {
+            let tx = x + sx as isize;
+            if tx < 0 || tx >= dw as isize {
+                continue;
+            }
+            dst.set(tx as usize, ty as usize, src.get(sx, sy));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_clips_at_borders() {
+        let mut img = GrayImage::zeros(4, 4);
+        fill_rect(&mut img, -2, -2, 4, 4, 1.0);
+        assert_eq!(img.get(0, 0), 1.0);
+        assert_eq!(img.get(1, 1), 1.0);
+        assert_eq!(img.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn ellipse_inside_outside() {
+        let mut img = GrayImage::zeros(20, 20);
+        fill_ellipse(&mut img, 10.0, 10.0, 5.0, 3.0, 0.8);
+        assert_eq!(img.get(10, 10), 0.8);
+        assert_eq!(img.get(14, 10), 0.8); // on x radius
+        assert_eq!(img.get(10, 14), 0.0); // beyond y radius
+    }
+
+    #[test]
+    fn blend_mixes_values() {
+        let mut img = GrayImage::new(8, 8, 0.0);
+        blend_ellipse(&mut img, 4.0, 4.0, 3.0, 3.0, 1.0, 0.5);
+        assert!((img.get(4, 4) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_endpoints() {
+        let mut img = GrayImage::zeros(3, 5);
+        vertical_gradient(&mut img, 0.2, 0.8);
+        assert!((img.get(1, 0) - 0.2).abs() < 1e-6);
+        assert!((img.get(1, 4) - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn blit_clips() {
+        let mut dst = GrayImage::zeros(4, 4);
+        let src = GrayImage::new(3, 3, 1.0);
+        blit(&mut dst, &src, 2, 2);
+        assert_eq!(dst.get(3, 3), 1.0);
+        assert_eq!(dst.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn degenerate_ellipse_is_noop() {
+        let mut img = GrayImage::zeros(4, 4);
+        fill_ellipse(&mut img, 2.0, 2.0, 0.0, 3.0, 1.0);
+        assert_eq!(img.pixels().iter().sum::<f32>(), 0.0);
+    }
+}

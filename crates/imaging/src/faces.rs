@@ -1,0 +1,370 @@
+//! Parametric synthetic face generator — the workspace's substitute for
+//! the LFW dataset and the authors' collected video.
+//!
+//! The low-power case study's experiments measure *relative* quantities: a
+//! 400-8-1 NN's accuracy across precisions, the benefit of filtering
+//! blocks, the Viola-Jones parameter sweeps. Those need a face/non-face
+//! classification task whose difficulty is controllable and whose nuisance
+//! structure (lighting, pose jitter, sensor noise, identity variation)
+//! resembles real captures — not photographic realism. Faces here are
+//! structured renderings: an elliptical head with eyes/brows/nose/mouth
+//! whose geometry and contrast are *identity parameters*, plus per-sample
+//! nuisance. The classic Haar cues (eyes darker than cheeks, nose bridge
+//! brighter than the eye line) emerge from the geometry, which is what the
+//! Viola-Jones cascade keys on.
+
+use crate::draw::{blend_ellipse, fill_ellipse};
+use crate::image::GrayImage;
+use crate::noise::{add_gaussian_noise, gaussian_sample};
+use rand::Rng;
+
+/// Identity parameters for one synthetic person. Sampled once per person;
+/// all captures of that person share them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Identity {
+    /// Head width as a fraction of the patch (0.55–0.85).
+    pub face_width: f32,
+    /// Head height as a fraction of the patch (0.75–0.98).
+    pub face_height: f32,
+    /// Vertical eye-line position as a fraction of head height (0.32–0.46).
+    pub eye_y: f32,
+    /// Horizontal eye spacing as a fraction of head width (0.40–0.62).
+    pub eye_spacing: f32,
+    /// Eye radius as a fraction of head width (0.07–0.13).
+    pub eye_size: f32,
+    /// Eye intensity (dark, 0.02–0.25).
+    pub eye_tone: f32,
+    /// Brow intensity (0.1–0.4).
+    pub brow_tone: f32,
+    /// Mouth vertical position as a fraction of head height (0.68–0.80).
+    pub mouth_y: f32,
+    /// Mouth width as a fraction of head width (0.30–0.55).
+    pub mouth_width: f32,
+    /// Mouth intensity (0.05–0.35).
+    pub mouth_tone: f32,
+    /// Skin intensity (0.55–0.85).
+    pub skin_tone: f32,
+    /// Nose ridge brightness boost over skin (0.02–0.14).
+    pub nose_boost: f32,
+}
+
+impl Identity {
+    /// Samples a random identity.
+    pub fn sample(rng: &mut impl Rng) -> Self {
+        Self {
+            face_width: rng.gen_range(0.55..0.85),
+            face_height: rng.gen_range(0.75..0.98),
+            eye_y: rng.gen_range(0.32..0.46),
+            eye_spacing: rng.gen_range(0.40..0.62),
+            eye_size: rng.gen_range(0.07..0.13),
+            eye_tone: rng.gen_range(0.02..0.25),
+            brow_tone: rng.gen_range(0.1..0.4),
+            mouth_y: rng.gen_range(0.68..0.80),
+            mouth_width: rng.gen_range(0.30..0.55),
+            mouth_tone: rng.gen_range(0.05..0.35),
+            skin_tone: rng.gen_range(0.55..0.85),
+            nose_boost: rng.gen_range(0.02..0.14),
+        }
+    }
+}
+
+/// Per-capture nuisance conditions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Nuisance {
+    /// Illumination gain applied to the rendered patch.
+    pub gain: f32,
+    /// Illumination offset.
+    pub offset: f32,
+    /// Horizontal translation jitter in pixels.
+    pub shift_x: f32,
+    /// Vertical translation jitter in pixels.
+    pub shift_y: f32,
+    /// Overall scale jitter (1.0 = nominal).
+    pub scale: f32,
+    /// Sensor-noise standard deviation.
+    pub noise_sigma: f32,
+}
+
+impl Nuisance {
+    /// No nuisance: nominal studio conditions.
+    pub fn none() -> Self {
+        Self {
+            gain: 1.0,
+            offset: 0.0,
+            shift_x: 0.0,
+            shift_y: 0.0,
+            scale: 1.0,
+            noise_sigma: 0.0,
+        }
+    }
+
+    /// Samples nuisance at a given `severity` in `[0, 1]`. Severity 0 is
+    /// [`Nuisance::none`]; severity 1 approximates unconstrained captures
+    /// (LFW-like lighting and pose variation).
+    pub fn sample(rng: &mut impl Rng, severity: f32) -> Self {
+        let s = severity.clamp(0.0, 1.0);
+        Self {
+            gain: 1.0 + 0.55 * s * gaussian_sample(rng),
+            offset: 0.18 * s * gaussian_sample(rng),
+            shift_x: 2.4 * s * gaussian_sample(rng),
+            shift_y: 2.4 * s * gaussian_sample(rng),
+            scale: 1.0 + 0.16 * s * gaussian_sample(rng),
+            noise_sigma: 0.05 * s,
+        }
+    }
+}
+
+/// Renders a `size × size` grayscale face patch for `identity` under
+/// `nuisance`.
+///
+/// # Panics
+///
+/// Panics if `size < 8`.
+///
+/// # Examples
+///
+/// ```
+/// use incam_imaging::faces::{render_face, Identity, Nuisance};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let id = Identity::sample(&mut rng);
+/// let face = render_face(&id, &Nuisance::none(), 20, &mut rng);
+/// assert_eq!(face.dims(), (20, 20));
+/// ```
+pub fn render_face(
+    identity: &Identity,
+    nuisance: &Nuisance,
+    size: usize,
+    rng: &mut impl Rng,
+) -> GrayImage {
+    assert!(size >= 8, "face patch must be at least 8x8");
+    let s = size as f32;
+    let scale = nuisance.scale.clamp(0.6, 1.5);
+    let cx = s / 2.0 + nuisance.shift_x;
+    let cy = s / 2.0 + nuisance.shift_y;
+    let hw = identity.face_width * s / 2.0 * scale; // head half-width
+    let hh = identity.face_height * s / 2.0 * scale; // head half-height
+
+    // background: dim clutter so the head silhouette has an edge
+    let mut img = GrayImage::new(size, size, 0.30);
+    // head
+    fill_ellipse(&mut img, cx, cy, hw, hh, identity.skin_tone);
+    // nose ridge: a bright vertical strip between the eyes and mouth
+    let nose_top = cy - hh + 2.0 * hh * identity.eye_y;
+    let nose_bot = cy - hh + 2.0 * hh * (identity.mouth_y - 0.08);
+    blend_ellipse(
+        &mut img,
+        cx,
+        (nose_top + nose_bot) / 2.0,
+        hw * 0.10,
+        (nose_bot - nose_top) / 2.0,
+        (identity.skin_tone + identity.nose_boost).min(1.0),
+        0.9,
+    );
+    // eyes and brows
+    let eye_y = cy - hh + 2.0 * hh * identity.eye_y;
+    let eye_dx = identity.eye_spacing * hw;
+    let eye_r = identity.eye_size * 2.0 * hw;
+    for side in [-1.0f32, 1.0] {
+        let ex = cx + side * eye_dx;
+        fill_ellipse(&mut img, ex, eye_y, eye_r, eye_r * 0.7, identity.eye_tone);
+        fill_ellipse(
+            &mut img,
+            ex,
+            eye_y - eye_r * 1.6,
+            eye_r * 1.2,
+            eye_r * 0.33,
+            identity.brow_tone,
+        );
+    }
+    // mouth
+    let mouth_y = cy - hh + 2.0 * hh * identity.mouth_y;
+    fill_ellipse(
+        &mut img,
+        cx,
+        mouth_y,
+        identity.mouth_width * hw,
+        eye_r * 0.45,
+        identity.mouth_tone,
+    );
+
+    // illumination, then sensor noise
+    let mut lit = img.map(|p| (p * nuisance.gain + nuisance.offset).clamp(0.0, 1.0));
+    if nuisance.noise_sigma > 0.0 {
+        lit = add_gaussian_noise(&lit, nuisance.noise_sigma, rng);
+    }
+    lit
+}
+
+/// Renders a `size × size` patch that is *not* a face, for detector and
+/// authenticator negatives. Draws from several texture families so
+/// negatives are not trivially separable.
+pub fn render_non_face(size: usize, rng: &mut impl Rng) -> GrayImage {
+    assert!(size >= 8, "patch must be at least 8x8");
+    match rng.gen_range(0..5u8) {
+        // smooth noise field
+        0 => {
+            let base = GrayImage::new(size, size, rng.gen_range(0.2..0.8));
+            add_gaussian_noise(&base, 0.15, rng)
+        }
+        // linear gradient at a random orientation
+        1 => {
+            let a: f32 = rng.gen_range(0.0..core::f32::consts::TAU);
+            let (dx, dy) = (a.cos(), a.sin());
+            let lo = rng.gen_range(0.0..0.4);
+            let hi = rng.gen_range(0.6..1.0);
+            GrayImage::from_fn(size, size, |x, y| {
+                let t = (dx * x as f32 + dy * y as f32) / size as f32;
+                (lo + (hi - lo) * (t * 0.5 + 0.5)).clamp(0.0, 1.0)
+            })
+        }
+        // stripes (fences, blinds, radiators)
+        2 => {
+            let period = rng.gen_range(2..(size / 2).max(3));
+            let phase = rng.gen_range(0..period);
+            let a = rng.gen_range(0.1..0.4);
+            let b = rng.gen_range(0.6..0.95);
+            let vertical = rng.gen_bool(0.5);
+            GrayImage::from_fn(size, size, |x, y| {
+                let c = if vertical { x } else { y };
+                if (c + phase) % period < period / 2 {
+                    a
+                } else {
+                    b
+                }
+            })
+        }
+        // random blobs (foliage, clutter)
+        3 => {
+            let mut img = GrayImage::new(size, size, rng.gen_range(0.3..0.7));
+            for _ in 0..rng.gen_range(2..7) {
+                let cx = rng.gen_range(0.0..size as f32);
+                let cy = rng.gen_range(0.0..size as f32);
+                let r = rng.gen_range(1.0..size as f32 / 2.5);
+                fill_ellipse(&mut img, cx, cy, r, r, rng.gen_range(0.0..1.0));
+            }
+            add_gaussian_noise(&img, 0.03, rng)
+        }
+        // "almost-face": head-like blob without the eye/mouth structure —
+        // forces classifiers to use internal structure, not the silhouette
+        _ => {
+            let mut img = GrayImage::new(size, size, 0.30);
+            let s = size as f32;
+            fill_ellipse(
+                &mut img,
+                s / 2.0,
+                s / 2.0,
+                rng.gen_range(0.25..0.45) * s,
+                rng.gen_range(0.35..0.49) * s,
+                rng.gen_range(0.5..0.9),
+            );
+            add_gaussian_noise(&img, 0.05, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn faces_have_haar_structure() {
+        // The eye line should be darker than the cheek band just below it
+        // for the vast majority of identities — the first Haar cue.
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut haar_positive = 0;
+        let n = 50;
+        for _ in 0..n {
+            let id = Identity::sample(&mut rng);
+            let face = render_face(&id, &Nuisance::none(), 24, &mut rng);
+            let eye_row = (24.0 * (0.5 - id.face_height / 2.0 + id.face_height * id.eye_y))
+                .round()
+                .clamp(2.0, 21.0) as usize;
+            let band = |y0: usize| -> f32 {
+                let mut s = 0.0;
+                for y in y0..(y0 + 2).min(24) {
+                    for x in 6..18 {
+                        s += face.get(x, y);
+                    }
+                }
+                s
+            };
+            if band(eye_row.saturating_sub(1)) < band((eye_row + 3).min(21)) {
+                haar_positive += 1;
+            }
+        }
+        assert!(haar_positive > n * 7 / 10, "only {haar_positive}/{n}");
+    }
+
+    #[test]
+    fn same_identity_similar_different_identities_differ() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Identity::sample(&mut rng);
+        let b = Identity::sample(&mut rng);
+        let fa1 = render_face(&a, &Nuisance::none(), 20, &mut rng);
+        let fa2 = render_face(&a, &Nuisance::none(), 20, &mut rng);
+        let fb = render_face(&b, &Nuisance::none(), 20, &mut rng);
+        let d_same: f32 = fa1
+            .pixels()
+            .iter()
+            .zip(fa2.pixels())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        let d_diff: f32 = fa1
+            .pixels()
+            .iter()
+            .zip(fb.pixels())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(d_same < 1e-6); // no nuisance => deterministic rendering
+        assert!(d_diff > 1.0);
+    }
+
+    #[test]
+    fn nuisance_severity_scales_variation() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let id = Identity::sample(&mut rng);
+        let clean = render_face(&id, &Nuisance::none(), 20, &mut rng);
+        let mut dist_at = |sev: f32| -> f32 {
+            let mut total = 0.0;
+            for _ in 0..10 {
+                let nz = Nuisance::sample(&mut rng, sev);
+                let f = render_face(&id, &nz, 20, &mut rng);
+                total += clean
+                    .pixels()
+                    .iter()
+                    .zip(f.pixels())
+                    .map(|(a, b)| (a - b).abs())
+                    .sum::<f32>();
+            }
+            total
+        };
+        let low = dist_at(0.1);
+        let high = dist_at(0.9);
+        assert!(high > low * 1.5, "low {low} high {high}");
+    }
+
+    #[test]
+    fn non_faces_are_diverse() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let patches: Vec<GrayImage> = (0..20).map(|_| render_non_face(20, &mut rng)).collect();
+        // not all identical
+        let first = &patches[0];
+        assert!(patches.iter().any(|p| p.pixels() != first.pixels()));
+        for p in &patches {
+            let (lo, hi) = p.min_max();
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn tiny_patch_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let id = Identity::sample(&mut rng);
+        let _ = render_face(&id, &Nuisance::none(), 4, &mut rng);
+    }
+}

@@ -1,0 +1,41 @@
+//! # incam-imaging — image substrate for the camera-systems workspace
+//!
+//! Dense image containers, integral images, filtering/resampling kernels,
+//! full-reference quality metrics (SSIM / MS-SSIM), motion detection, and
+//! the synthetic workload generators that substitute for the paper's
+//! proprietary datasets (LFW, collected security video, the 16-camera VR
+//! rig captures). See `DESIGN.md` at the workspace root for the
+//! substitution rationale.
+//!
+//! # Examples
+//!
+//! ```
+//! use incam_imaging::image::Image;
+//! use incam_imaging::integral::IntegralImage;
+//! use incam_imaging::quality::{ms_ssim, MsSsimConfig};
+//!
+//! let img = Image::from_fn(64, 64, |x, y| ((x + y) % 9) as f32 / 9.0);
+//! let ii = IntegralImage::new(&img);
+//! assert!(ii.rect_sum(0, 0, 64, 64) > 0.0);
+//! assert!((ms_ssim(&img, &img, &MsSsimConfig::default()) - 1.0).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod color;
+pub mod convolve;
+pub mod draw;
+pub mod faces;
+pub mod image;
+pub mod integral;
+pub mod motion;
+pub mod noise;
+pub mod quality;
+pub mod resample;
+pub mod scenes;
+
+pub use image::{GrayImage, Image};
+pub use integral::IntegralImage;
+pub use motion::MotionDetector;

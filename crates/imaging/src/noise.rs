@@ -1,0 +1,127 @@
+//! Sensor-noise models for the synthetic workload generators.
+//!
+//! Real camera evaluations (LFW photographs, collected security video)
+//! contain sensor noise and illumination variation; the synthetic
+//! substitutes reproduce those nuisance factors here so classification
+//! difficulty is controllable and realistic in structure.
+
+use crate::image::GrayImage;
+use rand::Rng;
+
+/// Adds zero-mean Gaussian noise with standard deviation `sigma` and clamps
+/// the result to `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use incam_imaging::image::GrayImage;
+/// use incam_imaging::noise::add_gaussian_noise;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let img = GrayImage::new(16, 16, 0.5);
+/// let noisy = add_gaussian_noise(&img, 0.05, &mut rng);
+/// assert!(noisy.variance() > 0.0);
+/// assert!((noisy.mean() - 0.5).abs() < 0.05);
+/// ```
+pub fn add_gaussian_noise(img: &GrayImage, sigma: f32, rng: &mut impl Rng) -> GrayImage {
+    let mut out = img.clone();
+    for p in out.pixels_mut() {
+        *p = (*p + sigma * gaussian_sample(rng)).clamp(0.0, 1.0);
+    }
+    out
+}
+
+/// Applies a global illumination change: `p ← gain·p + offset`, clamped to
+/// `[0, 1]`. Models exposure/lighting variation between captures.
+pub fn adjust_exposure(img: &GrayImage, gain: f32, offset: f32) -> GrayImage {
+    let mut out = img.map(|p| (p * gain + offset).clamp(0.0, 1.0));
+    out.clamp01();
+    out
+}
+
+/// Adds salt-and-pepper noise: each pixel independently becomes 0 or 1 with
+/// probability `rate / 2` each.
+///
+/// # Panics
+///
+/// Panics if `rate` is not in `[0, 1]`.
+pub fn add_salt_pepper(img: &GrayImage, rate: f32, rng: &mut impl Rng) -> GrayImage {
+    assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+    let mut out = img.clone();
+    for p in out.pixels_mut() {
+        let r: f32 = rng.gen();
+        if r < rate / 2.0 {
+            *p = 0.0;
+        } else if r < rate {
+            *p = 1.0;
+        }
+    }
+    out
+}
+
+/// Draws a standard-normal sample via Box-Muller (avoids a dependency on
+/// `rand_distr`).
+pub fn gaussian_sample(rng: &mut impl Rng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (core::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_sample_statistics() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| gaussian_sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn noise_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let img = GrayImage::new(8, 8, 0.95);
+        let noisy = add_gaussian_noise(&img, 0.3, &mut rng);
+        let (lo, hi) = noisy.min_max();
+        assert!(lo >= 0.0 && hi <= 1.0);
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let img = GrayImage::new(4, 4, 0.3);
+        let same = add_gaussian_noise(&img, 0.0, &mut rng);
+        assert_eq!(same.pixels(), img.pixels());
+    }
+
+    #[test]
+    fn exposure_gain_and_offset() {
+        let img = GrayImage::new(2, 2, 0.4);
+        let brighter = adjust_exposure(&img, 1.5, 0.1);
+        assert!((brighter.get(0, 0) - 0.7).abs() < 1e-6);
+        let clipped = adjust_exposure(&img, 10.0, 0.0);
+        assert_eq!(clipped.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn salt_pepper_rate() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let img = GrayImage::new(100, 100, 0.5);
+        let sp = add_salt_pepper(&img, 0.2, &mut rng);
+        let extremes = sp
+            .pixels()
+            .iter()
+            .filter(|&&p| p == 0.0 || p == 1.0)
+            .count();
+        let frac = extremes as f32 / 10_000.0;
+        assert!((frac - 0.2).abs() < 0.03, "frac {frac}");
+    }
+}

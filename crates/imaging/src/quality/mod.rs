@@ -1,0 +1,81 @@
+//! Full-reference image-quality metrics.
+//!
+//! The VR case study scores depth-map quality with MS-SSIM (Wang,
+//! Simoncelli & Bovik, Asilomar 2003 — the paper's reference 38); MSE and
+//! PSNR are provided for completeness and for tests.
+
+mod msssim;
+mod ssim;
+
+pub use msssim::{ms_ssim, MsSsimConfig};
+pub use ssim::{ssim, SsimConfig};
+
+use crate::image::GrayImage;
+
+/// Mean squared error between two images of identical dimensions.
+///
+/// # Panics
+///
+/// Panics if the dimensions differ.
+///
+/// # Examples
+///
+/// ```
+/// use incam_imaging::image::GrayImage;
+/// use incam_imaging::quality::mse;
+///
+/// let a = GrayImage::new(4, 4, 0.5);
+/// let b = GrayImage::new(4, 4, 0.75);
+/// assert!((mse(&a, &b) - 0.0625).abs() < 1e-9);
+/// ```
+pub fn mse(a: &GrayImage, b: &GrayImage) -> f64 {
+    assert_eq!(a.dims(), b.dims(), "image dimensions must match");
+    let sum: f64 = a
+        .pixels()
+        .iter()
+        .zip(b.pixels())
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum();
+    sum / a.len() as f64
+}
+
+/// Peak signal-to-noise ratio in dB, assuming a unit dynamic range.
+/// Identical images yield `f64::INFINITY`.
+pub fn psnr(a: &GrayImage, b: &GrayImage) -> f64 {
+    let err = mse(a, b);
+    if err == 0.0 {
+        f64::INFINITY
+    } else {
+        -10.0 * err.log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Image;
+
+    #[test]
+    fn mse_zero_for_identical() {
+        let img = Image::from_fn(5, 5, |x, y| (x * y) as f32 / 25.0);
+        assert_eq!(mse(&img, &img), 0.0);
+        assert_eq!(psnr(&img, &img), f64::INFINITY);
+    }
+
+    #[test]
+    fn psnr_drops_with_error() {
+        let a = GrayImage::new(8, 8, 0.5);
+        let slightly = GrayImage::new(8, 8, 0.51);
+        let very = GrayImage::new(8, 8, 0.8);
+        assert!(psnr(&a, &slightly) > psnr(&a, &very));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn mismatched_dims_panic() {
+        let _ = mse(&GrayImage::zeros(2, 2), &GrayImage::zeros(3, 3));
+    }
+}

@@ -1,0 +1,157 @@
+//! Multi-scale structural similarity (MS-SSIM), Wang-Simoncelli-Bovik 2003
+//! — the paper's depth-map quality metric (reference [38], Fig. 7).
+//!
+//! The metric evaluates the contrast-structure term at five dyadic scales
+//! (downsampling by 2 between scales) and the luminance term at the
+//! coarsest, combining them with the exponents from the original paper.
+
+use super::ssim::{ssim_components, SsimConfig};
+use crate::image::GrayImage;
+use crate::resample::downscale_by;
+
+/// The reference five-scale exponent weights.
+pub const REFERENCE_WEIGHTS: [f64; 5] = [0.0448, 0.2856, 0.3001, 0.2363, 0.1333];
+
+/// MS-SSIM parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MsSsimConfig {
+    /// Single-scale SSIM parameters applied at each level.
+    pub ssim: SsimConfig,
+    /// Per-scale exponent weights; the number of entries sets the number of
+    /// scales. If the images become smaller than the filter window before
+    /// all scales are consumed, the remaining scales are dropped and the
+    /// weights renormalized.
+    pub weights: Vec<f64>,
+}
+
+impl Default for MsSsimConfig {
+    fn default() -> Self {
+        Self {
+            ssim: SsimConfig::default(),
+            weights: REFERENCE_WEIGHTS.to_vec(),
+        }
+    }
+}
+
+/// Computes the MS-SSIM index between two images.
+///
+/// Returns a value in `[0, 1]` for typical natural-image inputs; 1.0 means
+/// identical. Negative contrast-structure responses are clamped to a small
+/// positive floor before exponentiation, following common practice.
+///
+/// # Panics
+///
+/// Panics if the image dimensions differ, the weight list is empty, or the
+/// images are too small for even a single scale (min dimension < 8).
+///
+/// # Examples
+///
+/// ```
+/// use incam_imaging::image::Image;
+/// use incam_imaging::quality::{ms_ssim, MsSsimConfig};
+///
+/// let img = Image::from_fn(64, 64, |x, y| ((x * 3 + y * 7) % 11) as f32 / 11.0);
+/// let score = ms_ssim(&img, &img, &MsSsimConfig::default());
+/// assert!((score - 1.0).abs() < 1e-6);
+/// ```
+pub fn ms_ssim(a: &GrayImage, b: &GrayImage, cfg: &MsSsimConfig) -> f64 {
+    assert_eq!(a.dims(), b.dims(), "image dimensions must match");
+    assert!(!cfg.weights.is_empty(), "weights must be non-empty");
+    assert!(
+        a.width().min(a.height()) >= 8,
+        "images too small for MS-SSIM"
+    );
+
+    let mut cur_a = a.clone();
+    let mut cur_b = b.clone();
+    let mut used_weights = Vec::new();
+    let mut cs_values = Vec::new();
+    let mut final_ssim = 1.0f64;
+
+    for (level, &weight) in cfg.weights.iter().enumerate() {
+        let comps = ssim_components(&cur_a, &cur_b, &cfg.ssim);
+        let last_level = level == cfg.weights.len() - 1
+            || cur_a.width() / 2 < 8
+            || cur_a.height() / 2 < 8;
+        used_weights.push(weight);
+        if last_level {
+            final_ssim = comps.mean_ssim;
+            break;
+        }
+        cs_values.push(comps.mean_cs);
+        cur_a = downscale_by(&cur_a, 2);
+        cur_b = downscale_by(&cur_b, 2);
+    }
+
+    // Renormalize weights if we stopped early.
+    let weight_sum: f64 = used_weights.iter().sum();
+    let norm: Vec<f64> = used_weights.iter().map(|w| w / weight_sum).collect();
+
+    const FLOOR: f64 = 1e-6;
+    let mut score = final_ssim.max(FLOOR).powf(norm[norm.len() - 1]);
+    for (cs, w) in cs_values.iter().zip(&norm) {
+        score *= cs.max(FLOOR).powf(*w);
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Image;
+    use crate::noise::add_gaussian_noise;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn textured(w: usize, h: usize) -> GrayImage {
+        Image::from_fn(w, h, |x, y| {
+            (0.5 + 0.25 * ((x as f32 * 0.31).sin() + (y as f32 * 0.17).cos())).clamp(0.0, 1.0)
+        })
+    }
+
+    #[test]
+    fn identical_scores_one() {
+        let img = textured(128, 96);
+        let s = ms_ssim(&img, &img, &MsSsimConfig::default());
+        assert!((s - 1.0).abs() < 1e-6, "got {s}");
+    }
+
+    #[test]
+    fn monotone_in_noise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let img = textured(128, 128);
+        let cfg = MsSsimConfig::default();
+        let mut prev = 1.0;
+        for sigma in [0.01f32, 0.05, 0.15, 0.3] {
+            let noisy = add_gaussian_noise(&img, sigma, &mut rng);
+            let s = ms_ssim(&img, &noisy, &cfg);
+            assert!(s < prev + 1e-6, "sigma {sigma}: {s} !< {prev}");
+            prev = s;
+        }
+        assert!(prev < 0.9);
+    }
+
+    #[test]
+    fn small_images_drop_scales_gracefully() {
+        // 16x16 only supports two scales (16 -> 8); must not panic
+        let img = textured(16, 16);
+        let s = ms_ssim(&img, &img, &MsSsimConfig::default());
+        assert!((s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn in_unit_interval_for_natural_inputs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = textured(64, 64);
+        let b = add_gaussian_noise(&GrayImage::new(64, 64, 0.5), 0.2, &mut rng);
+        let s = ms_ssim(&a, &b, &MsSsimConfig::default());
+        assert!((0.0..=1.0).contains(&s), "got {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_images_rejected() {
+        let img = GrayImage::zeros(4, 4);
+        let _ = ms_ssim(&img, &img, &MsSsimConfig::default());
+    }
+}

@@ -1,0 +1,144 @@
+//! Image resampling: bilinear resize and integer downscale.
+//!
+//! Used by the multi-scale Viola-Jones scan (the scanning window is scaled
+//! and passed over the scene multiple times), by the MS-SSIM pyramid, and
+//! by the synthetic workload generators.
+
+use crate::image::GrayImage;
+
+/// Resizes `img` to `new_w × new_h` with bilinear interpolation.
+///
+/// # Panics
+///
+/// Panics if either target dimension is zero.
+///
+/// # Examples
+///
+/// ```
+/// use incam_imaging::image::Image;
+/// use incam_imaging::resample::resize_bilinear;
+///
+/// let img = Image::from_fn(4, 4, |x, _| x as f32 / 3.0);
+/// let small = resize_bilinear(&img, 2, 2);
+/// assert_eq!(small.dims(), (2, 2));
+/// // horizontal ramp survives resizing
+/// assert!(small.get(1, 0) > small.get(0, 0));
+/// ```
+pub fn resize_bilinear(img: &GrayImage, new_w: usize, new_h: usize) -> GrayImage {
+    assert!(new_w > 0 && new_h > 0, "target dimensions must be nonzero");
+    let (w, h) = img.dims();
+    let sx = w as f32 / new_w as f32;
+    let sy = h as f32 / new_h as f32;
+    GrayImage::from_fn(new_w, new_h, |x, y| {
+        // sample at the center of the destination pixel
+        let fx = ((x as f32 + 0.5) * sx - 0.5).clamp(0.0, (w - 1) as f32);
+        let fy = ((y as f32 + 0.5) * sy - 0.5).clamp(0.0, (h - 1) as f32);
+        let x0 = fx.floor() as usize;
+        let y0 = fy.floor() as usize;
+        let x1 = (x0 + 1).min(w - 1);
+        let y1 = (y0 + 1).min(h - 1);
+        let tx = fx - x0 as f32;
+        let ty = fy - y0 as f32;
+        let top = img.get(x0, y0) * (1.0 - tx) + img.get(x1, y0) * tx;
+        let bot = img.get(x0, y1) * (1.0 - tx) + img.get(x1, y1) * tx;
+        top * (1.0 - ty) + bot * ty
+    })
+}
+
+/// Downscales by an integer `factor` by averaging `factor × factor` blocks
+/// (a clean low-pass + decimate, used between MS-SSIM scales).
+///
+/// Trailing rows/columns that do not fill a complete block are dropped.
+///
+/// # Panics
+///
+/// Panics if `factor` is zero or the image is smaller than one block.
+pub fn downscale_by(img: &GrayImage, factor: usize) -> GrayImage {
+    assert!(factor > 0, "downscale factor must be nonzero");
+    let (w, h) = img.dims();
+    let nw = w / factor;
+    let nh = h / factor;
+    assert!(
+        nw > 0 && nh > 0,
+        "image {w}x{h} too small for factor {factor}"
+    );
+    let norm = 1.0 / (factor * factor) as f32;
+    GrayImage::from_fn(nw, nh, |x, y| {
+        let mut sum = 0.0f32;
+        for dy in 0..factor {
+            for dx in 0..factor {
+                sum += img.get(x * factor + dx, y * factor + dy);
+            }
+        }
+        sum * norm
+    })
+}
+
+/// Scales an image by `1 / scale` in both dimensions (bilinear), as used
+/// by the image-pyramid form of the Viola-Jones multi-scale scan.
+///
+/// # Panics
+///
+/// Panics if `scale < 1.0` or the result would vanish.
+pub fn pyramid_level(img: &GrayImage, scale: f32) -> GrayImage {
+    assert!(scale >= 1.0, "pyramid scale must be >= 1.0, got {scale}");
+    let nw = ((img.width() as f32 / scale).round() as usize).max(1);
+    let nh = ((img.height() as f32 / scale).round() as usize).max(1);
+    resize_bilinear(img, nw, nh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Image;
+
+    #[test]
+    fn identity_resize_preserves_pixels() {
+        let img = Image::from_fn(5, 4, |x, y| (x * 7 + y * 3) as f32 / 40.0);
+        let same = resize_bilinear(&img, 5, 4);
+        for y in 0..4 {
+            for x in 0..5 {
+                assert!((same.get(x, y) - img.get(x, y)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn downscale_averages_blocks() {
+        let img = Image::from_vec(4, 2, vec![0.0, 1.0, 0.5, 0.5, 1.0, 0.0, 0.5, 0.5]);
+        let half = downscale_by(&img, 2);
+        assert_eq!(half.dims(), (2, 1));
+        assert!((half.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((half.get(1, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn downscale_preserves_mean() {
+        let img = Image::from_fn(8, 8, |x, y| ((x * y) % 5) as f32 / 5.0);
+        let half = downscale_by(&img, 2);
+        assert!((half.mean() - img.mean()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn pyramid_shrinks_by_scale() {
+        let img = GrayImage::zeros(100, 60);
+        let level = pyramid_level(&img, 1.25);
+        assert_eq!(level.dims(), (80, 48));
+    }
+
+    #[test]
+    fn upscale_is_smooth_ramp() {
+        let img = Image::from_vec(2, 1, vec![0.0f32, 1.0]);
+        let big = resize_bilinear(&img, 8, 1);
+        // values are monotone nondecreasing along the ramp
+        for x in 1..8 {
+            assert!(big.get(x, 0) >= big.get(x - 1, 0) - 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn zero_factor_panics() {
+        let _ = downscale_by(&GrayImage::zeros(4, 4), 0);
+    }
+}

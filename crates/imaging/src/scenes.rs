@@ -1,0 +1,439 @@
+//! Scene-level synthetic workloads: security-camera frame streams for the
+//! face-authentication case study and textured stereo pairs for the
+//! bilateral-space stereo (VR) case study.
+
+use crate::draw::{blit, fill_ellipse, fill_rect, vertical_gradient};
+use crate::faces::{render_face, Identity, Nuisance};
+use crate::image::GrayImage;
+use crate::noise::add_gaussian_noise;
+use rand::Rng;
+
+/// Ground truth for one security-camera frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameTruth {
+    /// Whether any person (and thus a face) is visible.
+    pub person_present: bool,
+    /// Index of the visible person in the scene's cast, if any.
+    pub identity: Option<usize>,
+    /// Face bounding box `(x, y, side)` in pixels, if a face is visible.
+    pub face_box: Option<(usize, usize, usize)>,
+}
+
+/// A labeled frame: the image plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct LabeledFrame {
+    /// The rendered frame.
+    pub image: GrayImage,
+    /// Ground-truth annotations.
+    pub truth: FrameTruth,
+}
+
+/// Configuration of the synthetic security-camera stream.
+///
+/// The paper evaluates the WISPCam pipeline on real video it collected; we
+/// substitute a scripted stream with the same statistics that matter:
+/// mostly-static frames, occasional walk-throughs by enrolled or unknown
+/// people, frontal faces under mild (security-mount) conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SecuritySceneConfig {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Number of distinct people who may appear.
+    pub cast_size: usize,
+    /// Probability that a new event (walk-through) starts on an idle frame.
+    pub event_rate: f64,
+    /// Duration of a walk-through in frames.
+    pub event_len: usize,
+    /// Probability a walk-through is by person 0 (the enrolled user).
+    pub enrolled_prob: f64,
+    /// Nuisance severity for rendered faces (security mounts are mild:
+    /// ~0.3; unconstrained capture: ~1.0).
+    pub nuisance: f32,
+    /// Sensor noise per frame.
+    pub sensor_noise: f32,
+}
+
+impl Default for SecuritySceneConfig {
+    fn default() -> Self {
+        Self {
+            width: 160,
+            height: 120,
+            cast_size: 5,
+            event_rate: 0.03,
+            event_len: 10,
+            enrolled_prob: 0.4,
+            nuisance: 0.3,
+            sensor_noise: 0.01,
+        }
+    }
+}
+
+/// Generator of a continuous security-camera frame stream.
+#[derive(Debug, Clone)]
+pub struct SecurityScene<R: Rng> {
+    config: SecuritySceneConfig,
+    cast: Vec<Identity>,
+    background: GrayImage,
+    /// frames remaining in the current event and the person involved
+    event: Option<(usize, usize)>,
+    rng: R,
+}
+
+impl<R: Rng> SecurityScene<R> {
+    /// Creates a scene with a fixed background and a sampled cast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cast_size` is zero or the frame is smaller than 64×48.
+    pub fn new(config: SecuritySceneConfig, mut rng: R) -> Self {
+        assert!(config.cast_size > 0, "cast must be non-empty");
+        assert!(
+            config.width >= 64 && config.height >= 48,
+            "frame too small for a walk-through scene"
+        );
+        let cast = (0..config.cast_size)
+            .map(|_| Identity::sample(&mut rng))
+            .collect();
+        let mut background = GrayImage::zeros(config.width, config.height);
+        vertical_gradient(&mut background, 0.55, 0.35);
+        // fixed furniture
+        let w = config.width as isize;
+        let h = config.height as isize;
+        fill_rect(&mut background, w / 10, h / 2, config.width / 5, config.height / 2, 0.25);
+        fill_rect(&mut background, w * 7 / 10, h * 3 / 5, config.width / 6, config.height * 2 / 5, 0.2);
+        fill_rect(&mut background, 0, h - 6, config.width, 6, 0.15);
+        Self {
+            config,
+            cast,
+            background,
+            event: None,
+            rng,
+        }
+    }
+
+    /// The enrolled user's identity (person 0).
+    pub fn enrolled(&self) -> &Identity {
+        &self.cast[0]
+    }
+
+    /// The full cast of identities.
+    pub fn cast(&self) -> &[Identity] {
+        &self.cast
+    }
+
+    /// Renders the next frame of the stream.
+    pub fn next_frame(&mut self) -> LabeledFrame {
+        // advance or start events
+        let event = match self.event.take() {
+            Some((remaining, person)) if remaining > 1 => {
+                self.event = Some((remaining - 1, person));
+                Some((remaining - 1, person))
+            }
+            Some(_) => None, // event ended
+            None => {
+                if self.rng.gen_bool(self.config.event_rate) {
+                    let person = if self.rng.gen_bool(self.config.enrolled_prob) {
+                        0
+                    } else {
+                        self.rng.gen_range(1..self.config.cast_size.max(2))
+                            % self.config.cast_size
+                    };
+                    self.event = Some((self.config.event_len, person));
+                    Some((self.config.event_len, person))
+                } else {
+                    None
+                }
+            }
+        };
+
+        let mut frame = self.background.clone();
+        let truth = if let Some((remaining, person)) = event {
+            // person walks left-to-right across the frame over the event
+            let progress =
+                1.0 - remaining as f32 / self.config.event_len as f32;
+            let body_w = self.config.width / 8;
+            let body_h = self.config.height / 2;
+            let x = (progress * (self.config.width as f32 + body_w as f32)) as isize
+                - body_w as isize;
+            let body_y = (self.config.height / 3) as isize;
+            fill_rect(&mut frame, x, body_y, body_w, body_h, 0.45);
+            // head with face
+            let face_side = (self.config.height / 5).max(16);
+            let nz = Nuisance::sample(&mut self.rng, self.config.nuisance);
+            let face = render_face(&self.cast[person], &nz, face_side, &mut self.rng);
+            let fx = x + (body_w as isize - face_side as isize) / 2;
+            let fy = body_y - face_side as isize;
+            blit(&mut frame, &face, fx, fy);
+            let visible = fx >= 0
+                && fy >= 0
+                && fx + (face_side as isize) <= self.config.width as isize;
+            FrameTruth {
+                person_present: true,
+                identity: Some(person),
+                face_box: visible.then_some((fx as usize, fy.max(0) as usize, face_side)),
+            }
+        } else {
+            FrameTruth {
+                person_present: false,
+                identity: None,
+                face_box: None,
+            }
+        };
+
+        let image = add_gaussian_noise(&frame, self.config.sensor_noise, &mut self.rng);
+        LabeledFrame { image, truth }
+    }
+
+    /// Renders `n` consecutive frames.
+    pub fn frames(&mut self, n: usize) -> Vec<LabeledFrame> {
+        (0..n).map(|_| self.next_frame()).collect()
+    }
+}
+
+/// A synthetic stereo scene with known ground-truth disparity, used by the
+/// bilateral-space stereo experiments (Fig. 7).
+#[derive(Debug, Clone)]
+pub struct StereoScene {
+    /// Left camera image.
+    pub left: GrayImage,
+    /// Right camera image (left warped by the disparity field).
+    pub right: GrayImage,
+    /// Ground-truth disparity in pixels (positive shifts).
+    pub disparity: GrayImage,
+    /// Maximum disparity present.
+    pub max_disparity: usize,
+}
+
+/// Generates a textured, layered stereo scene.
+///
+/// The scene consists of a textured background plane plus several
+/// foreground layers (ellipses and rectangles) at increasing disparities —
+/// the piecewise-smooth depth structure that bilateral-space stereo is
+/// designed for (depth edges coincide with intensity edges).
+///
+/// # Panics
+///
+/// Panics if dimensions are below 32×32 or `max_disparity` is zero or
+/// ≥ width/4.
+///
+/// # Examples
+///
+/// ```
+/// use incam_imaging::scenes::stereo_scene;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let scene = stereo_scene(64, 48, 6, 3, &mut rng);
+/// assert_eq!(scene.left.dims(), (64, 48));
+/// assert_eq!(scene.max_disparity, 6);
+/// ```
+pub fn stereo_scene(
+    width: usize,
+    height: usize,
+    max_disparity: usize,
+    layers: usize,
+    rng: &mut impl Rng,
+) -> StereoScene {
+    stereo_scene_sloped(width, height, max_disparity, layers, 0.0, rng)
+}
+
+/// [`stereo_scene`] with an additional *ground-plane ramp*: a smooth
+/// vertical disparity gradient of up to `slope_fraction · max_disparity`
+/// across the background, as produced by a floor receding from the
+/// camera. Sloped surfaces are what make coarse bilateral grids lose
+/// accuracy even away from depth edges (the paper's Fig. 7 degradation).
+///
+/// # Panics
+///
+/// As [`stereo_scene`]; additionally `slope_fraction` must be in `[0, 1]`.
+pub fn stereo_scene_sloped(
+    width: usize,
+    height: usize,
+    max_disparity: usize,
+    layers: usize,
+    slope_fraction: f32,
+    rng: &mut impl Rng,
+) -> StereoScene {
+    assert!(
+        (0.0..=1.0).contains(&slope_fraction),
+        "slope_fraction must be in [0, 1]"
+    );
+    // sloped scenes also carry small, low-contrast detail objects: the
+    // fine depth structure that only fine bilateral grids can preserve
+    let detail_objects = if slope_fraction > 0.0 { 2 * layers } else { 0 };
+    assert!(width >= 32 && height >= 32, "scene too small");
+    assert!(
+        max_disparity > 0 && max_disparity < width / 4,
+        "max_disparity out of range"
+    );
+
+    // textured background: sum of random sinusoids + noise, distinct tone
+    let phases: Vec<(f32, f32, f32, f32)> = (0..6)
+        .map(|_| {
+            (
+                rng.gen_range(0.05..0.5),
+                rng.gen_range(0.05..0.5),
+                rng.gen_range(0.0..core::f32::consts::TAU),
+                rng.gen_range(0.05..0.18),
+            )
+        })
+        .collect();
+    let mut texture = GrayImage::from_fn(width, height, |x, y| {
+        let mut v = 0.5;
+        for &(fx, fy, ph, amp) in &phases {
+            v += amp * (fx * x as f32 + fy * y as f32 + ph).sin();
+        }
+        v.clamp(0.0, 1.0)
+    });
+    texture = add_gaussian_noise(&texture, 0.02, rng);
+
+    // disparity field: background ground-plane ramp (bottom of the frame
+    // is nearest), then layered foreground shapes
+    let ramp = slope_fraction * max_disparity as f32;
+    let mut disparity = GrayImage::from_fn(width, height, |_, y| {
+        ramp * y as f32 / (height - 1) as f32
+    });
+    let mut tone = GrayImage::zeros(width, height); // per-layer tone offset
+    for layer in 0..layers {
+        let d = ((layer + 1) as f32 / layers as f32 * max_disparity as f32).round();
+        let cx = rng.gen_range(0.2..0.8) * width as f32;
+        let cy = rng.gen_range(0.2..0.8) * height as f32;
+        let rx = rng.gen_range(0.08..0.22) * width as f32;
+        let ry = rng.gen_range(0.08..0.22) * height as f32;
+        fill_ellipse(&mut disparity, cx, cy, rx, ry, d);
+        // give each layer a distinct albedo shift so depth edges are
+        // intensity edges (the bilateral-space assumption)
+        fill_ellipse(&mut tone, cx, cy, rx, ry, rng.gen_range(-0.25..0.25));
+    }
+    // small low-contrast detail objects at intermediate depths
+    for _ in 0..detail_objects {
+        let d = rng.gen_range(0.3..0.9) * max_disparity as f32;
+        let cx = rng.gen_range(0.1..0.9) * width as f32;
+        let cy = rng.gen_range(0.1..0.9) * height as f32;
+        let r = rng.gen_range(0.015..0.04) * width as f32;
+        fill_ellipse(&mut disparity, cx, cy, r, r, d.round());
+        fill_ellipse(&mut tone, cx, cy, r, r, rng.gen_range(0.06..0.12)
+            * if rng.gen_bool(0.5) { 1.0 } else { -1.0 });
+    }
+
+    let left = GrayImage::from_fn(width, height, |x, y| {
+        (texture.get(x, y) + tone.get(x, y)).clamp(0.0, 1.0)
+    });
+
+    // right view: sample left at x + d (objects shift left in the right eye)
+    let right = GrayImage::from_fn(width, height, |x, y| {
+        let d = disparity.get(x, y).round();
+        left.get_clamped(x as isize + d as isize, y as isize)
+    });
+
+    StereoScene {
+        left,
+        right,
+        disparity,
+        max_disparity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn idle_frames_dominate_at_low_event_rate() {
+        let cfg = SecuritySceneConfig {
+            event_rate: 0.02,
+            ..Default::default()
+        };
+        let mut scene = SecurityScene::new(cfg, StdRng::seed_from_u64(1));
+        let frames = scene.frames(300);
+        let present = frames.iter().filter(|f| f.truth.person_present).count();
+        assert!(present > 0, "some events should occur");
+        assert!(present < 150, "events should be the minority: {present}");
+    }
+
+    #[test]
+    fn events_run_for_configured_length() {
+        let cfg = SecuritySceneConfig {
+            event_rate: 1.0, // event starts immediately
+            event_len: 5,
+            ..Default::default()
+        };
+        let mut scene = SecurityScene::new(cfg, StdRng::seed_from_u64(2));
+        let frames = scene.frames(7);
+        let presence: Vec<bool> = frames.iter().map(|f| f.truth.person_present).collect();
+        // 5 event frames, then a gap frame, then a new event begins
+        assert_eq!(&presence[..6], &[true, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn enrolled_person_appears_with_configured_probability() {
+        let cfg = SecuritySceneConfig {
+            event_rate: 0.5,
+            event_len: 1,
+            enrolled_prob: 1.0,
+            ..Default::default()
+        };
+        let mut scene = SecurityScene::new(cfg, StdRng::seed_from_u64(3));
+        for f in scene.frames(100) {
+            if f.truth.person_present {
+                assert_eq!(f.truth.identity, Some(0));
+            }
+        }
+    }
+
+    #[test]
+    fn frames_differ_only_when_person_moves() {
+        let cfg = SecuritySceneConfig {
+            event_rate: 0.0,
+            sensor_noise: 0.0,
+            ..Default::default()
+        };
+        let mut scene = SecurityScene::new(cfg, StdRng::seed_from_u64(4));
+        let a = scene.next_frame();
+        let b = scene.next_frame();
+        assert_eq!(a.image.pixels(), b.image.pixels());
+    }
+
+    #[test]
+    fn stereo_pair_consistent_with_disparity() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = stereo_scene(96, 64, 8, 3, &mut rng);
+        // check the warp identity at interior pixels with constant disparity
+        let mut checked = 0;
+        for y in 8..56 {
+            for x in 8..80 {
+                let d = s.disparity.get(x, y) as usize;
+                if x + d < 88 {
+                    let l = s.left.get(x + d, y);
+                    let r = s.right.get(x, y);
+                    if (l - r).abs() < 1e-6 {
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        // the warp holds exactly wherever disparity is locally constant
+        assert!(checked > 2000, "only {checked} consistent pixels");
+    }
+
+    #[test]
+    fn disparity_range_respected() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let s = stereo_scene(64, 64, 5, 4, &mut rng);
+        let (lo, hi) = s.disparity.min_max();
+        assert!(lo >= 0.0);
+        assert!(hi <= 5.0 + 1e-6);
+        assert!(hi >= 4.0, "top layer should reach near max disparity");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn huge_disparity_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = stereo_scene(64, 64, 32, 2, &mut rng);
+    }
+}

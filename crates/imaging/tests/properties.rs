@@ -1,0 +1,118 @@
+//! Property-based tests of the imaging substrate.
+
+use incam_imaging::convolve::{box_blur, convolve_h, gaussian_blur};
+use incam_imaging::image::{GrayImage, Image};
+use incam_imaging::integral::IntegralImage;
+use incam_imaging::quality::{mse, psnr, ssim, SsimConfig};
+use incam_imaging::resample::{downscale_by, resize_bilinear};
+use proptest::prelude::*;
+
+fn arbitrary_image() -> impl Strategy<Value = GrayImage> {
+    (4usize..32, 4usize..32, 0u64..10_000).prop_map(|(w, h, seed)| {
+        Image::from_fn(w, h, move |x, y| {
+            (((x * 31 + y * 17 + seed as usize * 13) % 97) as f32) / 97.0
+        })
+    })
+}
+
+proptest! {
+    /// Cropping then reading equals reading with offset.
+    #[test]
+    fn crop_is_a_view(img in arbitrary_image()) {
+        let (w, h) = img.dims();
+        let (cw, ch) = (w / 2 + 1, h / 2 + 1);
+        let (x0, y0) = (w - cw, h - ch);
+        let crop = img.crop(x0, y0, cw, ch);
+        for y in 0..ch {
+            for x in 0..cw {
+                prop_assert_eq!(crop.get(x, y), img.get(x0 + x, y0 + y));
+            }
+        }
+    }
+
+    /// Normalization is idempotent up to float tolerance.
+    #[test]
+    fn normalization_idempotent(img in arbitrary_image()) {
+        let once = img.normalized();
+        let twice = once.normalized();
+        for (a, b) in once.pixels().iter().zip(twice.pixels()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    /// Integral-image total equals the pixel sum, and any rectangle's sum
+    /// is bounded by the total for non-negative images.
+    #[test]
+    fn integral_total_and_bounds(img in arbitrary_image()) {
+        let (w, h) = img.dims();
+        let ii = IntegralImage::new(&img);
+        let total = ii.rect_sum(0, 0, w, h);
+        let naive: f64 = img.pixels().iter().map(|&p| p as f64).sum();
+        prop_assert!((total - naive).abs() < 1e-4);
+        let sub = ii.rect_sum(w / 4, h / 4, w / 2, h / 2);
+        prop_assert!(sub <= total + 1e-9);
+        prop_assert!(sub >= -1e-9);
+    }
+
+    /// Blur preserves the mean of periodic-ish content within tolerance
+    /// and never exceeds the input range.
+    #[test]
+    fn blur_range_preservation(img in arbitrary_image()) {
+        let out = box_blur(&img, 3);
+        let (lo, hi) = img.min_max();
+        let (olo, ohi) = out.min_max();
+        prop_assert!(olo >= lo - 1e-5 && ohi <= hi + 1e-5);
+    }
+
+    /// Convolution is linear: conv(a·x) = a·conv(x).
+    #[test]
+    fn convolution_linearity(img in arbitrary_image(), scale in 0.1f32..3.0) {
+        let kernel = [0.25f32, 0.5, 0.25];
+        let direct = convolve_h(&img.map(|p| p * scale), &kernel);
+        let scaled = convolve_h(&img, &kernel).map(|p| p * scale);
+        for (a, b) in direct.pixels().iter().zip(scaled.pixels()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Gaussian blur with larger sigma reduces variance at least as much.
+    #[test]
+    fn blur_monotone_in_sigma(img in arbitrary_image()) {
+        let light = gaussian_blur(&img, 0.6).variance();
+        let heavy = gaussian_blur(&img, 2.5).variance();
+        prop_assert!(heavy <= light + 1e-6);
+    }
+
+    /// Identity resize is exact; downscale preserves the mean.
+    #[test]
+    fn resample_invariants(img in arbitrary_image()) {
+        let (w, h) = img.dims();
+        let same = resize_bilinear(&img, w, h);
+        for (a, b) in same.pixels().iter().zip(img.pixels()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+        if w >= 8 && h >= 8 {
+            let half = downscale_by(&img, 2);
+            // exact mean preservation when dims are even; cropped
+            // remainder rows otherwise shift it slightly
+            if w % 2 == 0 && h % 2 == 0 {
+                prop_assert!((half.mean() - img.mean()).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// Quality metrics: identity scores perfectly; MSE is symmetric;
+    /// SSIM is bounded.
+    #[test]
+    fn quality_metric_axioms(a in arbitrary_image(), seed in 0u64..1000) {
+        prop_assert_eq!(mse(&a, &a), 0.0);
+        prop_assert!(psnr(&a, &a).is_infinite());
+        let (w, h) = a.dims();
+        let b = Image::from_fn(w, h, |x, y| {
+            (((x * 7 + y * 23 + seed as usize) % 89) as f32) / 89.0
+        });
+        prop_assert!((mse(&a, &b) - mse(&b, &a)).abs() < 1e-12);
+        let s = ssim(&a, &b, &SsimConfig::default());
+        prop_assert!((-1.0..=1.0 + 1e-9).contains(&s));
+    }
+}

@@ -1,0 +1,195 @@
+//! Binary-classification evaluation: the metrics the paper reports for
+//! face authentication (classification error) and face detection
+//! (precision / recall / F1, Fig. 4c).
+
+use core::fmt;
+
+/// Confusion-matrix counts for a binary classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// Positives classified positive.
+    pub tp: usize,
+    /// Negatives classified positive.
+    pub fp: usize,
+    /// Negatives classified negative.
+    pub tn: usize,
+    /// Positives classified negative.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Builds a confusion matrix from `(score, label)` pairs with a
+    /// decision threshold.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use incam_nn::eval::Confusion;
+    ///
+    /// let scored = [(0.9, true), (0.2, false), (0.6, false), (0.4, true)];
+    /// let c = Confusion::from_scores(scored.iter().copied(), 0.5);
+    /// assert_eq!((c.tp, c.fp, c.tn, c.fn_), (1, 1, 1, 1));
+    /// assert!((c.accuracy() - 0.5).abs() < 1e-9);
+    /// ```
+    pub fn from_scores(scored: impl IntoIterator<Item = (f32, bool)>, threshold: f32) -> Self {
+        let mut c = Confusion::default();
+        for (score, label) in scored {
+            c.record(score >= threshold, label);
+        }
+        c
+    }
+
+    /// Records a single prediction.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Total number of predictions.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fraction classified correctly. Returns 0 for an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    /// Classification error (`1 - accuracy`).
+    pub fn error(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        1.0 - self.accuracy()
+    }
+
+    /// Of predicted positives, the fraction that are real. 0 when nothing
+    /// was predicted positive.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / denom as f64
+    }
+
+    /// Of real positives, the fraction found. 0 when there are no
+    /// positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / denom as f64
+    }
+
+    /// Miss rate: the fraction of real positives not found — the security
+    /// metric the paper quotes (its multi-stage pipeline reaches a 0 %
+    /// true miss rate on the real workload).
+    pub fn miss_rate(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.fn_ as f64 / denom as f64
+    }
+
+    /// False-positive rate over real negatives.
+    pub fn false_positive_rate(&self) -> f64 {
+        let denom = self.fp + self.tn;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.fp as f64 / denom as f64
+    }
+
+    /// Harmonic mean of precision and recall. 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+impl fmt::Display for Confusion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tp={} fp={} tn={} fn={} (acc {:.3}, P {:.3}, R {:.3}, F1 {:.3})",
+            self.tp,
+            self.fp,
+            self.tn,
+            self.fn_,
+            self.accuracy(),
+            self.precision(),
+            self.recall(),
+            self.f1()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let scores = [(0.9, true), (0.8, true), (0.1, false), (0.2, false)];
+        let c = Confusion::from_scores(scores.iter().copied(), 0.5);
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.error(), 0.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn always_negative_classifier() {
+        let scores = [(0.1, true), (0.1, false)];
+        let c = Confusion::from_scores(scores.iter().copied(), 0.5);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.miss_rate(), 1.0);
+    }
+
+    #[test]
+    fn threshold_moves_tradeoff() {
+        let scores = [
+            (0.9f32, true),
+            (0.7, true),
+            (0.6, false),
+            (0.3, true),
+            (0.2, false),
+        ];
+        let strict = Confusion::from_scores(scores.iter().copied(), 0.8);
+        let lax = Confusion::from_scores(scores.iter().copied(), 0.25);
+        assert!(strict.precision() >= lax.precision());
+        assert!(lax.recall() >= strict.recall());
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let c = Confusion::default();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.false_positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let mut c = Confusion::default();
+        c.record(true, true);
+        let s = c.to_string();
+        assert!(s.contains("tp=1"));
+    }
+}

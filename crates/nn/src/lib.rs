@@ -1,0 +1,53 @@
+//! # incam-nn — FANN-like neural networks for face authentication
+//!
+//! The software substrate behind the low-power case study's core block: a
+//! float multilayer perceptron with backprop training
+//! ([`train()`](train::train)), hardware sigmoid approximations ([`sigmoid`]), fixed-point
+//! quantization mirroring the SNNAP PE datapath ([`quant`]), the synthetic
+//! face-authentication dataset ([`dataset`]), and classification metrics
+//! ([`eval`]).
+//!
+//! # Examples
+//!
+//! Train a small authenticator and evaluate it quantized:
+//!
+//! ```
+//! use incam_nn::dataset::{FaceAuthConfig, FaceAuthDataset};
+//! use incam_nn::eval::Confusion;
+//! use incam_nn::mlp::Mlp;
+//! use incam_nn::quant::QuantizedMlp;
+//! use incam_nn::sigmoid::Sigmoid;
+//! use incam_nn::topology::Topology;
+//! use incam_nn::train::{train, TrainConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+//! let cfg = FaceAuthConfig { input_side: 10, target_samples: 40,
+//!     impostors: 3, impostor_samples: 14, ..Default::default() };
+//! let data = FaceAuthDataset::generate(&cfg, &mut rng);
+//! let mut net = Mlp::random(Topology::new(vec![100, 8, 1]), &mut rng);
+//! train(&mut net, &data.train, &TrainConfig { max_epochs: 60, ..Default::default() }, &mut rng);
+//! let q = QuantizedMlp::from_mlp(&net, 8, Sigmoid::lut256());
+//! let confusion = Confusion::from_scores(data.test_scores(|x| q.forward(x)[0]), 0.5);
+//! assert!(confusion.total() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod eval;
+pub mod mlp;
+pub mod quant;
+pub mod rprop;
+pub mod sigmoid;
+pub mod topology;
+pub mod train;
+
+pub use eval::Confusion;
+pub use mlp::Mlp;
+pub use quant::{QFormat, QuantizedMlp};
+pub use rprop::{train_rprop, RpropConfig};
+pub use sigmoid::Sigmoid;
+pub use topology::Topology;
+pub use train::{train, TrainConfig, TrainingSet};

@@ -1,0 +1,207 @@
+//! Activation functions: the exact logistic sigmoid and its LUT-based
+//! hardware approximations.
+//!
+//! The SNNAP-style accelerator approximates the neuron activation with a
+//! hardware look-up table; the paper finds a 256-entry LUT has *negligible*
+//! accuracy impact (§III-A). [`Sigmoid`] lets the same network run with the
+//! exact function (software/float reference) or any LUT resolution, so the
+//! approximation study is a one-parameter sweep.
+
+use core::fmt;
+
+/// The exact logistic sigmoid `1 / (1 + e^-x)`.
+///
+/// # Examples
+///
+/// ```
+/// use incam_nn::sigmoid::sigmoid_exact;
+/// assert!((sigmoid_exact(0.0) - 0.5).abs() < 1e-9);
+/// assert!(sigmoid_exact(10.0) > 0.9999);
+/// assert!(sigmoid_exact(-10.0) < 0.0001);
+/// ```
+pub fn sigmoid_exact(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Derivative of the logistic sigmoid given its *output* `y = σ(x)`.
+pub fn sigmoid_derivative_from_output(y: f32) -> f32 {
+    y * (1.0 - y)
+}
+
+/// An activation implementation: exact or LUT-approximated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sigmoid {
+    /// Precise floating-point evaluation (the software reference).
+    Exact,
+    /// Hardware-style uniform look-up table over `[-range, range]`,
+    /// clamped (saturated) outside. The table stores midpoint samples.
+    Lut(LutSigmoid),
+}
+
+impl Sigmoid {
+    /// The accelerator's default: a 256-entry LUT over `[-8, 8]`.
+    pub fn lut256() -> Self {
+        Sigmoid::Lut(LutSigmoid::new(256, 8.0))
+    }
+
+    /// A LUT with the given entry count over `[-8, 8]`.
+    pub fn lut(entries: usize) -> Self {
+        Sigmoid::Lut(LutSigmoid::new(entries, 8.0))
+    }
+
+    /// Evaluates the activation.
+    #[inline]
+    pub fn eval(&self, x: f32) -> f32 {
+        match self {
+            Sigmoid::Exact => sigmoid_exact(x),
+            Sigmoid::Lut(lut) => lut.eval(x),
+        }
+    }
+
+    /// Worst-case absolute error vs. the exact sigmoid, probed on a dense
+    /// grid over the LUT's input range (0 for [`Sigmoid::Exact`]).
+    pub fn max_abs_error(&self) -> f32 {
+        match self {
+            Sigmoid::Exact => 0.0,
+            Sigmoid::Lut(lut) => {
+                let mut worst = 0.0f32;
+                let probes = lut.entries() * 16;
+                for i in 0..=probes {
+                    let x = -lut.range() + 2.0 * lut.range() * i as f32 / probes as f32;
+                    worst = worst.max((lut.eval(x) - sigmoid_exact(x)).abs());
+                }
+                worst
+            }
+        }
+    }
+}
+
+impl fmt::Display for Sigmoid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sigmoid::Exact => f.write_str("exact"),
+            Sigmoid::Lut(lut) => write!(f, "LUT-{}", lut.entries()),
+        }
+    }
+}
+
+/// A uniform LUT approximation of the logistic sigmoid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LutSigmoid {
+    table: Vec<f32>,
+    range: f32,
+}
+
+impl LutSigmoid {
+    /// Builds a LUT with `entries` midpoint samples over `[-range, range]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries < 2` or `range` is not positive.
+    pub fn new(entries: usize, range: f32) -> Self {
+        assert!(entries >= 2, "LUT needs at least 2 entries");
+        assert!(range > 0.0, "range must be positive");
+        let table = (0..entries)
+            .map(|i| {
+                // midpoint of bucket i
+                let x = -range + (i as f32 + 0.5) * (2.0 * range / entries as f32);
+                sigmoid_exact(x)
+            })
+            .collect();
+        Self { table, range }
+    }
+
+    /// Number of table entries.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Half-width of the covered input range.
+    pub fn range(&self) -> f32 {
+        self.range
+    }
+
+    /// Evaluates the approximation, saturating outside the range.
+    #[inline]
+    pub fn eval(&self, x: f32) -> f32 {
+        if x <= -self.range {
+            return self.table[0];
+        }
+        if x >= self.range {
+            return self.table[self.table.len() - 1];
+        }
+        let idx = ((x + self.range) / (2.0 * self.range) * self.table.len() as f32) as usize;
+        self.table[idx.min(self.table.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_properties() {
+        assert!((sigmoid_exact(0.0) - 0.5).abs() < 1e-7);
+        // monotone
+        let mut prev = sigmoid_exact(-6.0);
+        for i in -59..=60 {
+            let y = sigmoid_exact(i as f32 / 10.0);
+            assert!(y >= prev);
+            prev = y;
+        }
+        // symmetry σ(-x) = 1 - σ(x)
+        for x in [0.3f32, 1.7, 4.2] {
+            assert!((sigmoid_exact(-x) - (1.0 - sigmoid_exact(x))).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn derivative_peaks_at_center() {
+        let d0 = sigmoid_derivative_from_output(0.5);
+        assert!((d0 - 0.25).abs() < 1e-7);
+        assert!(sigmoid_derivative_from_output(0.9) < d0);
+    }
+
+    #[test]
+    fn lut_error_shrinks_with_entries() {
+        let coarse = Sigmoid::lut(16).max_abs_error();
+        let medium = Sigmoid::lut(64).max_abs_error();
+        let fine = Sigmoid::lut(256).max_abs_error();
+        assert!(coarse > medium && medium > fine);
+        // paper: 256 entries is negligible
+        assert!(fine < 0.02, "256-entry LUT error {fine}");
+        assert!(coarse > 0.05, "16-entry LUT should be visibly coarse");
+    }
+
+    #[test]
+    fn lut_saturates_outside_range() {
+        let lut = LutSigmoid::new(256, 8.0);
+        assert_eq!(lut.eval(100.0), lut.eval(8.0));
+        assert_eq!(lut.eval(-100.0), lut.eval(-8.0));
+        assert!(lut.eval(100.0) > 0.999);
+    }
+
+    #[test]
+    fn lut_monotone_nondecreasing() {
+        let lut = LutSigmoid::new(64, 8.0);
+        let mut prev = -1.0f32;
+        for i in 0..1000 {
+            let x = -10.0 + 20.0 * i as f32 / 999.0;
+            let y = lut.eval(x);
+            assert!(y >= prev - 1e-7);
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Sigmoid::Exact.to_string(), "exact");
+        assert_eq!(Sigmoid::lut256().to_string(), "LUT-256");
+    }
+
+    #[test]
+    #[should_panic(expected = "entries")]
+    fn tiny_lut_rejected() {
+        let _ = LutSigmoid::new(1, 8.0);
+    }
+}

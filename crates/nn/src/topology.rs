@@ -1,0 +1,155 @@
+//! Network topology descriptions.
+//!
+//! The paper's §III-A explores NN topologies for face authentication —
+//! varying the input window (5×5 … 20×20 pixels) and hidden width — and
+//! selects a **400-8-1** multilayer perceptron as the accuracy/energy
+//! optimum. [`Topology`] captures the layer widths and derives the
+//! work/storage quantities the accelerator's energy model needs.
+
+use core::fmt;
+
+/// Layer widths of a fully-connected feed-forward network, input first.
+///
+/// # Examples
+///
+/// ```
+/// use incam_nn::topology::Topology;
+///
+/// let t = Topology::new(vec![400, 8, 1]);
+/// assert_eq!(t.inputs(), 400);
+/// assert_eq!(t.outputs(), 1);
+/// assert_eq!(t.macs_per_inference(), 400 * 8 + 8 * 1);
+/// assert_eq!(t.to_string(), "400-8-1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Topology {
+    layers: Vec<usize>,
+}
+
+impl Topology {
+    /// Creates a topology from layer widths (input first, output last).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two layers are given or any width is zero.
+    pub fn new(layers: Vec<usize>) -> Self {
+        assert!(
+            layers.len() >= 2,
+            "a network needs at least input and output layers"
+        );
+        assert!(
+            layers.iter().all(|&n| n > 0),
+            "layer widths must be nonzero"
+        );
+        Self { layers }
+    }
+
+    /// The paper's selected face-authentication topology: 400-8-1
+    /// (a 20×20 input window, 8 hidden neurons, 1 output).
+    pub fn paper_default() -> Self {
+        Self::new(vec![400, 8, 1])
+    }
+
+    /// Layer widths, input first.
+    pub fn layers(&self) -> &[usize] {
+        &self.layers
+    }
+
+    /// Input width.
+    pub fn inputs(&self) -> usize {
+        self.layers[0]
+    }
+
+    /// Output width.
+    pub fn outputs(&self) -> usize {
+        *self.layers.last().expect("validated at construction")
+    }
+
+    /// Number of weight matrices (= number of non-input layers).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len() - 1
+    }
+
+    /// Total number of synaptic weights, excluding biases.
+    pub fn num_weights(&self) -> usize {
+        self.layers.windows(2).map(|w| w[0] * w[1]).sum()
+    }
+
+    /// Total number of biases (one per non-input neuron).
+    pub fn num_biases(&self) -> usize {
+        self.layers[1..].iter().sum()
+    }
+
+    /// Multiply-accumulate operations per inference.
+    pub fn macs_per_inference(&self) -> usize {
+        self.num_weights()
+    }
+
+    /// Activation-function evaluations per inference.
+    pub fn activations_per_inference(&self) -> usize {
+        self.num_biases()
+    }
+
+    /// Weight-memory footprint in bytes at the given weight width.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use incam_nn::topology::Topology;
+    /// let t = Topology::paper_default();
+    /// assert_eq!(t.weight_bytes(8), (400 * 8 + 8) + (8 + 1));
+    /// ```
+    pub fn weight_bytes(&self, bits_per_weight: usize) -> usize {
+        (self.num_weights() + self.num_biases()) * bits_per_weight / 8
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let strs: Vec<String> = self.layers.iter().map(|n| n.to_string()).collect();
+        f.write_str(&strs.join("-"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_for_paper_topology() {
+        let t = Topology::paper_default();
+        assert_eq!(t.num_layers(), 2);
+        assert_eq!(t.num_weights(), 3208);
+        assert_eq!(t.num_biases(), 9);
+        assert_eq!(t.activations_per_inference(), 9);
+    }
+
+    #[test]
+    fn deep_network_counts() {
+        let t = Topology::new(vec![10, 5, 5, 2]);
+        assert_eq!(t.num_weights(), 50 + 25 + 10);
+        assert_eq!(t.num_biases(), 12);
+        assert_eq!(t.to_string(), "10-5-5-2");
+    }
+
+    #[test]
+    fn weight_bytes_scale_with_bits() {
+        let t = Topology::new(vec![4, 2]);
+        // 8 weights + 2 biases
+        assert_eq!(t.weight_bytes(8), 10);
+        assert_eq!(t.weight_bytes(16), 20);
+        assert_eq!(t.weight_bytes(4), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn single_layer_rejected() {
+        let _ = Topology::new(vec![10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_width_rejected() {
+        let _ = Topology::new(vec![10, 0, 1]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the NN substrate.
+
+use incam_nn::eval::Confusion;
+use incam_nn::mlp::Mlp;
+use incam_nn::quant::{QFormat, QuantizedMlp};
+use incam_nn::sigmoid::{sigmoid_exact, LutSigmoid, Sigmoid};
+use incam_nn::topology::Topology;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Topology counting identities: weights+biases == per-layer sums and
+    /// scale correctly with bit width.
+    #[test]
+    fn topology_counts(layers in prop::collection::vec(1usize..40, 2..5)) {
+        let t = Topology::new(layers.clone());
+        let weights: usize = layers.windows(2).map(|w| w[0] * w[1]).sum();
+        let biases: usize = layers[1..].iter().sum();
+        prop_assert_eq!(t.num_weights(), weights);
+        prop_assert_eq!(t.num_biases(), biases);
+        prop_assert_eq!(t.weight_bytes(16), 2 * t.weight_bytes(8));
+        prop_assert_eq!(t.macs_per_inference(), weights);
+    }
+
+    /// The exact sigmoid is monotone, bounded, and symmetric; every LUT
+    /// stays within its analytic worst case of the exact function.
+    #[test]
+    fn sigmoid_axioms(x in -20.0f32..20.0, entries in 8usize..512) {
+        let y = sigmoid_exact(x);
+        prop_assert!((0.0..=1.0).contains(&y));
+        prop_assert!((sigmoid_exact(-x) - (1.0 - y)).abs() < 1e-5);
+        let lut = LutSigmoid::new(entries, 8.0);
+        let approx = lut.eval(x);
+        prop_assert!((0.0..=1.0).contains(&approx));
+        // within range, the LUT error is bounded by one bucket's swing
+        if x.abs() < 8.0 {
+            let bucket = 16.0 / entries as f32;
+            prop_assert!((approx - y).abs() <= bucket / 4.0 + 2e-3 + bucket);
+        }
+    }
+
+    /// Forward passes are deterministic and bounded in (0, 1).
+    #[test]
+    fn forward_deterministic_and_bounded(seed in 0u64..500, input_bits in 0u32..256) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Mlp::random(Topology::new(vec![8, 5, 2]), &mut rng);
+        let input: Vec<f32> = (0..8).map(|i| ((input_bits >> i) & 1) as f32).collect();
+        let a = net.forward(&input, &Sigmoid::Exact);
+        let b = net.forward(&input, &Sigmoid::Exact);
+        prop_assert_eq!(a.clone(), b);
+        for v in a {
+            prop_assert!(v > 0.0 && v < 1.0);
+        }
+    }
+
+    /// Quantized inference converges to the float reference as bits grow.
+    #[test]
+    fn quantization_error_shrinks_with_bits(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Mlp::random(Topology::new(vec![12, 6, 1]), &mut rng);
+        let input: Vec<f32> = (0..12).map(|i| (i as f32) / 12.0).collect();
+        let reference = net.forward(&input, &Sigmoid::Exact)[0];
+        let err_at = |bits: u32| {
+            let q = QuantizedMlp::from_mlp(&net, bits, Sigmoid::lut(1024));
+            (q.forward(&input)[0] - reference).abs()
+        };
+        // 16-bit within a tight bound; wider always at least as good as a
+        // loose multiple of narrower (allowing quantization noise)
+        prop_assert!(err_at(16) < 0.02, "16-bit err {}", err_at(16));
+        prop_assert!(err_at(12) < 0.08);
+    }
+
+    /// QFormat: dequantize(quantize(x)) is within resolution/2 in range,
+    /// and codes saturate cleanly at the rails.
+    #[test]
+    fn qformat_rails(bits in 3u32..20, x in -1e4f32..1e4) {
+        let q = QFormat::fit(bits, 1.0);
+        let code = q.quantize(x);
+        prop_assert!(code >= q.min_code() && code <= q.max_code());
+        let back = q.dequantize(code);
+        if x.abs() <= q.max_value() {
+            prop_assert!((back - x).abs() <= q.resolution() / 2.0 + 1e-6);
+        } else {
+            // saturated: reconstruction sits at a rail
+            prop_assert!(back.abs() >= q.max_value().min(-q.dequantize(q.min_code())) - q.resolution());
+        }
+    }
+
+    /// Confusion-matrix identities: accuracy + error == 1; counts add up;
+    /// F1 bounded by min/max of precision and recall... within [0,1].
+    #[test]
+    fn confusion_identities(outcomes in prop::collection::vec((0.0f32..1.0, any::<bool>()), 1..100)) {
+        let c = Confusion::from_scores(outcomes.iter().copied(), 0.5);
+        prop_assert_eq!(c.total(), outcomes.len());
+        prop_assert!((c.accuracy() + c.error() - 1.0).abs() < 1e-12);
+        let f1 = c.f1();
+        prop_assert!((0.0..=1.0).contains(&f1));
+        let p = c.precision();
+        let r = c.recall();
+        if p > 0.0 && r > 0.0 {
+            prop_assert!(f1 <= p.max(r) + 1e-12);
+            prop_assert!(f1 >= p.min(r) - 1e-12);
+        }
+        prop_assert!((c.miss_rate() + c.recall() - 1.0).abs() < 1e-12 || (c.tp + c.fn_) == 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Cycle-by-cycle functional simulation of the Fig. 3 datapath.
+//!
+//! Where [`crate::sched`] *counts* cycles analytically, this module
+//! *executes* them: a vertically micro-coded sequencer steps a bank of
+//! processing elements through weight-stationary multiply-accumulate,
+//! one broadcast input per cycle; completed accumulators drain through
+//! the accumulator FIFO into the shared sigmoid LUT unit; activations
+//! land in the output FIFO for the next layer. Two strong checks fall
+//! out:
+//!
+//! * **bit-exactness** — the simulated PEs use the same integer
+//!   arithmetic as [`incam_nn::quant::QuantizedMlp`], so every output
+//!   must match the functional model exactly;
+//! * **cycle-exactness** — the simulated cycle counter must agree with
+//!   [`crate::sched::Schedule`]'s analytical total, validating the
+//!   energy model's cycle basis.
+
+use crate::config::SnnapConfig;
+use crate::sched::Schedule;
+use incam_nn::quant::{QFormat, QuantizedMlp};
+
+/// One processing element's architectural state.
+#[derive(Debug, Clone)]
+struct ProcessingElement {
+    /// The weight-SRAM row for the neuron currently mapped to this PE.
+    weights: Vec<i64>,
+    /// The running accumulator (the Fig. 3 26-bit register, held wider
+    /// here with the width checked instead of silently wrapping).
+    accumulator: i64,
+    /// Whether a neuron is mapped this pass.
+    active: bool,
+}
+
+/// Event counters gathered while cycling the datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DatapathStats {
+    /// Total cycles stepped.
+    pub cycles: u64,
+    /// Multiply-accumulate operations executed (one per active PE per
+    /// broadcast cycle).
+    pub macs: u64,
+    /// Weight-SRAM reads (one per MAC — weight-stationary rows are read
+    /// as the input streams by).
+    pub sram_reads: u64,
+    /// Input-bus broadcast transfers.
+    pub bus_broadcasts: u64,
+    /// Sigmoid-unit lookups.
+    pub sigmoid_lookups: u64,
+    /// Widest accumulator magnitude observed, in bits.
+    pub peak_accumulator_bits: u32,
+}
+
+/// The cycle-accurate datapath simulator.
+#[derive(Debug, Clone)]
+pub struct DatapathSim {
+    config: SnnapConfig,
+}
+
+impl DatapathSim {
+    /// Creates a simulator for the given accelerator configuration.
+    pub fn new(config: SnnapConfig) -> Self {
+        config.validate();
+        Self { config }
+    }
+
+    /// Executes one inference cycle by cycle.
+    ///
+    /// Returns the output activations and the event counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not match the network's input width.
+    pub fn run(&self, net: &QuantizedMlp, input: &[f32]) -> (Vec<f32>, DatapathStats) {
+        assert_eq!(
+            input.len(),
+            net.topology().inputs(),
+            "input width mismatch"
+        );
+        let p = self.config.num_pes;
+        let act_format = net.activation_format();
+        let mut stats = DatapathStats::default();
+
+        // input FIFO holds the quantized activations entering the layer
+        let mut layer_input: Vec<i64> = input.iter().map(|&x| act_format.quantize(x)).collect();
+        let mut layer_output_real: Vec<f32> = Vec::new();
+
+        for layer in net.layers() {
+            // --- sequencer dispatch: micro-code setup for this layer ----
+            stats.cycles += self.config.layer_setup;
+
+            let acc_frac = layer.weight_format().frac_bits() + act_format.frac_bits();
+            let acc_lsb = (2.0f64).powi(-(acc_frac as i32));
+            let mut outputs_q: Vec<i64> = Vec::with_capacity(layer.outputs());
+            layer_output_real = Vec::with_capacity(layer.outputs());
+
+            // --- neuron passes: p neurons mapped per pass ---------------
+            let mut next_neuron = 0usize;
+            while next_neuron < layer.outputs() {
+                let active = (layer.outputs() - next_neuron).min(p);
+                // map neurons onto PEs: preload bias into the accumulator
+                let mut pes: Vec<ProcessingElement> = (0..p)
+                    .map(|lane| {
+                        if lane < active {
+                            let neuron = next_neuron + lane;
+                            ProcessingElement {
+                                weights: (0..layer.inputs())
+                                    .map(|i| layer.weight(neuron, i))
+                                    .collect(),
+                                accumulator: layer.bias(neuron),
+                                active: true,
+                            }
+                        } else {
+                            ProcessingElement {
+                                weights: Vec::new(),
+                                accumulator: 0,
+                                active: false,
+                            }
+                        }
+                    })
+                    .collect();
+
+                // broadcast phase: one input element per cycle on the bus
+                for (t, &x) in layer_input.iter().enumerate() {
+                    stats.cycles += 1;
+                    stats.bus_broadcasts += 1;
+                    for pe in pes.iter_mut().filter(|pe| pe.active) {
+                        let w = pe.weights[t];
+                        pe.accumulator += w * x;
+                        stats.macs += 1;
+                        stats.sram_reads += 1;
+                        let bits = 64 - pe.accumulator.unsigned_abs().leading_zeros();
+                        stats.peak_accumulator_bits = stats.peak_accumulator_bits.max(bits);
+                    }
+                }
+
+                // drain phase: accumulators stream through the sigmoid
+                // unit (the analytical model's per-pass overhead)
+                stats.cycles += self.config.pass_overhead;
+                for pe in pes.iter().filter(|pe| pe.active) {
+                    let z = (pe.accumulator as f64 * acc_lsb) as f32;
+                    let a = net.sigmoid().eval(z);
+                    stats.sigmoid_lookups += 1;
+                    layer_output_real.push(a);
+                    outputs_q.push(act_format.quantize(a));
+                }
+                next_neuron += active;
+            }
+            layer_input = outputs_q;
+        }
+
+        (layer_output_real, stats)
+    }
+
+    /// Runs an inference and asserts both correctness contracts: the
+    /// outputs match the functional quantized model bit for bit, and the
+    /// cycle count matches the analytical schedule.
+    ///
+    /// Returns the verified stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either contract is violated.
+    pub fn run_verified(&self, net: &QuantizedMlp, input: &[f32]) -> DatapathStats {
+        let (outputs, stats) = self.run(net, input);
+        let reference = net.forward(input);
+        assert_eq!(
+            outputs, reference,
+            "datapath output diverged from the functional model"
+        );
+        let schedule = Schedule::build(net.topology(), &self.config);
+        assert_eq!(
+            stats.cycles,
+            schedule.total_cycles(),
+            "datapath cycle count diverged from the analytical schedule"
+        );
+        assert_eq!(stats.macs, schedule.total_macs());
+        assert_eq!(stats.sigmoid_lookups, schedule.total_activations());
+        stats
+    }
+
+    /// The accumulator width the PE register file needs for this network
+    /// and activation format (Fig. 3 provisions 26 bits).
+    pub fn required_accumulator_bits(net: &QuantizedMlp, probes: &[Vec<f32>]) -> u32 {
+        let sim = DatapathSim::new(SnnapConfig::paper_default());
+        probes
+            .iter()
+            .map(|input| sim.run(net, input).1.peak_accumulator_bits)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-activation sigmoid format used when re-quantizing between
+    /// layers.
+    pub fn activation_format(net: &QuantizedMlp) -> QFormat {
+        net.activation_format()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incam_nn::mlp::Mlp;
+    use incam_nn::sigmoid::Sigmoid;
+    use incam_nn::topology::Topology;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn quantized_net(topology: Vec<usize>, seed: u64) -> QuantizedMlp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Mlp::random(Topology::new(topology), &mut rng);
+        QuantizedMlp::from_mlp(&net, 8, Sigmoid::lut256())
+    }
+
+    #[test]
+    fn bit_and_cycle_exact_on_paper_network() {
+        let net = quantized_net(vec![400, 8, 1], 91);
+        let sim = DatapathSim::new(SnnapConfig::paper_default());
+        let mut rng = StdRng::seed_from_u64(92);
+        for _ in 0..5 {
+            let input: Vec<f32> = (0..400).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let stats = sim.run_verified(&net, &input);
+            assert_eq!(stats.cycles, 440);
+            assert_eq!(stats.macs, 3208);
+            assert_eq!(stats.sigmoid_lookups, 9);
+        }
+    }
+
+    #[test]
+    fn exact_across_geometries_and_topologies() {
+        let mut rng = StdRng::seed_from_u64(93);
+        for topology in [vec![30, 7, 3], vec![16, 16, 16, 2], vec![5, 1]] {
+            let net = quantized_net(topology, rng.gen());
+            for pes in [1usize, 3, 8, 32] {
+                let sim = DatapathSim::new(SnnapConfig::paper_default().with_pes(pes));
+                let input: Vec<f32> = (0..net.topology().inputs())
+                    .map(|_| rng.gen_range(0.0..1.0))
+                    .collect();
+                let _ = sim.run_verified(&net, &input);
+            }
+        }
+    }
+
+    #[test]
+    fn bus_broadcasts_count_passes_times_inputs() {
+        // 10 neurons on 4 PEs = 3 passes; each pass re-streams the input
+        let net = quantized_net(vec![12, 10, 2], 94);
+        let sim = DatapathSim::new(SnnapConfig::paper_default().with_pes(4));
+        let (_, stats) = sim.run(&net, &[0.5; 12]);
+        // layer 1: 3 passes x 12 inputs; layer 2: 1 pass x 10 inputs
+        assert_eq!(stats.bus_broadcasts, 3 * 12 + 10);
+        // SRAM reads equal MACs (weight-stationary streaming)
+        assert_eq!(stats.sram_reads, stats.macs);
+    }
+
+    #[test]
+    fn accumulator_fits_the_26_bit_register() {
+        let net = quantized_net(vec![400, 8, 1], 95);
+        let mut rng = StdRng::seed_from_u64(96);
+        let probes: Vec<Vec<f32>> = (0..10)
+            .map(|_| (0..400).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let bits = DatapathSim::required_accumulator_bits(&net, &probes);
+        assert!(bits > 0 && bits <= 26, "needs {bits} bits");
+    }
+
+    #[test]
+    #[should_panic(expected = "input width")]
+    fn wrong_input_width_panics() {
+        let net = quantized_net(vec![8, 2], 97);
+        let sim = DatapathSim::new(SnnapConfig::paper_default());
+        let _ = sim.run(&net, &[0.0; 4]);
+    }
+}

@@ -1,0 +1,44 @@
+//! # incam-snnap — SNNAP-style systolic NN accelerator simulator
+//!
+//! A cycle-level schedule and energy model of the paper's low-power neural
+//! processing unit (Fig. 3): a single processing unit with a configurable
+//! number of 8-bit processing elements, per-PE weight SRAM, a shared
+//! LUT-based sigmoid unit, and a vertically micro-coded sequencer, fixed
+//! at 30 MHz / 0.9 V.
+//!
+//! The three §III-A design studies map to:
+//! * geometry (energy-optimal 8 PEs) — [`sweep::geometry_sweep`],
+//! * datapath width (16→8 bits ≈ 41 % power reduction) —
+//!   [`sweep::bitwidth_sweep`],
+//! * topology cost (input window 5×5…20×20) — [`sweep::topology_sweep`].
+//!
+//! Functional behaviour is bit-accurate via [`incam_nn::quant::QuantizedMlp`];
+//! see [`sim::SnnapAccelerator`].
+//!
+//! # Examples
+//!
+//! ```
+//! use incam_nn::topology::Topology;
+//! use incam_snnap::config::SnnapConfig;
+//! use incam_snnap::sweep::{geometry_sweep, optimal_geometry};
+//!
+//! let rows = geometry_sweep(&Topology::paper_default(),
+//!                           &SnnapConfig::paper_default(), &[2, 4, 8, 16]);
+//! assert_eq!(optimal_geometry(&rows), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod datapath;
+pub mod energy;
+pub mod sched;
+pub mod sim;
+pub mod sweep;
+
+pub use config::SnnapConfig;
+pub use datapath::{DatapathSim, DatapathStats};
+pub use energy::{evaluate, EnergyModel, InferenceEnergy};
+pub use sched::Schedule;
+pub use sim::SnnapAccelerator;

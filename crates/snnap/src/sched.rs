@@ -1,0 +1,188 @@
+//! Cycle-level schedule of an MLP inference on the systolic processing
+//! unit.
+//!
+//! Neurons of each layer are distributed round-robin over the PEs; each PE
+//! evaluates one neuron at a time, consuming one broadcast input per cycle
+//! (weight-stationary). A layer with `n_out` neurons on `P` PEs therefore
+//! takes `ceil(n_out / P)` *passes* of `n_in + overhead` cycles each. The
+//! schedule records how many PE-cycles were spent idle — the quantity
+//! behind the paper's "too many PEs results in underutilized resources".
+
+use crate::config::SnnapConfig;
+use incam_nn::topology::Topology;
+
+/// Schedule of one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerSchedule {
+    /// Layer fan-in.
+    pub n_in: u64,
+    /// Layer neuron count.
+    pub n_out: u64,
+    /// Number of neuron passes (`ceil(n_out / P)`).
+    pub passes: u64,
+    /// Cycles spent in this layer (including per-layer setup).
+    pub cycles: u64,
+    /// Multiply-accumulate operations executed.
+    pub macs: u64,
+    /// PE-cycles during which a PE held no work.
+    pub idle_pe_cycles: u64,
+    /// Sigmoid evaluations.
+    pub activations: u64,
+}
+
+/// Schedule of a full inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Per-layer schedules, input-side first.
+    pub layers: Vec<LayerSchedule>,
+    /// PE count the schedule was built for.
+    pub num_pes: u64,
+}
+
+impl Schedule {
+    /// Builds the schedule of `topology` on the configured PU.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use incam_nn::topology::Topology;
+    /// use incam_snnap::config::SnnapConfig;
+    /// use incam_snnap::sched::Schedule;
+    ///
+    /// let s = Schedule::build(&Topology::paper_default(), &SnnapConfig::paper_default());
+    /// // 8 hidden neurons on 8 PEs: a single pass over 400 inputs
+    /// assert_eq!(s.layers[0].passes, 1);
+    /// assert_eq!(s.total_macs(), 3208);
+    /// ```
+    pub fn build(topology: &Topology, config: &SnnapConfig) -> Self {
+        config.validate();
+        let p = config.num_pes as u64;
+        let layers = topology
+            .layers()
+            .windows(2)
+            .map(|w| {
+                let n_in = w[0] as u64;
+                let n_out = w[1] as u64;
+                let passes = n_out.div_ceil(p);
+                let pass_cycles = n_in + config.pass_overhead;
+                let cycles = passes * pass_cycles + config.layer_setup;
+                // idle PEs: each pass runs `min(p, remaining)` active PEs
+                let mut idle = 0u64;
+                let mut remaining = n_out;
+                for _ in 0..passes {
+                    let active = remaining.min(p);
+                    idle += (p - active) * pass_cycles;
+                    remaining -= active;
+                }
+                // setup cycles idle all PEs
+                idle += config.layer_setup * p;
+                LayerSchedule {
+                    n_in,
+                    n_out,
+                    passes,
+                    cycles,
+                    macs: n_in * n_out,
+                    idle_pe_cycles: idle,
+                    activations: n_out,
+                }
+            })
+            .collect();
+        Self { layers, num_pes: p }
+    }
+
+    /// Total cycles per inference.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Total MACs per inference (independent of geometry).
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Total idle PE-cycles per inference.
+    pub fn total_idle_pe_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.idle_pe_cycles).sum()
+    }
+
+    /// Total sigmoid evaluations per inference.
+    pub fn total_activations(&self) -> u64 {
+        self.layers.iter().map(|l| l.activations).sum()
+    }
+
+    /// Fraction of PE-cycles doing useful MACs.
+    pub fn utilization(&self) -> f64 {
+        let total_pe_cycles = self.total_cycles() * self.num_pes;
+        if total_pe_cycles == 0 {
+            return 0.0;
+        }
+        self.total_macs() as f64 / total_pe_cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_schedule(pes: usize) -> Schedule {
+        Schedule::build(
+            &Topology::paper_default(),
+            &SnnapConfig::paper_default().with_pes(pes),
+        )
+    }
+
+    #[test]
+    fn cycles_shrink_with_more_pes_until_saturation() {
+        let c1 = paper_schedule(1).total_cycles();
+        let c4 = paper_schedule(4).total_cycles();
+        let c8 = paper_schedule(8).total_cycles();
+        let c16 = paper_schedule(16).total_cycles();
+        assert!(c1 > c4 && c4 > c8);
+        // 8 hidden neurons: beyond 8 PEs no further speedup
+        assert_eq!(c8, c16);
+    }
+
+    #[test]
+    fn macs_independent_of_geometry() {
+        assert_eq!(paper_schedule(1).total_macs(), 3208);
+        assert_eq!(paper_schedule(32).total_macs(), 3208);
+    }
+
+    #[test]
+    fn exact_cycle_count_paper_point() {
+        // layer1: 1 pass x (400 + 8) + 8 setup = 416
+        // layer2: 1 pass x (8 + 8) + 8 setup = 24
+        let s = paper_schedule(8);
+        assert_eq!(s.layers[0].cycles, 416);
+        assert_eq!(s.layers[1].cycles, 24);
+        assert_eq!(s.total_cycles(), 440);
+    }
+
+    #[test]
+    fn idle_cycles_grow_with_overprovisioning() {
+        let i8 = paper_schedule(8).total_idle_pe_cycles();
+        let i16 = paper_schedule(16).total_idle_pe_cycles();
+        let i32 = paper_schedule(32).total_idle_pe_cycles();
+        assert!(i16 > i8);
+        assert!(i32 > i16);
+    }
+
+    #[test]
+    fn utilization_peaks_near_matched_geometry() {
+        let u4 = paper_schedule(4).utilization();
+        let u8 = paper_schedule(8).utilization();
+        let u16 = paper_schedule(16).utilization();
+        assert!(u8 > u16, "u8 {u8} u16 {u16}");
+        // 4 PEs needs two passes but keeps PEs busy: similar utilization
+        assert!((u4 - u8).abs() < 0.1);
+    }
+
+    #[test]
+    fn multi_layer_topologies_schedule() {
+        let t = Topology::new(vec![100, 30, 30, 2]);
+        let s = Schedule::build(&t, &SnnapConfig::paper_default());
+        assert_eq!(s.layers.len(), 3);
+        assert_eq!(s.total_activations(), 62);
+        assert_eq!(s.total_macs(), 3000 + 900 + 60);
+    }
+}

@@ -1,0 +1,215 @@
+//! Design-space sweeps: the §III-A studies as reusable functions.
+//!
+//! Each sweep returns plain rows so the reproduction harness and the
+//! Criterion benches can render them as the paper's tables.
+
+use crate::config::SnnapConfig;
+use crate::energy::{evaluate, EnergyModel};
+use crate::sched::Schedule;
+use incam_core::units::{Fps, Joules, Seconds, Watts};
+use incam_nn::topology::Topology;
+
+/// One row of the PE-geometry sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeometryRow {
+    /// PE count.
+    pub num_pes: usize,
+    /// Cycles per inference.
+    pub cycles: u64,
+    /// Inference latency.
+    pub latency: Seconds,
+    /// Peak inference throughput.
+    pub throughput: Fps,
+    /// Energy per inference.
+    pub energy: Joules,
+    /// Average power while inferring.
+    pub power: Watts,
+    /// PE utilization (useful MACs / PE-cycles).
+    pub utilization: f64,
+}
+
+/// Sweeps the PE count for a fixed topology and datapath width.
+///
+/// # Examples
+///
+/// ```
+/// use incam_nn::topology::Topology;
+/// use incam_snnap::config::SnnapConfig;
+/// use incam_snnap::sweep::{geometry_sweep, optimal_geometry};
+///
+/// let rows = geometry_sweep(&Topology::paper_default(),
+///                           &SnnapConfig::paper_default(),
+///                           &[1, 2, 4, 8, 16, 32]);
+/// // the paper finds the energy optimum at 8 PEs
+/// assert_eq!(optimal_geometry(&rows), 8);
+/// ```
+pub fn geometry_sweep(
+    topology: &Topology,
+    base: &SnnapConfig,
+    pe_counts: &[usize],
+) -> Vec<GeometryRow> {
+    let model = EnergyModel::default();
+    pe_counts
+        .iter()
+        .map(|&p| {
+            let cfg = base.clone().with_pes(p);
+            let sched = Schedule::build(topology, &cfg);
+            let e = evaluate(&sched, &cfg, &model);
+            GeometryRow {
+                num_pes: p,
+                cycles: sched.total_cycles(),
+                latency: e.latency,
+                throughput: Fps::from_period(e.latency),
+                energy: e.total(),
+                power: e.average_power(),
+                utilization: sched.utilization(),
+            }
+        })
+        .collect()
+}
+
+/// The PE count with minimum energy per inference.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty.
+pub fn optimal_geometry(rows: &[GeometryRow]) -> usize {
+    rows.iter()
+        .min_by(|a, b| a.energy.joules().total_cmp(&b.energy.joules()))
+        .expect("sweep must be non-empty")
+        .num_pes
+}
+
+/// One row of the datapath-width sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitwidthRow {
+    /// Datapath width in bits.
+    pub data_bits: u32,
+    /// Energy per inference.
+    pub energy: Joules,
+    /// Average power while inferring.
+    pub power: Watts,
+    /// Power relative to the 16-bit configuration.
+    pub power_vs_16bit: f64,
+}
+
+/// Sweeps the datapath width for a fixed topology and geometry.
+///
+/// # Examples
+///
+/// ```
+/// use incam_nn::topology::Topology;
+/// use incam_snnap::config::SnnapConfig;
+/// use incam_snnap::sweep::bitwidth_sweep;
+///
+/// let rows = bitwidth_sweep(&Topology::paper_default(),
+///                           &SnnapConfig::paper_default(), &[16, 8, 4]);
+/// let row8 = rows.iter().find(|r| r.data_bits == 8).unwrap();
+/// // paper: 16-bit -> 8-bit gives ~41% power reduction
+/// assert!((1.0 - row8.power_vs_16bit) > 0.35);
+/// ```
+pub fn bitwidth_sweep(
+    topology: &Topology,
+    base: &SnnapConfig,
+    bit_widths: &[u32],
+) -> Vec<BitwidthRow> {
+    let model = EnergyModel::default();
+    let eval_bits = |bits: u32| {
+        let cfg = base.clone().with_bits(bits);
+        let sched = Schedule::build(topology, &cfg);
+        evaluate(&sched, &cfg, &model)
+    };
+    let p16 = eval_bits(16).average_power();
+    bit_widths
+        .iter()
+        .map(|&bits| {
+            let e = eval_bits(bits);
+            BitwidthRow {
+                data_bits: bits,
+                energy: e.total(),
+                power: e.average_power(),
+                power_vs_16bit: e.average_power().watts() / p16.watts(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the topology sweep: energy cost of a candidate network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyRow {
+    /// The candidate topology.
+    pub topology: Topology,
+    /// MACs per inference.
+    pub macs: u64,
+    /// Energy per inference on the base configuration.
+    pub energy: Joules,
+    /// Inference latency.
+    pub latency: Seconds,
+}
+
+/// Costs each candidate topology on the same accelerator configuration
+/// (accuracy is measured separately by training each candidate — see the
+/// `nn-topology` experiment in the bench crate).
+pub fn topology_sweep(candidates: &[Topology], base: &SnnapConfig) -> Vec<TopologyRow> {
+    let model = EnergyModel::default();
+    candidates
+        .iter()
+        .map(|t| {
+            let sched = Schedule::build(t, base);
+            let e = evaluate(&sched, base, &model);
+            TopologyRow {
+                topology: t.clone(),
+                macs: sched.total_macs(),
+                energy: e.total(),
+                latency: e.latency,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_sweep_shapes() {
+        let rows = geometry_sweep(
+            &Topology::paper_default(),
+            &SnnapConfig::paper_default(),
+            &[1, 2, 4, 8, 16, 32],
+        );
+        assert_eq!(rows.len(), 6);
+        // throughput is monotone nondecreasing in PEs
+        for w in rows.windows(2) {
+            assert!(w[1].throughput.fps() >= w[0].throughput.fps() - 1e-9);
+        }
+        assert_eq!(optimal_geometry(&rows), 8);
+    }
+
+    #[test]
+    fn bitwidth_rows_ordered_by_power() {
+        let rows = bitwidth_sweep(
+            &Topology::paper_default(),
+            &SnnapConfig::paper_default(),
+            &[16, 8, 4],
+        );
+        assert!(rows[0].power > rows[1].power);
+        assert!(rows[1].power > rows[2].power);
+        assert!((rows[0].power_vs_16bit - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_input_windows_cost_more_energy() {
+        // the §III-A input-size study: 5x5 -> 20x20 inputs
+        let candidates: Vec<Topology> = [5usize, 10, 15, 20]
+            .iter()
+            .map(|&s| Topology::new(vec![s * s, 8, 1]))
+            .collect();
+        let rows = topology_sweep(&candidates, &SnnapConfig::paper_default());
+        for w in rows.windows(2) {
+            assert!(w[1].energy > w[0].energy);
+        }
+        // 20x20 vs 5x5: an order of magnitude more MACs
+        assert!(rows[3].macs as f64 / rows[0].macs as f64 > 10.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests of the accelerator schedule and energy model.
+
+use incam_core::units::Watts;
+use incam_nn::topology::Topology;
+use incam_snnap::config::SnnapConfig;
+use incam_snnap::energy::{evaluate, EnergyModel};
+use incam_snnap::sched::Schedule;
+use proptest::prelude::*;
+
+fn arbitrary_topology() -> impl Strategy<Value = Topology> {
+    prop::collection::vec(1usize..64, 2..5).prop_map(Topology::new)
+}
+
+proptest! {
+    /// MAC count is invariant under geometry; cycles are antitone in PEs;
+    /// PE-cycles (cycles × P) are monotone in PEs (parallelism never
+    /// reduces total occupancy).
+    #[test]
+    fn schedule_geometry_axioms(topology in arbitrary_topology(), pes in 1usize..64) {
+        let base = SnnapConfig::paper_default();
+        let s1 = Schedule::build(&topology, &base.clone().with_pes(pes));
+        let s2 = Schedule::build(&topology, &base.clone().with_pes(pes * 2));
+        prop_assert_eq!(s1.total_macs(), s2.total_macs());
+        prop_assert_eq!(s1.total_macs(), topology.macs_per_inference() as u64);
+        prop_assert!(s2.total_cycles() <= s1.total_cycles());
+        prop_assert!(
+            s2.total_cycles() * (2 * pes as u64) >= s1.total_cycles() * pes as u64
+        );
+        // work conservation: busy + idle PE-cycles == cycles × P
+        for s in [&s1, &s2] {
+            let busy: u64 = s.total_macs();
+            let occupancy = s.total_cycles() * s.num_pes;
+            prop_assert!(busy + s.total_idle_pe_cycles() <= occupancy);
+        }
+        prop_assert!(s1.utilization() <= 1.0 + 1e-12);
+    }
+
+    /// Activations equal the non-input neuron count.
+    #[test]
+    fn activations_match_topology(topology in arbitrary_topology()) {
+        let s = Schedule::build(&topology, &SnnapConfig::paper_default());
+        prop_assert_eq!(
+            s.total_activations(),
+            topology.activations_per_inference() as u64
+        );
+    }
+
+    /// Energy is monotone in datapath width at fixed geometry, and power
+    /// stays strictly positive and finite.
+    #[test]
+    fn energy_monotone_in_bits(topology in arbitrary_topology(), pes in 1usize..32) {
+        let model = EnergyModel::default();
+        let eval_at = |bits: u32| {
+            let cfg = SnnapConfig::paper_default().with_pes(pes).with_bits(bits);
+            let sched = Schedule::build(&topology, &cfg);
+            evaluate(&sched, &cfg, &model)
+        };
+        let e4 = eval_at(4);
+        let e8 = eval_at(8);
+        let e16 = eval_at(16);
+        prop_assert!(e4.total().joules() <= e8.total().joules());
+        prop_assert!(e8.total().joules() <= e16.total().joules());
+        for e in [e4, e8, e16] {
+            let p = e.average_power();
+            prop_assert!(p > Watts::ZERO && p.watts().is_finite());
+            // breakdown consistency
+            let sum = e.mac + e.sram + e.idle + e.ctrl + e.sigmoid + e.leakage;
+            prop_assert!((sum.joules() - e.total().joules()).abs() < 1e-18);
+        }
+    }
+
+    /// Dynamic terms scale quadratically with voltage.
+    #[test]
+    fn voltage_scaling(v in 0.45f64..1.4) {
+        let m = EnergyModel::default();
+        let base = m.mac_energy(8, 0.9).joules();
+        let scaled = m.mac_energy(8, v).joules();
+        let expected = base * (v / 0.9).powi(2);
+        prop_assert!((scaled - expected).abs() < expected * 1e-9);
+    }
+
+    /// Leakage grows with PE count and never goes negative.
+    #[test]
+    fn leakage_monotone_in_pes(pes in 1usize..128, bits in 2u32..32) {
+        let m = EnergyModel::default();
+        let small = m.leakage_power(pes, bits, 0.9);
+        let large = m.leakage_power(pes + 1, bits, 0.9);
+        prop_assert!(large.watts() > small.watts());
+        prop_assert!(small.watts() > 0.0);
+    }
+}

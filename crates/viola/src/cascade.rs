@@ -1,0 +1,249 @@
+//! The attentional cascade: stages of boosted weak classifiers with early
+//! rejection.
+//!
+//! The cascade (paper Fig. 4b) is "a nested decision tree where progressive
+//! levels have increasingly more features to evaluate, and the simple
+//! stages must be evaluated positively first before continuing on". Its
+//! efficiency on non-face windows — most windows exit after the first
+//! stage or two — is exactly why it suits a pre-filtering in-camera
+//! accelerator, and the per-window *feature-evaluation count* this module
+//! tracks is the quantity the hardware cost model charges for.
+
+use crate::feature::HaarFeature;
+use crate::weak::WeakClassifier;
+use incam_imaging::integral::{window_stats, IntegralImage};
+
+/// One cascade stage: a boosted committee with a pass threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// The stage's weak classifiers.
+    pub weak: Vec<WeakClassifier>,
+    /// Minimum weighted vote required to pass the stage, as a fraction of
+    /// the total vote weight (set during training to hit the target
+    /// detection rate).
+    pub threshold: f64,
+}
+
+impl Stage {
+    /// Evaluates the stage on a window; returns whether it passes.
+    pub fn passes(
+        &self,
+        features: &[HaarFeature],
+        ii: &IntegralImage,
+        wx: usize,
+        wy: usize,
+        scale: f64,
+        stddev: f64,
+    ) -> bool {
+        let mut vote = 0.0;
+        for wc in &self.weak {
+            let response = features[wc.feature].evaluate(ii, wx, wy, scale, stddev);
+            if wc.classify_response(response) {
+                vote += wc.alpha;
+            }
+        }
+        vote >= self.threshold
+    }
+
+    /// Number of features this stage evaluates.
+    pub fn len(&self) -> usize {
+        self.weak.len()
+    }
+
+    /// `true` if the stage has no weak classifiers.
+    pub fn is_empty(&self) -> bool {
+        self.weak.is_empty()
+    }
+}
+
+/// Outcome of classifying one window, including the work done — the
+/// cascade's defining cost characteristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowVerdict {
+    /// Whether every stage passed (window is a face candidate).
+    pub accepted: bool,
+    /// Stages evaluated before acceptance/rejection.
+    pub stages_evaluated: usize,
+    /// Haar features evaluated.
+    pub features_evaluated: usize,
+}
+
+/// A trained cascade classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cascade {
+    features: Vec<HaarFeature>,
+    stages: Vec<Stage>,
+    base_window: usize,
+}
+
+impl Cascade {
+    /// Assembles a cascade from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no stages, a stage is empty, or a weak
+    /// classifier references a feature out of range.
+    pub fn new(features: Vec<HaarFeature>, stages: Vec<Stage>, base_window: usize) -> Self {
+        assert!(!stages.is_empty(), "cascade needs at least one stage");
+        for stage in &stages {
+            assert!(!stage.is_empty(), "stages must be non-empty");
+            for wc in &stage.weak {
+                assert!(
+                    wc.feature < features.len(),
+                    "weak classifier references missing feature"
+                );
+            }
+        }
+        assert!(base_window >= 8, "base window too small");
+        Self {
+            features,
+            stages,
+            base_window,
+        }
+    }
+
+    /// The base detection-window side in pixels.
+    pub fn base_window(&self) -> usize {
+        self.base_window
+    }
+
+    /// The cascade's stages.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// The feature table referenced by the stages.
+    pub fn features(&self) -> &[HaarFeature] {
+        &self.features
+    }
+
+    /// Total features across all stages (the worst-case per-window cost).
+    pub fn total_features(&self) -> usize {
+        self.stages.iter().map(Stage::len).sum()
+    }
+
+    /// Classifies the window at `(wx, wy)` with side
+    /// `base_window × scale`, using plain and squared integral images for
+    /// variance normalization.
+    pub fn classify_window(
+        &self,
+        ii: &IntegralImage,
+        sq: &IntegralImage,
+        wx: usize,
+        wy: usize,
+        scale: f64,
+    ) -> WindowVerdict {
+        let side = ((self.base_window as f64) * scale).round() as usize;
+        let stats = window_stats(ii, sq, wx, wy, side, side);
+        let mut features_evaluated = 0;
+        for (si, stage) in self.stages.iter().enumerate() {
+            features_evaluated += stage.len();
+            if !stage.passes(&self.features, ii, wx, wy, scale, stats.stddev) {
+                return WindowVerdict {
+                    accepted: false,
+                    stages_evaluated: si + 1,
+                    features_evaluated,
+                };
+            }
+        }
+        WindowVerdict {
+            accepted: true,
+            stages_evaluated: self.stages.len(),
+            features_evaluated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::HaarKind;
+    use incam_imaging::image::Image;
+
+    /// A hand-built two-stage cascade keyed on a dark top half.
+    fn toy_cascade() -> Cascade {
+        let features = vec![HaarFeature {
+            kind: HaarKind::TwoRectVertical,
+            x: 0,
+            y: 0,
+            cell_w: 8,
+            cell_h: 4,
+        }];
+        let stage = |alpha: f64| Stage {
+            weak: vec![WeakClassifier {
+                feature: 0,
+                threshold: 0.0,
+                polarity: -1, // face iff response >= 0 (bottom brighter)
+                alpha,
+            }],
+            threshold: alpha / 2.0,
+        };
+        Cascade::new(features, vec![stage(1.0), stage(2.0)], 8)
+    }
+
+    fn ii_pair(img: &Image<f32>) -> (IntegralImage, IntegralImage) {
+        (IntegralImage::new(img), IntegralImage::squared(img))
+    }
+
+    #[test]
+    fn accepts_matching_pattern_rejects_inverse() {
+        let c = toy_cascade();
+        let face_like = Image::from_fn(8, 8, |_, y| if y < 4 { 0.1 } else { 0.9 });
+        let (ii, sq) = ii_pair(&face_like);
+        let v = c.classify_window(&ii, &sq, 0, 0, 1.0);
+        assert!(v.accepted);
+        assert_eq!(v.stages_evaluated, 2);
+
+        let inverse = face_like.map(|p| 1.0 - p);
+        let (ii, sq) = ii_pair(&inverse);
+        let v = c.classify_window(&ii, &sq, 0, 0, 1.0);
+        assert!(!v.accepted);
+        // early rejection after the first stage
+        assert_eq!(v.stages_evaluated, 1);
+        assert_eq!(v.features_evaluated, 1);
+    }
+
+    #[test]
+    fn rejection_cost_below_acceptance_cost() {
+        let c = toy_cascade();
+        let face_like = Image::from_fn(8, 8, |_, y| if y < 4 { 0.1 } else { 0.9 });
+        let inverse = face_like.map(|p| 1.0 - p);
+        let (fi, fs) = ii_pair(&face_like);
+        let (ni, ns) = ii_pair(&inverse);
+        let accept = c.classify_window(&fi, &fs, 0, 0, 1.0);
+        let reject = c.classify_window(&ni, &ns, 0, 0, 1.0);
+        assert!(reject.features_evaluated < accept.features_evaluated);
+        assert_eq!(accept.features_evaluated, c.total_features());
+    }
+
+    #[test]
+    fn scaled_window_classification() {
+        let c = toy_cascade();
+        // 16x16 version of the face-like pattern, scanned at scale 2
+        let img = Image::from_fn(16, 16, |_, y| if y < 8 { 0.1 } else { 0.9 });
+        let (ii, sq) = ii_pair(&img);
+        let v = c.classify_window(&ii, &sq, 0, 0, 2.0);
+        assert!(v.accepted);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing feature")]
+    fn dangling_feature_reference_rejected() {
+        let stage = Stage {
+            weak: vec![WeakClassifier {
+                feature: 3,
+                threshold: 0.0,
+                polarity: 1,
+                alpha: 1.0,
+            }],
+            threshold: 0.5,
+        };
+        let _ = Cascade::new(vec![], vec![stage], 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_cascade_rejected() {
+        let _ = Cascade::new(vec![], vec![], 8);
+    }
+}

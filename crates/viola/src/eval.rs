@@ -1,0 +1,177 @@
+//! Detection evaluation: precision / recall / F1 against ground-truth
+//! boxes, and the *relative accuracy* normalization of the paper's
+//! Fig. 4c.
+
+use crate::scan::Detection;
+
+/// Aggregated detection counts over a set of evaluated frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DetectionCounts {
+    /// Ground-truth faces matched by a detection.
+    pub true_positives: usize,
+    /// Detections matching no ground truth.
+    pub false_positives: usize,
+    /// Ground-truth faces with no matching detection.
+    pub false_negatives: usize,
+}
+
+impl DetectionCounts {
+    /// Matches detections to ground truth (greedy, best-IoU-first) and
+    /// accumulates the counts into `self`.
+    ///
+    /// A detection matches a truth box when their IoU reaches
+    /// `iou_threshold`; each truth box may be matched once.
+    pub fn accumulate(
+        &mut self,
+        detections: &[Detection],
+        truths: &[Detection],
+        iou_threshold: f64,
+    ) {
+        let mut truth_used = vec![false; truths.len()];
+        // candidate pairs sorted by IoU, best first
+        let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+        for (di, d) in detections.iter().enumerate() {
+            for (ti, t) in truths.iter().enumerate() {
+                let iou = d.iou(t);
+                if iou >= iou_threshold {
+                    pairs.push((di, ti, iou));
+                }
+            }
+        }
+        pairs.sort_by(|a, b| b.2.total_cmp(&a.2));
+        let mut det_used = vec![false; detections.len()];
+        for (di, ti, _) in pairs {
+            if !det_used[di] && !truth_used[ti] {
+                det_used[di] = true;
+                truth_used[ti] = true;
+                self.true_positives += 1;
+            }
+        }
+        self.false_positives += det_used.iter().filter(|&&u| !u).count();
+        self.false_negatives += truth_used.iter().filter(|&&u| !u).count();
+    }
+
+    /// Of emitted detections, the fraction matching a real face.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// Of real faces, the fraction found.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// One row of a Fig. 4c-style parameter sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The swept parameter's value (scale factor, static step, or adaptive
+    /// step).
+    pub parameter: f64,
+    /// Absolute metrics at this setting.
+    pub counts: DetectionCounts,
+    /// Windows evaluated per frame (the cost axis).
+    pub windows_per_frame: f64,
+}
+
+/// Normalizes a sweep's metric to its best value, yielding the paper's
+/// "relative accuracy" (%) axis.
+///
+/// # Examples
+///
+/// ```
+/// use incam_viola::eval::relative_to_best;
+/// let rel = relative_to_best(&[0.8, 0.4, 0.2]);
+/// assert_eq!(rel, vec![1.0, 0.5, 0.25]);
+/// ```
+pub fn relative_to_best(values: &[f64]) -> Vec<f64> {
+    let best = values.iter().copied().fold(0.0f64, f64::max);
+    if best <= 0.0 {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|v| v / best).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(x: usize, y: usize, side: usize) -> Detection {
+        Detection { x, y, side }
+    }
+
+    #[test]
+    fn exact_match_counts() {
+        let mut c = DetectionCounts::default();
+        c.accumulate(&[d(10, 10, 20)], &[d(10, 10, 20)], 0.5);
+        assert_eq!(c.true_positives, 1);
+        assert_eq!(c.false_positives, 0);
+        assert_eq!(c.false_negatives, 0);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn spurious_and_missed() {
+        let mut c = DetectionCounts::default();
+        c.accumulate(&[d(50, 50, 10)], &[d(10, 10, 20)], 0.5);
+        assert_eq!(c.true_positives, 0);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.false_negatives, 1);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+    }
+
+    #[test]
+    fn each_truth_matched_once() {
+        let mut c = DetectionCounts::default();
+        // two overlapping detections, one truth
+        c.accumulate(&[d(10, 10, 20), d(11, 10, 20)], &[d(10, 10, 20)], 0.5);
+        assert_eq!(c.true_positives, 1);
+        assert_eq!(c.false_positives, 1);
+    }
+
+    #[test]
+    fn greedy_prefers_best_iou() {
+        let mut c = DetectionCounts::default();
+        // detection A overlaps truth A perfectly and truth B slightly
+        c.accumulate(
+            &[d(0, 0, 10), d(6, 0, 10)],
+            &[d(0, 0, 10), d(7, 0, 10)],
+            0.25,
+        );
+        assert_eq!(c.true_positives, 2);
+    }
+
+    #[test]
+    fn relative_normalization_handles_zero() {
+        assert_eq!(relative_to_best(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn accumulates_across_frames() {
+        let mut c = DetectionCounts::default();
+        c.accumulate(&[d(0, 0, 10)], &[d(0, 0, 10)], 0.5);
+        c.accumulate(&[], &[d(0, 0, 10)], 0.5);
+        assert_eq!(c.true_positives, 1);
+        assert_eq!(c.false_negatives, 1);
+        assert!((c.recall() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,143 @@
+//! Hardware cost model of the in-camera face-detection accelerator.
+//!
+//! The paper uses a Viola-Jones accelerator as an *optional* pipeline
+//! block whose job is to cheaply reject frames/windows before the NN runs.
+//! Its cost structure follows the cascade's work accounting
+//! ([`crate::scan::ScanStats`]): one integral-image pass per frame plus a
+//! per-feature evaluation energy. Constants target the same sub-mW,
+//! 28 nm-class regime as the NN accelerator's model (see `DESIGN.md` on
+//! calibration).
+
+use crate::scan::ScanStats;
+use incam_core::units::{Hertz, Joules, Seconds, Watts};
+
+/// Per-operation costs of the detection accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViolaHwModel {
+    /// Energy per pixel of integral-image construction (two adds + SRAM
+    /// write), picojoules.
+    pub integral_pj_per_pixel: f64,
+    /// Energy per Haar-feature evaluation (≤ 9 SRAM reads + adds + one
+    /// multiply for normalization), picojoules.
+    pub feature_pj: f64,
+    /// Per-window overhead (variance normalization, control), picojoules.
+    pub window_pj: f64,
+    /// Leakage power, microwatts.
+    pub leak_uw: f64,
+    /// Clock frequency.
+    pub clock: Hertz,
+    /// Pipeline throughput in feature evaluations per cycle.
+    pub features_per_cycle: f64,
+}
+
+impl Default for ViolaHwModel {
+    fn default() -> Self {
+        Self {
+            integral_pj_per_pixel: 0.25,
+            feature_pj: 1.8,
+            window_pj: 4.0,
+            leak_uw: 12.0,
+            clock: Hertz::from_mhz(30.0),
+            features_per_cycle: 1.0,
+        }
+    }
+}
+
+/// Cost of one scanned frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanCost {
+    /// Total energy for the frame.
+    pub energy: Joules,
+    /// Scan latency at the configured clock.
+    pub latency: Seconds,
+    /// Average power while scanning.
+    pub power: Watts,
+}
+
+impl ViolaHwModel {
+    /// Costs a frame scan from its work statistics.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use incam_viola::hw::ViolaHwModel;
+    /// use incam_viola::scan::ScanStats;
+    ///
+    /// let model = ViolaHwModel::default();
+    /// let stats = ScanStats { windows: 3000, features: 12_000, scales: 5 };
+    /// let cost = model.scan_cost(&stats, 160 * 120);
+    /// // the detector stays in the sub-mW regime at WISPCam frame sizes
+    /// assert!(cost.power.milliwatts() < 2.0);
+    /// assert!(cost.energy.joules() > 0.0);
+    /// ```
+    pub fn scan_cost(&self, stats: &ScanStats, frame_pixels: usize) -> ScanCost {
+        // cycles: integral image is 1 px/cycle; features pipeline at the
+        // configured rate; windows add a fixed 4-cycle normalization.
+        let cycles = frame_pixels as f64
+            + stats.features as f64 / self.features_per_cycle
+            + stats.windows as f64 * 4.0;
+        let latency = Seconds::new(cycles / self.clock.hertz());
+        let dynamic = Joules::from_pico(
+            self.integral_pj_per_pixel * frame_pixels as f64
+                + self.feature_pj * stats.features as f64
+                + self.window_pj * stats.windows as f64,
+        );
+        let leakage = Watts::from_micro(self.leak_uw) * latency;
+        let energy = dynamic + leakage;
+        ScanCost {
+            energy,
+            latency,
+            power: energy / latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_scales_with_features() {
+        let m = ViolaHwModel::default();
+        let small = m.scan_cost(
+            &ScanStats {
+                windows: 100,
+                features: 500,
+                scales: 3,
+            },
+            160 * 120,
+        );
+        let big = m.scan_cost(
+            &ScanStats {
+                windows: 100,
+                features: 50_000,
+                scales: 3,
+            },
+            160 * 120,
+        );
+        assert!(big.energy > small.energy);
+        assert!(big.latency > small.latency);
+    }
+
+    #[test]
+    fn zero_work_frame_still_pays_integral_image() {
+        let m = ViolaHwModel::default();
+        let cost = m.scan_cost(&ScanStats::default(), 160 * 120);
+        assert!(cost.energy.joules() > 0.0);
+        // 19200 px at 0.25 pJ plus leakage
+        assert!(cost.energy.nanos() > 4.0);
+    }
+
+    #[test]
+    fn power_is_energy_over_latency() {
+        let m = ViolaHwModel::default();
+        let stats = ScanStats {
+            windows: 1000,
+            features: 8000,
+            scales: 4,
+        };
+        let cost = m.scan_cost(&stats, 19200);
+        let reconstructed = cost.power * cost.latency;
+        assert!((reconstructed.joules() - cost.energy.joules()).abs() < 1e-18);
+    }
+}

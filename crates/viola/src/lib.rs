@@ -1,0 +1,49 @@
+//! # incam-viola — Viola-Jones face detection
+//!
+//! A from-scratch implementation of the paper's in-camera face-detection
+//! block (§III-B): Haar-like rectangular features over integral images
+//! ([`feature`]), AdaBoost-trained decision stumps ([`weak`], [`train`]),
+//! the attentional cascade with early rejection ([`cascade`]), multi-scale
+//! sliding-window scanning with the paper's scale-factor and
+//! static/adaptive step-size knobs ([`scan()`](scan::scan)), detection metrics for the
+//! Fig. 4c sweeps ([`eval`]), and a hardware cost model for the in-camera
+//! accelerator ([`hw`]).
+//!
+//! # Examples
+//!
+//! Train a small cascade and scan a frame:
+//!
+//! ```no_run
+//! use incam_imaging::faces::{render_face, render_non_face, Identity, Nuisance};
+//! use incam_viola::scan::{scan, ScanParams};
+//! use incam_viola::train::{train_cascade, CascadeTrainConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let faces: Vec<_> = (0..80).map(|_| {
+//!     let id = Identity::sample(&mut rng);
+//!     render_face(&id, &Nuisance::sample(&mut rng, 0.3), 16, &mut rng)
+//! }).collect();
+//! let clutter: Vec<_> = (0..160).map(|_| render_non_face(16, &mut rng)).collect();
+//! let trained = train_cascade(&faces, &clutter, &CascadeTrainConfig::fast());
+//!
+//! let frame = incam_imaging::image::GrayImage::new(160, 120, 0.5);
+//! let result = scan(&trained.cascade, &frame, &ScanParams::default());
+//! println!("{} windows, {} features", result.stats.windows, result.stats.features);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cascade;
+pub mod eval;
+pub mod feature;
+pub mod hw;
+pub mod scan;
+pub mod train;
+pub mod weak;
+
+pub use cascade::{Cascade, Stage, WindowVerdict};
+pub use feature::{feature_pool, HaarFeature, HaarKind};
+pub use scan::{scan, Detection, ScanParams, ScanResult, ScanStats, StepSize};
+pub use train::{train_cascade, CascadeTrainConfig, TrainedCascade};

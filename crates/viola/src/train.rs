@@ -1,0 +1,418 @@
+//! AdaBoost cascade training.
+//!
+//! The standard Viola-Jones construction: each stage is a boosted committee
+//! of decision stumps over the Haar feature pool; after boosting, the
+//! stage threshold is relaxed until the stage passes (almost) all faces,
+//! trading false positives — which later, larger stages clean up — for
+//! detection rate. Negatives that survive the stages so far form the next
+//! stage's negative set (bootstrapping), which is what gives later stages
+//! their harder examples.
+
+use crate::cascade::{Cascade, Stage};
+use crate::feature::{feature_pool, HaarFeature};
+use crate::weak::{alpha_for_error, StumpFit, WeakClassifier};
+use incam_imaging::image::GrayImage;
+use incam_imaging::integral::{window_stats, IntegralImage};
+
+/// Cascade-training hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadeTrainConfig {
+    /// Detection-window side (examples must match).
+    pub base_window: usize,
+    /// Feature-pool position stride (1 = exhaustive).
+    pub position_stride: usize,
+    /// Feature-pool size stride.
+    pub size_stride: usize,
+    /// Weak-classifier count per stage, front to back (paper Fig. 4b:
+    /// 3, 15, 53, … — simple stages first).
+    pub stage_sizes: Vec<usize>,
+    /// Minimum fraction of training faces each stage must pass.
+    pub min_detection_rate: f64,
+    /// Stop adding stages once the surviving-negative count drops below
+    /// this (the cascade is then already a strong filter).
+    pub min_negatives: usize,
+}
+
+impl Default for CascadeTrainConfig {
+    fn default() -> Self {
+        Self {
+            base_window: 24,
+            position_stride: 3,
+            size_stride: 3,
+            stage_sizes: vec![3, 8, 15, 25, 40],
+            min_detection_rate: 0.99,
+            min_negatives: 8,
+        }
+    }
+}
+
+impl CascadeTrainConfig {
+    /// A reduced configuration for fast unit tests.
+    pub fn fast() -> Self {
+        Self {
+            base_window: 16,
+            position_stride: 4,
+            size_stride: 4,
+            stage_sizes: vec![2, 4],
+            min_detection_rate: 0.98,
+            min_negatives: 4,
+        }
+    }
+}
+
+/// Per-stage training statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageReport {
+    /// Weak classifiers in the stage.
+    pub weak_count: usize,
+    /// Detection rate on training faces after threshold adjustment.
+    pub detection_rate: f64,
+    /// False-positive rate on the stage's (bootstrapped) negatives.
+    pub false_positive_rate: f64,
+}
+
+/// A trained cascade together with its training log.
+#[derive(Debug, Clone)]
+pub struct TrainedCascade {
+    /// The classifier.
+    pub cascade: Cascade,
+    /// One report per trained stage.
+    pub reports: Vec<StageReport>,
+}
+
+/// Trains a cascade from face/non-face windows at the base window size.
+///
+/// # Panics
+///
+/// Panics if either example set is empty, any example's dimensions differ
+/// from `base_window`, or the configuration is degenerate.
+///
+/// # Examples
+///
+/// ```no_run
+/// use incam_imaging::faces::{render_face, render_non_face, Identity, Nuisance};
+/// use incam_viola::train::{train_cascade, CascadeTrainConfig};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let faces: Vec<_> = (0..60).map(|_| {
+///     let id = Identity::sample(&mut rng);
+///     render_face(&id, &Nuisance::sample(&mut rng, 0.3), 16, &mut rng)
+/// }).collect();
+/// let negs: Vec<_> = (0..120).map(|_| render_non_face(16, &mut rng)).collect();
+/// let trained = train_cascade(&faces, &negs, &CascadeTrainConfig::fast());
+/// assert!(!trained.cascade.stages().is_empty());
+/// ```
+pub fn train_cascade(
+    positives: &[GrayImage],
+    negatives: &[GrayImage],
+    config: &CascadeTrainConfig,
+) -> TrainedCascade {
+    assert!(!positives.is_empty(), "need positive examples");
+    assert!(!negatives.is_empty(), "need negative examples");
+    assert!(!config.stage_sizes.is_empty(), "need at least one stage");
+    let side = config.base_window;
+    for img in positives.iter().chain(negatives) {
+        assert_eq!(
+            img.dims(),
+            (side, side),
+            "examples must be base_window-sized"
+        );
+    }
+
+    let features = feature_pool(side, config.position_stride, config.size_stride);
+    let n_pos = positives.len();
+
+    // Precompute every feature's response on every example, once.
+    let pos_responses = response_matrix(&features, positives, side);
+    let mut neg_live: Vec<usize> = (0..negatives.len()).collect();
+    let neg_responses = response_matrix(&features, negatives, side);
+
+    // Pre-sorted example orders per feature are rebuilt per stage because
+    // the live negative set shrinks.
+    let mut stages = Vec::new();
+    let mut reports = Vec::new();
+
+    for &stage_size in &config.stage_sizes {
+        if neg_live.len() < config.min_negatives {
+            break;
+        }
+        let n = n_pos + neg_live.len();
+        // responses[f][i]: positives first, then live negatives
+        let mut labels = vec![true; n_pos];
+        labels.extend(std::iter::repeat_n(false, neg_live.len()));
+        let mut weights = vec![0.5 / n_pos as f64; n_pos];
+        weights.extend(std::iter::repeat_n(0.5 / neg_live.len() as f64, neg_live.len()));
+
+        let stage_responses: Vec<Vec<f64>> = features
+            .iter()
+            .enumerate()
+            .map(|(fi, _)| {
+                let mut row = Vec::with_capacity(n);
+                row.extend_from_slice(&pos_responses[fi]);
+                row.extend(neg_live.iter().map(|&ni| neg_responses[fi][ni]));
+                row
+            })
+            .collect();
+        let sorted: Vec<Vec<u32>> = stage_responses
+            .iter()
+            .map(|row| {
+                let mut order: Vec<u32> = (0..n as u32).collect();
+                order.sort_by(|&a, &b| row[a as usize].total_cmp(&row[b as usize]));
+                order
+            })
+            .collect();
+
+        let mut weak = Vec::with_capacity(stage_size);
+        for _round in 0..stage_size {
+            // normalize weights
+            let total: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= total;
+            }
+            // best stump over the pool
+            let mut best_fi = 0;
+            let mut best_fit = StumpFit {
+                threshold: 0.0,
+                polarity: 1,
+                error: f64::INFINITY,
+            };
+            for (fi, row) in stage_responses.iter().enumerate() {
+                let fit = fit_stump_sorted(row, &sorted[fi], &labels, &weights);
+                if fit.error < best_fit.error {
+                    best_fit = fit;
+                    best_fi = fi;
+                }
+            }
+            let alpha = alpha_for_error(best_fit.error);
+            let wc = WeakClassifier {
+                feature: best_fi,
+                threshold: best_fit.threshold,
+                polarity: best_fit.polarity,
+                alpha,
+            };
+            // reweight: correct examples shrink by beta = e/(1-e)
+            let beta = (best_fit.error / (1.0 - best_fit.error)).clamp(1e-10, 1.0);
+            for i in 0..n {
+                let predicted = wc.classify_response(stage_responses[best_fi][i]);
+                if predicted == labels[i] {
+                    weights[i] *= beta;
+                }
+            }
+            weak.push(wc);
+        }
+
+        // stage votes on positives and live negatives
+        let vote = |i: usize| -> f64 {
+            weak.iter()
+                .filter(|wc| wc.classify_response(stage_responses[wc.feature][i]))
+                .map(|wc| wc.alpha)
+                .sum()
+        };
+        let mut pos_votes: Vec<f64> = (0..n_pos).map(&vote).collect();
+        pos_votes.sort_by(f64::total_cmp);
+        // choose the threshold as the (1 - dr) quantile of positive votes
+        let drop = ((1.0 - config.min_detection_rate) * n_pos as f64).floor() as usize;
+        let threshold = pos_votes[drop.min(n_pos - 1)] - 1e-9;
+
+        let detection_rate =
+            pos_votes.iter().filter(|&&v| v >= threshold).count() as f64 / n_pos as f64;
+        let surviving: Vec<usize> = neg_live
+            .iter()
+            .enumerate()
+            .filter(|&(local, _)| vote(n_pos + local) >= threshold)
+            .map(|(_, &global)| global)
+            .collect();
+        let fp_rate = surviving.len() as f64 / neg_live.len() as f64;
+
+        stages.push(Stage { weak, threshold });
+        reports.push(StageReport {
+            weak_count: stage_size,
+            detection_rate,
+            false_positive_rate: fp_rate,
+        });
+        neg_live = surviving;
+    }
+
+    TrainedCascade {
+        cascade: Cascade::new(features, stages, side),
+        reports,
+    }
+}
+
+/// Feature responses on base-window examples, variance-normalized exactly
+/// like scan-time windows.
+fn response_matrix(
+    features: &[HaarFeature],
+    examples: &[GrayImage],
+    side: usize,
+) -> Vec<Vec<f64>> {
+    let prepared: Vec<(IntegralImage, f64)> = examples
+        .iter()
+        .map(|img| {
+            let ii = IntegralImage::new(img);
+            let sq = IntegralImage::squared(img);
+            let stats = window_stats(&ii, &sq, 0, 0, side, side);
+            (ii, stats.stddev)
+        })
+        .collect();
+    features
+        .iter()
+        .map(|f| {
+            prepared
+                .iter()
+                .map(|(ii, stddev)| f.evaluate(ii, 0, 0, 1.0, *stddev))
+                .collect()
+        })
+        .collect()
+}
+
+/// [`crate::weak::fit_stump`] with a caller-supplied sort order, so the
+/// `O(n log n)` sort is paid once per feature per stage instead of once
+/// per boosting round.
+fn fit_stump_sorted(responses: &[f64], order: &[u32], labels: &[bool], weights: &[f64]) -> StumpFit {
+    let total_pos: f64 = weights
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l)
+        .map(|(&w, _)| w)
+        .sum();
+    let total_neg: f64 = 1.0 - total_pos;
+
+    let mut seen_pos = 0.0f64;
+    let mut seen_neg = 0.0f64;
+    let mut best = StumpFit {
+        threshold: responses[order[0] as usize] - 1e-9,
+        polarity: 1,
+        error: total_pos.min(total_neg),
+    };
+    for (rank, &idx) in order.iter().enumerate() {
+        let i = idx as usize;
+        if labels[i] {
+            seen_pos += weights[i];
+        } else {
+            seen_neg += weights[i];
+        }
+        let threshold = if rank + 1 < order.len() {
+            (responses[i] + responses[order[rank + 1] as usize]) / 2.0
+        } else {
+            responses[i] + 1e-9
+        };
+        let err_pos_below = seen_neg + (total_pos - seen_pos);
+        let err_neg_below = seen_pos + (total_neg - seen_neg);
+        if err_pos_below < best.error {
+            best = StumpFit {
+                threshold,
+                polarity: 1,
+                error: err_pos_below,
+            };
+        }
+        if err_neg_below < best.error {
+            best = StumpFit {
+                threshold,
+                polarity: -1,
+                error: err_neg_below,
+            };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incam_imaging::faces::{render_face, render_non_face, Identity, Nuisance};
+    use incam_imaging::integral::IntegralImage;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn training_data(
+        rng: &mut StdRng,
+        n_pos: usize,
+        n_neg: usize,
+        side: usize,
+    ) -> (Vec<GrayImage>, Vec<GrayImage>) {
+        let pos = (0..n_pos)
+            .map(|_| {
+                let id = Identity::sample(rng);
+                let nz = Nuisance::sample(rng, 0.25);
+                render_face(&id, &nz, side, rng)
+            })
+            .collect();
+        let neg = (0..n_neg).map(|_| render_non_face(side, rng)).collect();
+        (pos, neg)
+    }
+
+    #[test]
+    fn cascade_separates_faces_from_clutter() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let (pos, neg) = training_data(&mut rng, 80, 160, 16);
+        let trained = train_cascade(&pos, &neg, &CascadeTrainConfig::fast());
+
+        // held-out evaluation
+        let (test_pos, test_neg) = training_data(&mut rng, 40, 80, 16);
+        let classify = |img: &GrayImage| {
+            let ii = IntegralImage::new(img);
+            let sq = IntegralImage::squared(img);
+            trained.cascade.classify_window(&ii, &sq, 0, 0, 1.0).accepted
+        };
+        let tp = test_pos.iter().filter(|i| classify(i)).count();
+        let fp = test_neg.iter().filter(|i| classify(i)).count();
+        let detection = tp as f64 / test_pos.len() as f64;
+        let fp_rate = fp as f64 / test_neg.len() as f64;
+        assert!(detection > 0.8, "detection rate {detection}");
+        assert!(fp_rate < 0.5, "false-positive rate {fp_rate}");
+        assert!(detection > fp_rate + 0.3);
+    }
+
+    #[test]
+    fn stage_reports_meet_detection_target() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let (pos, neg) = training_data(&mut rng, 60, 120, 16);
+        let cfg = CascadeTrainConfig::fast();
+        let trained = train_cascade(&pos, &neg, &cfg);
+        for report in &trained.reports {
+            assert!(report.detection_rate >= cfg.min_detection_rate - 1e-9);
+        }
+    }
+
+    #[test]
+    fn bootstrapping_shrinks_negative_set() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let (pos, neg) = training_data(&mut rng, 60, 150, 16);
+        let trained = train_cascade(&pos, &neg, &CascadeTrainConfig::fast());
+        // at least one stage must reject a decent share of negatives
+        assert!(
+            trained
+                .reports
+                .iter()
+                .any(|r| r.false_positive_rate < 0.8),
+            "reports: {:?}",
+            trained.reports
+        );
+    }
+
+    #[test]
+    fn sorted_stump_matches_reference_implementation() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let n = 60;
+        let responses: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let labels: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.4)).collect();
+        let mut weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by(|&a, &b| responses[a as usize].total_cmp(&responses[b as usize]));
+        let fast = fit_stump_sorted(&responses, &order, &labels, &weights);
+        let reference = crate::weak::fit_stump(&responses, &labels, &weights);
+        assert!((fast.error - reference.error).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive examples")]
+    fn empty_positives_rejected() {
+        let _ = train_cascade(&[], &[GrayImage::zeros(16, 16)], &CascadeTrainConfig::fast());
+    }
+}

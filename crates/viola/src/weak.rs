@@ -1,0 +1,211 @@
+//! Decision-stump weak classifiers and their AdaBoost-optimal training.
+//!
+//! Each weak classifier thresholds one Haar feature's response:
+//! `h(x) = +1 if polarity · f(x) < polarity · θ else 0`. Training finds the
+//! threshold/polarity pair minimizing weighted error in one sorted pass —
+//! the standard Viola-Jones construction.
+
+/// A thresholded Haar feature with its AdaBoost vote weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeakClassifier {
+    /// Index into the cascade's feature table.
+    pub feature: usize,
+    /// Decision threshold on the normalized feature response.
+    pub threshold: f64,
+    /// `+1` or `-1`: which side of the threshold is "face".
+    pub polarity: i8,
+    /// AdaBoost vote weight `α = ln((1-ε)/ε)`.
+    pub alpha: f64,
+}
+
+impl WeakClassifier {
+    /// Classifies a precomputed feature response as face (`true`) or not.
+    #[inline]
+    pub fn classify_response(&self, response: f64) -> bool {
+        if self.polarity > 0 {
+            response < self.threshold
+        } else {
+            response >= self.threshold
+        }
+    }
+}
+
+/// Result of a single weak-classifier training pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StumpFit {
+    /// Best threshold found.
+    pub threshold: f64,
+    /// Best polarity found.
+    pub polarity: i8,
+    /// Weighted error at the optimum (in `[0, 0.5]` for useful stumps).
+    pub error: f64,
+}
+
+/// Finds the optimal decision stump for one feature.
+///
+/// `responses[i]` is the feature's value on example `i`; `labels[i]` is
+/// whether the example is a face; `weights[i]` its AdaBoost weight
+/// (assumed normalized to sum 1).
+///
+/// Runs in `O(n log n)` via the classic sorted scan: at each candidate
+/// threshold the weighted error is
+/// `min(S⁺ + (T⁻ − S⁻), S⁻ + (T⁺ − S⁺))`.
+///
+/// # Panics
+///
+/// Panics if the slices are empty or their lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// use incam_viola::weak::fit_stump;
+///
+/// // perfectly separable: faces respond low
+/// let responses = [0.1, 0.2, 0.8, 0.9];
+/// let labels = [true, true, false, false];
+/// let weights = [0.25; 4];
+/// let fit = fit_stump(&responses, &labels, &weights);
+/// assert!(fit.error < 1e-9);
+/// assert_eq!(fit.polarity, 1);
+/// ```
+pub fn fit_stump(responses: &[f64], labels: &[bool], weights: &[f64]) -> StumpFit {
+    assert!(!responses.is_empty(), "need at least one example");
+    assert!(
+        responses.len() == labels.len() && labels.len() == weights.len(),
+        "responses/labels/weights must align"
+    );
+
+    let mut order: Vec<usize> = (0..responses.len()).collect();
+    order.sort_by(|&a, &b| responses[a].total_cmp(&responses[b]));
+
+    let total_pos: f64 = weights
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l)
+        .map(|(&w, _)| w)
+        .sum();
+    let total_neg: f64 = weights
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| !l)
+        .map(|(&w, _)| w)
+        .sum();
+
+    let mut seen_pos = 0.0f64;
+    let mut seen_neg = 0.0f64;
+    let mut best = StumpFit {
+        threshold: responses[order[0]] - 1e-9,
+        polarity: 1,
+        error: total_pos.min(total_neg),
+    };
+
+    for (rank, &idx) in order.iter().enumerate() {
+        if labels[idx] {
+            seen_pos += weights[idx];
+        } else {
+            seen_neg += weights[idx];
+        }
+        // threshold between this response and the next
+        let threshold = if rank + 1 < order.len() {
+            (responses[idx] + responses[order[rank + 1]]) / 2.0
+        } else {
+            responses[idx] + 1e-9
+        };
+        // polarity +1: predict face below threshold
+        let err_pos_below = seen_neg + (total_pos - seen_pos);
+        // polarity -1: predict face at/above threshold
+        let err_neg_below = seen_pos + (total_neg - seen_neg);
+        if err_pos_below < best.error {
+            best = StumpFit {
+                threshold,
+                polarity: 1,
+                error: err_pos_below,
+            };
+        }
+        if err_neg_below < best.error {
+            best = StumpFit {
+                threshold,
+                polarity: -1,
+                error: err_neg_below,
+            };
+        }
+    }
+    best
+}
+
+/// AdaBoost vote weight for a weak classifier with weighted error `error`.
+/// Errors are clamped away from 0 and 1 for numerical stability.
+pub fn alpha_for_error(error: f64) -> f64 {
+    let e = error.clamp(1e-10, 1.0 - 1e-10);
+    ((1.0 - e) / e).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separable_data_zero_error() {
+        let responses = [1.0, 2.0, 3.0, 10.0, 11.0];
+        let labels = [true, true, true, false, false];
+        let w = [0.2; 5];
+        let fit = fit_stump(&responses, &labels, &w);
+        assert!(fit.error < 1e-9);
+        let wc = WeakClassifier {
+            feature: 0,
+            threshold: fit.threshold,
+            polarity: fit.polarity,
+            alpha: alpha_for_error(fit.error),
+        };
+        for (r, l) in responses.iter().zip(&labels) {
+            assert_eq!(wc.classify_response(*r), *l);
+        }
+    }
+
+    #[test]
+    fn inverted_separable_uses_negative_polarity() {
+        let responses = [10.0, 11.0, 1.0, 2.0];
+        let labels = [true, true, false, false];
+        let w = [0.25; 4];
+        let fit = fit_stump(&responses, &labels, &w);
+        assert!(fit.error < 1e-9);
+        assert_eq!(fit.polarity, -1);
+    }
+
+    #[test]
+    fn weights_steer_the_threshold() {
+        // one mislabeled-looking point with a huge weight dominates
+        let responses = [1.0, 2.0, 3.0, 4.0];
+        let labels = [true, false, true, false];
+        let uniform = [0.25; 4];
+        let fit_u = fit_stump(&responses, &labels, &uniform);
+        assert!(fit_u.error > 0.0);
+        // weight everything onto the first two examples: separable subset
+        let skewed = [0.499, 0.499, 0.001, 0.001];
+        let fit_s = fit_stump(&responses, &labels, &skewed);
+        assert!(fit_s.error < 0.01);
+    }
+
+    #[test]
+    fn error_bounded_by_half_with_best_polarity() {
+        // random-ish labels: stump can always achieve <= 0.5
+        let responses = [0.5, 0.1, 0.9, 0.3, 0.7];
+        let labels = [true, false, true, false, true];
+        let w = [0.2; 5];
+        let fit = fit_stump(&responses, &labels, &w);
+        assert!(fit.error <= 0.5 + 1e-12);
+    }
+
+    #[test]
+    fn alpha_monotone_in_accuracy() {
+        assert!(alpha_for_error(0.1) > alpha_for_error(0.3));
+        assert!(alpha_for_error(0.5).abs() < 1e-9);
+        assert!(alpha_for_error(0.0).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        let _ = fit_stump(&[1.0], &[true, false], &[1.0]);
+    }
+}

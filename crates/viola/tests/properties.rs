@@ -1,0 +1,107 @@
+//! Property-based tests of the Viola-Jones components.
+
+use incam_imaging::image::Image;
+use incam_imaging::integral::IntegralImage;
+use incam_viola::feature::feature_pool;
+use incam_viola::scan::{group_detections, Detection, StepSize};
+use incam_viola::weak::{alpha_for_error, fit_stump};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every pooled feature fits its base window, and denser strides are
+    /// supersets in count.
+    #[test]
+    fn feature_pool_well_formed(base in 8usize..28, stride in 1usize..5) {
+        let pool = feature_pool(base, stride, stride);
+        prop_assert!(!pool.is_empty());
+        for f in &pool {
+            let (w, h) = f.extent();
+            prop_assert!(f.x + w <= base && f.y + h <= base);
+        }
+        if stride > 1 {
+            let denser = feature_pool(base, stride - 1, stride - 1);
+            prop_assert!(denser.len() >= pool.len());
+        }
+    }
+
+    /// Haar responses on a constant image are exactly zero (after
+    /// normalization they stay zero regardless of stddev).
+    #[test]
+    fn features_zero_on_flat_images(value in 0.0f32..1.0, idx in 0usize..200) {
+        let img = Image::new(16, 16, value);
+        let ii = IntegralImage::new(&img);
+        let pool = feature_pool(16, 3, 3);
+        let f = &pool[idx % pool.len()];
+        let v = f.evaluate(&ii, 0, 0, 1.0, 1.0);
+        prop_assert!(v.abs() < 1e-4, "kind {:?} -> {v}", f.kind);
+    }
+
+    /// IoU is symmetric, bounded, and 1 exactly on identity.
+    #[test]
+    fn iou_axioms(
+        x1 in 0usize..100, y1 in 0usize..100, s1 in 1usize..50,
+        x2 in 0usize..100, y2 in 0usize..100, s2 in 1usize..50,
+    ) {
+        let a = Detection { x: x1, y: y1, side: s1 };
+        let b = Detection { x: x2, y: y2, side: s2 };
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ab));
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-12);
+    }
+
+    /// Grouping never increases the detection count and every group
+    /// average lies within the raw boxes' bounding hull.
+    #[test]
+    fn grouping_contracts(
+        raw in prop::collection::vec(
+            (0usize..60, 0usize..60, 4usize..20).prop_map(|(x, y, side)| Detection { x, y, side }),
+            0..20,
+        )
+    ) {
+        let grouped = group_detections(&raw, 0.3);
+        prop_assert!(grouped.len() <= raw.len());
+        if !raw.is_empty() {
+            prop_assert!(!grouped.is_empty());
+            let min_x = raw.iter().map(|d| d.x).min().unwrap();
+            let max_x = raw.iter().map(|d| d.x).max().unwrap();
+            for g in &grouped {
+                prop_assert!(g.x >= min_x && g.x <= max_x);
+            }
+        }
+    }
+
+    /// Stump fitting never exceeds the trivial error bound
+    /// min(total_pos, total_neg), and alpha is antitone in error.
+    #[test]
+    fn stump_error_bound(
+        data in prop::collection::vec((-10.0f64..10.0, any::<bool>()), 2..60),
+    ) {
+        let responses: Vec<f64> = data.iter().map(|(r, _)| *r).collect();
+        let labels: Vec<bool> = data.iter().map(|(_, l)| *l).collect();
+        let n = data.len() as f64;
+        let weights = vec![1.0 / n; data.len()];
+        let fit = fit_stump(&responses, &labels, &weights);
+        let pos: f64 = labels.iter().filter(|&&l| l).count() as f64 / n;
+        let trivial = pos.min(1.0 - pos);
+        prop_assert!(fit.error <= trivial + 1e-9, "err {} trivial {trivial}", fit.error);
+        prop_assert!(fit.error >= -1e-12);
+    }
+
+    #[test]
+    fn alpha_antitone(e1 in 0.01f64..0.49, e2 in 0.01f64..0.49) {
+        if e1 < e2 {
+            prop_assert!(alpha_for_error(e1) > alpha_for_error(e2));
+        }
+    }
+
+    /// Adaptive strides are monotone in window size and never zero.
+    #[test]
+    fn stride_monotone(frac in 0.0f64..1.0, small in 8usize..64) {
+        let big = small * 2;
+        let s_small = StepSize::Adaptive(frac).stride(small);
+        let s_big = StepSize::Adaptive(frac).stride(big);
+        prop_assert!(s_small >= 1 && s_big >= s_small);
+    }
+}

@@ -1,0 +1,111 @@
+//! Block B3 — depth estimation: bilateral-space stereo on each rectified
+//! pair.
+//!
+//! The paper's bottleneck block: ~70 % of the serial compute and the
+//! target of the FPGA accelerator. The functional path delegates to
+//! [`incam_bilateral::stereo::bssa_depth`]; the work model exposes the
+//! grid-blur operation count the FPGA/GPU/CPU backends are calibrated
+//! against.
+
+use crate::blocks::align::AlignedPair;
+use incam_bilateral::grid::GridParams;
+use incam_bilateral::stereo::{bssa_depth, BssaConfig, DepthResult, MatchParams, SolverParams};
+
+/// Nominal full-scale solver workload: the paper's high-quality operating
+/// point (4 px/vertex grid, Fig. 7's quality knee) with a deep refinement
+/// schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DepthWorkload {
+    /// Grid cell size in pixels (at full camera resolution).
+    pub pixels_per_vertex: f64,
+    /// Intensity cells.
+    pub range_cells: f64,
+    /// Solver iterations (each blurring all three grid axes).
+    pub iterations: usize,
+}
+
+impl DepthWorkload {
+    /// The paper-calibrated operating point.
+    pub fn paper_default() -> Self {
+        Self {
+            pixels_per_vertex: 4.0,
+            range_cells: 10.0,
+            iterations: 128,
+        }
+    }
+
+    /// Grid vertices for one pair at `width × height` resolution.
+    pub fn vertices(&self, width: usize, height: usize) -> f64 {
+        let gw = width as f64 / self.pixels_per_vertex + 1.0;
+        let gh = height as f64 / self.pixels_per_vertex + 1.0;
+        gw * gh * (self.range_cells + 1.0)
+    }
+
+    /// Grid-blur vertex operations per pair frame (3 axes per iteration).
+    pub fn blur_ops(&self, width: usize, height: usize) -> f64 {
+        self.vertices(width, height) * 3.0 * self.iterations as f64
+    }
+}
+
+/// A functional BSSA configuration for the scaled simulator.
+pub fn scaled_config(max_disparity: usize) -> BssaConfig {
+    BssaConfig {
+        matching: MatchParams {
+            max_disparity,
+            block_radius: 2,
+        },
+        grid: GridParams::new(4.0, 0.15),
+        solver: SolverParams {
+            lambda: 2.0,
+            iterations: 10,
+            blur_per_iteration: 1,
+        },
+    }
+}
+
+/// Computes depth for one rectified pair.
+pub fn estimate_depth(pair: &AlignedPair, max_disparity: usize) -> DepthResult {
+    bssa_depth(
+        &pair.neighbour,
+        &pair.reference,
+        &scaled_config(max_disparity),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incam_imaging::scenes::stereo_scene;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn workload_counts_paper_scale() {
+        let w = DepthWorkload::paper_default();
+        // 4K pair: (961)(541)(11) ~ 5.7M vertices
+        let v = w.vertices(3840, 2160);
+        assert!(v > 5.4e6 && v < 6.1e6, "vertices {v}");
+        let ops = w.blur_ops(3840, 2160);
+        assert!(ops > 2.0e9 && ops < 2.4e9, "ops {ops}");
+    }
+
+    #[test]
+    fn functional_depth_runs_on_scaled_pair() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let scene = stereo_scene(64, 48, 5, 3, &mut rng);
+        let pair = AlignedPair {
+            reference: scene.right.clone(),
+            neighbour: scene.left.clone(),
+        };
+        let result = estimate_depth(&pair, 5);
+        assert_eq!(result.disparity.dims(), (64, 48));
+        let (lo, hi) = result.disparity.min_max();
+        assert!(lo >= -0.5 && hi <= 5.5, "range {lo}..{hi}");
+    }
+
+    #[test]
+    fn ops_scale_with_resolution() {
+        let w = DepthWorkload::paper_default();
+        assert!(w.blur_ops(3840, 2160) > 3.5 * w.blur_ops(1920, 1080));
+    }
+}

@@ -1,0 +1,152 @@
+//! The nine pipeline configurations of the paper's Fig. 10.
+//!
+//! Each configuration executes some prefix of the blocks in-camera and
+//! offloads the rest: the raw sensor stream (`S~`), sensor + B1, … up to
+//! the full pipeline, with the depth block on each of the three backends
+//! once it is included.
+
+use crate::backend::DepthBackend;
+use core::fmt;
+
+/// One Fig. 10 configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PipelineConfig {
+    /// Number of blocks processed in-camera before offload (0–4).
+    pub blocks: usize,
+    /// Backend for B3, when included.
+    pub depth_backend: Option<DepthBackend>,
+}
+
+impl PipelineConfig {
+    /// The paper's nine configurations, in figure order.
+    pub fn paper_set() -> Vec<PipelineConfig> {
+        let mut set = vec![
+            PipelineConfig {
+                blocks: 0,
+                depth_backend: None,
+            },
+            PipelineConfig {
+                blocks: 1,
+                depth_backend: None,
+            },
+            PipelineConfig {
+                blocks: 2,
+                depth_backend: None,
+            },
+        ];
+        for backend in DepthBackend::ALL {
+            set.push(PipelineConfig {
+                blocks: 3,
+                depth_backend: Some(backend),
+            });
+        }
+        for backend in DepthBackend::ALL {
+            set.push(PipelineConfig {
+                blocks: 4,
+                depth_backend: Some(backend),
+            });
+        }
+        set
+    }
+
+    /// The figure's label style, e.g. `SB1B2B3F~` for sensor + B1 + B2 +
+    /// B3 on the FPGA.
+    pub fn label(&self) -> String {
+        let mut s = String::from("S");
+        for b in 1..=self.blocks {
+            s.push('B');
+            s.push(char::from_digit(b as u32, 10).expect("blocks <= 4"));
+            if b == 3 {
+                if let Some(backend) = self.depth_backend {
+                    s.push(backend.letter());
+                }
+            }
+            if b == 4 {
+                if let Some(backend) = self.depth_backend {
+                    s.push(backend.letter());
+                }
+            }
+        }
+        s.push('~');
+        s
+    }
+
+    /// A human-readable description, e.g. `sensor + B1 + B2 + B3 (FPGA)`.
+    pub fn description(&self) -> String {
+        let mut s = String::from("sensor");
+        for b in 1..=self.blocks {
+            s.push_str(&format!(" + B{b}"));
+        }
+        if self.blocks >= 3 {
+            if let Some(backend) = self.depth_backend {
+                s.push_str(&format!(" ({backend})"));
+            }
+        }
+        s
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if B3 is included without a backend (or vice versa), or
+    /// `blocks > 4`.
+    pub fn validate(&self) {
+        assert!(self.blocks <= 4, "at most four blocks");
+        assert_eq!(
+            self.blocks >= 3,
+            self.depth_backend.is_some(),
+            "depth backend must be present exactly when B3 is included"
+        );
+    }
+}
+
+impl fmt::Display for PipelineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_has_nine_rows() {
+        let set = PipelineConfig::paper_set();
+        assert_eq!(set.len(), 9);
+        for config in &set {
+            config.validate();
+        }
+    }
+
+    #[test]
+    fn labels_match_figure_style() {
+        let set = PipelineConfig::paper_set();
+        let labels: Vec<String> = set.iter().map(|c| c.label()).collect();
+        assert_eq!(labels[0], "S~");
+        assert_eq!(labels[2], "SB1B2~");
+        assert_eq!(labels[3], "SB1B2B3C~");
+        assert_eq!(labels[5], "SB1B2B3F~");
+        assert_eq!(labels[8], "SB1B2B3FB4F~");
+    }
+
+    #[test]
+    fn descriptions_read_naturally() {
+        let cfg = PipelineConfig {
+            blocks: 4,
+            depth_backend: Some(DepthBackend::Gpu),
+        };
+        assert_eq!(cfg.description(), "sensor + B1 + B2 + B3 + B4 (GPU)");
+    }
+
+    #[test]
+    #[should_panic(expected = "backend")]
+    fn depth_without_backend_invalid() {
+        PipelineConfig {
+            blocks: 3,
+            depth_backend: None,
+        }
+        .validate();
+    }
+}

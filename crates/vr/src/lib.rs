@@ -1,0 +1,46 @@
+//! # incam-vr — the real-time 3D-360° VR video pipeline
+//!
+//! The paper's second case study (§IV): a 16-camera 4K rig producing
+//! stereoscopic panoramic video at 30 FPS through the pipeline
+//! B1 pre-processing → B2 image alignment → B3 bilateral-space depth
+//! estimation → B4 stitching (Fig. 5).
+//!
+//! The crate has two layers:
+//!
+//! * a **functional** path that really executes the four blocks on scaled
+//!   synthetic rig captures ([`frame`], [`blocks`]) — demosaic,
+//!   rectification, BSSA depth via [`incam_bilateral`], panoramic DIBR
+//!   stitching;
+//! * an **analytical** path ([`rig`], [`backend`], [`configs`],
+//!   [`analysis`], [`network`]) that reproduces the paper's Fig. 9 and
+//!   Fig. 10 at full 16×4K scale on calibrated CPU/GPU/FPGA backend
+//!   models.
+//!
+//! # Examples
+//!
+//! ```
+//! use incam_core::link::Link;
+//! use incam_vr::analysis::VrModel;
+//!
+//! let model = VrModel::paper_default();
+//! for row in model.fig10(&Link::ethernet_25g()) {
+//!     println!("{:<14} {:>7.2} FPS ({})", row.label, row.total.fps(), row.binding);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod backend;
+pub mod blocks;
+pub mod configs;
+pub mod frame;
+pub mod network;
+pub mod projection;
+pub mod rig;
+
+pub use analysis::{fig9, Fig10Row, Fig9Row, VrModel};
+pub use backend::{BackendCalibration, DepthBackend};
+pub use configs::PipelineConfig;
+pub use rig::CameraRig;

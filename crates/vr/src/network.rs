@@ -1,0 +1,84 @@
+//! Uplink sensitivity analysis: how the offload story changes with link
+//! speed.
+//!
+//! The paper's closing observation: at 25 GbE the system is network-bound
+//! and in-camera processing is mandatory; at a hypothetical 400 Gb link
+//! the raw 16-camera stream uploads at hundreds of FPS and the incentive
+//! for in-camera processing largely disappears.
+
+use crate::analysis::VrModel;
+use incam_core::link::Link;
+use incam_core::units::{BytesPerSec, Fps};
+
+/// One row of the link-sweep table.
+#[derive(Debug, Clone)]
+pub struct LinkRow {
+    /// Link name.
+    pub link: String,
+    /// Raw link rate in Gb/s.
+    pub raw_gbps: f64,
+    /// Raw-sensor upload rate.
+    pub sensor_fps: Fps,
+    /// Full-pipeline-output upload rate.
+    pub processed_fps: Fps,
+    /// Whether raw offload alone meets 30 FPS (no in-camera processing
+    /// needed for bandwidth).
+    pub raw_offload_real_time: bool,
+}
+
+/// Sweeps the given links against the model's data volumes.
+pub fn link_sweep(model: &VrModel, links: &[Link]) -> Vec<LinkRow> {
+    links
+        .iter()
+        .map(|link| {
+            let sensor_fps = model.sensor_upload_fps(link);
+            let processed_fps = link.upload_fps(model.data_after(4));
+            LinkRow {
+                link: link.name().to_string(),
+                raw_gbps: link.raw_rate().gbps(),
+                sensor_fps,
+                processed_fps,
+                raw_offload_real_time: sensor_fps.fps() >= 30.0,
+            }
+        })
+        .collect()
+}
+
+/// The paper's two link scenarios plus intermediate Ethernet generations
+/// for the crossover study.
+pub fn standard_links() -> Vec<Link> {
+    vec![
+        Link::new("10GbE", BytesPerSec::from_gbps(10.0), 0.671),
+        Link::ethernet_25g(),
+        Link::new("40GbE", BytesPerSec::from_gbps(40.0), 0.671),
+        Link::new("100GbE", BytesPerSec::from_gbps(100.0), 0.85),
+        Link::ethernet_400g(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_between_25_and_400_gbe() {
+        let model = VrModel::paper_default();
+        let rows = link_sweep(&model, &standard_links());
+        let at = |name: &str| rows.iter().find(|r| r.link == name).unwrap().clone();
+        assert!(!at("25GbE").raw_offload_real_time);
+        assert!(at("400GbE").raw_offload_real_time);
+        // processed output is always easier to ship than raw
+        for row in &rows {
+            assert!(row.processed_fps.fps() > row.sensor_fps.fps());
+        }
+    }
+
+    #[test]
+    fn sensor_fps_scales_with_link_rate() {
+        let model = VrModel::paper_default();
+        let rows = link_sweep(&model, &standard_links());
+        for pair in rows.windows(2) {
+            assert!(pair[1].sensor_fps.fps() > pair[0].sensor_fps.fps());
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Cylindrical projection geometry for the camera ring.
+//!
+//! Rigs like Google Jump arrange pinhole cameras on a ring; producing a
+//! 360° panorama means warping each pinhole image onto a shared cylinder
+//! and blending the overlaps. This module implements that geometry
+//! exactly — pinhole ↔ cylinder mappings and the multi-camera panorama
+//! compositor — and the tests close the loop by rendering synthetic
+//! pinhole views *from* a panoramic texture and checking the compositor
+//! reconstructs it.
+
+use crate::frame::sample_bilinear;
+use incam_imaging::image::GrayImage;
+use std::f32::consts::{PI, TAU};
+
+/// The ring's geometric parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RingGeometry {
+    /// Number of cameras, evenly spaced on the ring.
+    pub cameras: usize,
+    /// Horizontal field of view of each camera, radians.
+    pub fov: f32,
+    /// Pinhole image width in pixels.
+    pub image_width: usize,
+    /// Pinhole image height in pixels.
+    pub image_height: usize,
+}
+
+impl RingGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cameras ≥ 2`, `0 < fov < π`, and the combined
+    /// fields of view cover the full circle (`cameras × fov ≥ 2π`).
+    pub fn new(cameras: usize, fov: f32, image_width: usize, image_height: usize) -> Self {
+        assert!(cameras >= 2, "a ring needs at least two cameras");
+        assert!(fov > 0.0 && fov < PI, "fov must be in (0, pi)");
+        assert!(
+            cameras as f32 * fov >= TAU,
+            "cameras x fov must cover the circle"
+        );
+        assert!(image_width >= 8 && image_height >= 8, "images too small");
+        Self {
+            cameras,
+            fov,
+            image_width,
+            image_height,
+        }
+    }
+
+    /// The heading (yaw) of camera `i`, radians.
+    pub fn heading(&self, camera: usize) -> f32 {
+        TAU * camera as f32 / self.cameras as f32
+    }
+
+    /// Pinhole focal length in pixels implied by the field of view.
+    pub fn focal_px(&self) -> f32 {
+        (self.image_width as f32 / 2.0) / (self.fov / 2.0).tan()
+    }
+
+    /// Angular overlap between adjacent cameras, radians.
+    pub fn overlap(&self) -> f32 {
+        self.fov - TAU / self.cameras as f32
+    }
+
+    /// Maps a cylinder direction (relative yaw `theta` from the camera's
+    /// heading, normalized height `v` with 0 at the horizon) to pinhole
+    /// pixel coordinates, or `None` when outside the camera's frustum.
+    pub fn cylinder_to_pixel(&self, theta: f32, v: f32) -> Option<(f32, f32)> {
+        if theta.abs() >= self.fov / 2.0 {
+            return None;
+        }
+        let f = self.focal_px();
+        let x = self.image_width as f32 / 2.0 + f * theta.tan();
+        let y = self.image_height as f32 / 2.0 + f * v / theta.cos();
+        if x < 0.0
+            || y < 0.0
+            || x > (self.image_width - 1) as f32
+            || y > (self.image_height - 1) as f32
+        {
+            return None;
+        }
+        Some((x, y))
+    }
+
+    /// Inverse of [`RingGeometry::cylinder_to_pixel`]: pinhole pixel to
+    /// (relative yaw, normalized height).
+    pub fn pixel_to_cylinder(&self, x: f32, y: f32) -> (f32, f32) {
+        let f = self.focal_px();
+        let theta = ((x - self.image_width as f32 / 2.0) / f).atan();
+        let v = (y - self.image_height as f32 / 2.0) * theta.cos() / f;
+        (theta, v)
+    }
+}
+
+/// A composited cylindrical panorama.
+#[derive(Debug, Clone)]
+pub struct CylinderPanorama {
+    /// The panorama (width spans the full 2π).
+    pub image: GrayImage,
+    /// Pixels per radian of yaw.
+    pub pixels_per_radian: f32,
+}
+
+/// Composites the ring's pinhole views onto a full-circle cylinder with
+/// feathered blending in the overlap wedges.
+///
+/// # Panics
+///
+/// Panics if the image count or dimensions do not match the geometry, or
+/// `output_height` is zero.
+pub fn cylinder_panorama(
+    geometry: &RingGeometry,
+    images: &[GrayImage],
+    output_width: usize,
+    output_height: usize,
+) -> CylinderPanorama {
+    assert_eq!(
+        images.len(),
+        geometry.cameras,
+        "one image per ring camera"
+    );
+    for img in images {
+        assert_eq!(
+            img.dims(),
+            (geometry.image_width, geometry.image_height),
+            "image dimensions must match the geometry"
+        );
+    }
+    assert!(output_width >= 8 && output_height >= 1, "output too small");
+
+    let pixels_per_radian = output_width as f32 / TAU;
+    let half_fov = geometry.fov / 2.0;
+    let v_span = {
+        // vertical extent the narrowest usable column supports
+        let f = geometry.focal_px();
+        (geometry.image_height as f32 / 2.0) / f
+    };
+
+    let image = GrayImage::from_fn(output_width, output_height, |px, py| {
+        let yaw = px as f32 / pixels_per_radian;
+        let v = (py as f32 / (output_height - 1).max(1) as f32 - 0.5) * 2.0 * v_span * 0.7;
+        let mut num = 0.0f32;
+        let mut den = 0.0f32;
+        for (cam, image) in images.iter().enumerate() {
+            let mut theta = yaw - geometry.heading(cam);
+            // wrap into (-pi, pi]
+            while theta > PI {
+                theta -= TAU;
+            }
+            while theta <= -PI {
+                theta += TAU;
+            }
+            if let Some((x, y)) = geometry.cylinder_to_pixel(theta, v) {
+                // feather toward frustum edges
+                let weight = (1.0 - (theta.abs() / half_fov)).max(1e-3);
+                num += weight * sample_bilinear(image, x, y);
+                den += weight;
+            }
+        }
+        if den > 0.0 {
+            num / den
+        } else {
+            0.0
+        }
+    });
+
+    CylinderPanorama {
+        image,
+        pixels_per_radian,
+    }
+}
+
+/// Renders the pinhole view a ring camera would capture of a cylindrical
+/// scene texture (used by tests and the synthetic rig) — the exact
+/// inverse of the compositor's sampling.
+pub fn render_pinhole_view(
+    geometry: &RingGeometry,
+    scene: &GrayImage,
+    camera: usize,
+) -> GrayImage {
+    let heading = geometry.heading(camera);
+    let scene_ppr = scene.width() as f32 / TAU;
+    let v_span = {
+        let f = geometry.focal_px();
+        (geometry.image_height as f32 / 2.0) / f
+    };
+    GrayImage::from_fn(geometry.image_width, geometry.image_height, |x, y| {
+        let (theta, v) = geometry.pixel_to_cylinder(x as f32, y as f32);
+        let yaw = (heading + theta).rem_euclid(TAU);
+        let sx = yaw * scene_ppr;
+        let sy = ((v / (2.0 * v_span * 0.7)) + 0.5) * (scene.height() - 1) as f32;
+        sample_bilinear(scene, sx, sy)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incam_imaging::image::Image;
+
+    fn geometry() -> RingGeometry {
+        // 8 cameras x 60 degrees = 480 degrees: 33% overlap
+        RingGeometry::new(8, 60f32.to_radians(), 64, 48)
+    }
+
+    #[test]
+    fn headings_are_even_and_overlap_positive() {
+        let g = geometry();
+        assert_eq!(g.heading(0), 0.0);
+        assert!((g.heading(4) - PI).abs() < 1e-6);
+        assert!(g.overlap() > 0.0);
+    }
+
+    #[test]
+    fn pixel_cylinder_round_trip() {
+        let g = geometry();
+        for (x, y) in [(32.0f32, 24.0), (10.0, 5.0), (55.0, 40.0)] {
+            let (theta, v) = g.pixel_to_cylinder(x, y);
+            let (bx, by) = g.cylinder_to_pixel(theta, v).expect("in frustum");
+            assert!((bx - x).abs() < 1e-3, "x {x} -> {bx}");
+            assert!((by - y).abs() < 1e-3, "y {y} -> {by}");
+        }
+    }
+
+    #[test]
+    fn out_of_frustum_rejected() {
+        let g = geometry();
+        assert!(g.cylinder_to_pixel(g.fov, 0.0).is_none());
+        assert!(g.cylinder_to_pixel(-g.fov, 0.0).is_none());
+    }
+
+    #[test]
+    fn panorama_reconstructs_the_scene() {
+        // the closed loop: render pinhole views of a smooth panoramic
+        // texture, composite them back, compare against the original
+        let g = geometry();
+        let scene = Image::from_fn(512, 48, |x, y| {
+            0.5 + 0.3 * (x as f32 * TAU / 512.0).sin() * (0.5 + y as f32 / 96.0)
+        });
+        let views: Vec<GrayImage> = (0..g.cameras)
+            .map(|cam| render_pinhole_view(&g, &scene, cam))
+            .collect();
+        let pano = cylinder_panorama(&g, &views, 512, 24);
+
+        // compare the horizon band (center rows), away from vertical edges
+        let mut err = 0.0f32;
+        let mut n = 0usize;
+        for px in 0..512 {
+            let reconstructed = pano.image.get(px, 12);
+            let expected = sample_bilinear(&scene, px as f32, 24.0);
+            err += (reconstructed - expected).abs();
+            n += 1;
+        }
+        let mae = err / n as f32;
+        assert!(mae < 0.02, "horizon reconstruction MAE {mae}");
+    }
+
+    #[test]
+    fn panorama_has_no_seam_discontinuities() {
+        let g = geometry();
+        let scene = Image::from_fn(512, 48, |x, _| 0.5 + 0.4 * (x as f32 * TAU / 512.0).cos());
+        let views: Vec<GrayImage> = (0..g.cameras)
+            .map(|cam| render_pinhole_view(&g, &scene, cam))
+            .collect();
+        let pano = cylinder_panorama(&g, &views, 360, 16);
+        // adjacent-column jumps stay small everywhere, including at the
+        // wrap-around and at camera boundaries
+        for px in 0..360 {
+            let a = pano.image.get(px, 8);
+            let b = pano.image.get((px + 1) % 360, 8);
+            assert!((a - b).abs() < 0.05, "seam jump at column {px}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the circle")]
+    fn insufficient_fov_rejected() {
+        let _ = RingGeometry::new(4, 60f32.to_radians(), 64, 48);
+    }
+}

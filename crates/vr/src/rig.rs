@@ -1,0 +1,112 @@
+//! The multi-camera rig model.
+//!
+//! The paper's rig (after Google Jump) is 16 cameras at 4K resolution
+//! producing "over 32 Gb/s" of raw sensor data — the number that makes
+//! shipping raw footage to a datacenter for real-time processing
+//! impossible, and thus motivates the whole in-camera pipeline.
+
+use incam_core::units::{Bytes, BytesPerSec, Fps};
+
+/// A ring rig of identical cameras.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CameraRig {
+    /// Number of cameras in the ring.
+    pub cameras: usize,
+    /// Per-camera sensor width.
+    pub width: usize,
+    /// Per-camera sensor height.
+    pub height: usize,
+    /// Bits per pixel off the sensor (Bayer raw).
+    pub bits_per_pixel: u32,
+    /// Target output frame rate.
+    pub target_fps: Fps,
+}
+
+impl CameraRig {
+    /// The paper's rig: 16 × 4K (3840×2160), 8-bit Bayer, 30 FPS target.
+    pub fn paper_rig() -> Self {
+        Self {
+            cameras: 16,
+            width: 3840,
+            height: 2160,
+            bits_per_pixel: 8,
+            target_fps: Fps::new(30.0),
+        }
+    }
+
+    /// A proportionally scaled rig for functional simulation (same camera
+    /// count, tiny frames).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width`/`height` are below 32.
+    pub fn scaled(cameras: usize, width: usize, height: usize) -> Self {
+        assert!(width >= 32 && height >= 32, "scaled rig too small");
+        Self {
+            cameras,
+            width,
+            height,
+            bits_per_pixel: 8,
+            target_fps: Fps::new(30.0),
+        }
+    }
+
+    /// Pixels per camera frame.
+    pub fn pixels_per_camera(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Raw bytes per camera frame.
+    pub fn camera_frame_bytes(&self) -> Bytes {
+        Bytes::from_bits((self.pixels_per_camera() as u32 * self.bits_per_pixel) as f64)
+    }
+
+    /// Raw bytes per rig frame (all cameras).
+    pub fn rig_frame_bytes(&self) -> Bytes {
+        self.camera_frame_bytes() * self.cameras as f64
+    }
+
+    /// Aggregate raw sensor data rate at the target frame rate.
+    pub fn aggregate_rate(&self) -> BytesPerSec {
+        self.target_fps * self.rig_frame_bytes()
+    }
+
+    /// Number of adjacent stereo pairs (a ring: one per camera).
+    pub fn stereo_pairs(&self) -> usize {
+        self.cameras
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rig_exceeds_32_gbps() {
+        let rig = CameraRig::paper_rig();
+        let rate = rig.aggregate_rate();
+        // 16 x 3840 x 2160 x 8 bit x 30 FPS = 31.85 Gb/s ("over 32 Gb/s"
+        // with sensor blanking/overhead)
+        assert!(rate.gbps() > 30.0 && rate.gbps() < 34.0, "{}", rate.gbps());
+    }
+
+    #[test]
+    fn frame_sizes() {
+        let rig = CameraRig::paper_rig();
+        assert!((rig.camera_frame_bytes().mib() - 7.91).abs() < 0.01);
+        assert_eq!(rig.stereo_pairs(), 16);
+    }
+
+    #[test]
+    fn scaled_rig_preserves_camera_count() {
+        let rig = CameraRig::scaled(16, 64, 48);
+        assert_eq!(rig.cameras, 16);
+        assert_eq!(rig.pixels_per_camera(), 3072);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_rig_rejected() {
+        let _ = CameraRig::scaled(4, 8, 8);
+    }
+}

@@ -1,0 +1,150 @@
+//! The storage capacitor that buffers harvested energy.
+//!
+//! WISPCam captures a frame only once its internal capacitor has charged;
+//! processing and transmission then draw the stored energy back down. The
+//! model tracks stored energy between a minimum operating voltage (below
+//! which the regulator browns out) and the rated maximum.
+
+use incam_core::units::Joules;
+
+/// An energy-storage capacitor with usable-window accounting.
+///
+/// # Examples
+///
+/// ```
+/// use incam_wispcam::capacitor::Capacitor;
+/// use incam_core::units::Joules;
+///
+/// let mut cap = Capacitor::new(1e-3, 4.5, 1.8); // 1 mF, 4.5 V max, 1.8 V min
+/// cap.charge(Joules::from_milli(2.0));
+/// assert!(cap.stored().millis() > 0.0);
+/// assert!(cap.try_draw(Joules::from_milli(1.0)));
+/// assert!(!cap.try_draw(Joules::new(1.0))); // more than stored
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Capacitor {
+    capacitance: f64,
+    v_max: f64,
+    v_min: f64,
+    /// Usable stored energy above the brown-out threshold.
+    stored: Joules,
+}
+
+impl Capacitor {
+    /// Creates an empty capacitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacitance` is non-positive or `v_max <= v_min` or
+    /// `v_min < 0`.
+    pub fn new(capacitance: f64, v_max: f64, v_min: f64) -> Self {
+        assert!(capacitance > 0.0, "capacitance must be positive");
+        assert!(v_max > v_min && v_min >= 0.0, "need v_max > v_min >= 0");
+        Self {
+            capacitance,
+            v_max,
+            v_min,
+            stored: Joules::ZERO,
+        }
+    }
+
+    /// The WISPCam-class storage: 6 mF charged between 1.8 V and 4.5 V
+    /// (~52 mJ usable).
+    pub fn wispcam_default() -> Self {
+        Self::new(6e-3, 4.5, 1.8)
+    }
+
+    /// Maximum usable energy (`C·(v_max² − v_min²)/2`).
+    pub fn capacity(&self) -> Joules {
+        Joules::new(self.capacitance * (self.v_max * self.v_max - self.v_min * self.v_min) / 2.0)
+    }
+
+    /// Currently stored usable energy.
+    pub fn stored(&self) -> Joules {
+        self.stored
+    }
+
+    /// Fraction of capacity currently stored.
+    pub fn fill(&self) -> f64 {
+        self.stored / self.capacity()
+    }
+
+    /// Current terminal voltage implied by the stored energy.
+    pub fn voltage(&self) -> f64 {
+        (self.v_min * self.v_min + 2.0 * self.stored.joules() / self.capacitance).sqrt()
+    }
+
+    /// Adds harvested energy, saturating at capacity. Returns the energy
+    /// actually absorbed.
+    pub fn charge(&mut self, energy: Joules) -> Joules {
+        let space = self.capacity() - self.stored;
+        let absorbed = energy.min(space);
+        self.stored += absorbed;
+        absorbed
+    }
+
+    /// Draws energy if available; returns `false` (drawing nothing) when
+    /// the request exceeds the stored energy — a brown-out.
+    pub fn try_draw(&mut self, energy: Joules) -> bool {
+        if energy > self.stored {
+            return false;
+        }
+        self.stored -= energy;
+        true
+    }
+
+    /// Empties the capacitor to the brown-out threshold.
+    pub fn drain(&mut self) {
+        self.stored = Joules::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_formula() {
+        let cap = Capacitor::new(1e-3, 3.0, 1.0);
+        // 0.5e-3 * (9 - 1) / ... = 4 mJ
+        assert!((cap.capacity().millis() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charge_saturates() {
+        let mut cap = Capacitor::new(1e-3, 3.0, 1.0);
+        let absorbed = cap.charge(Joules::new(1.0));
+        assert!((absorbed.millis() - 4.0).abs() < 1e-9);
+        assert!((cap.fill() - 1.0).abs() < 1e-12);
+        assert_eq!(cap.charge(Joules::new(1.0)), Joules::ZERO);
+    }
+
+    #[test]
+    fn draw_and_brownout() {
+        let mut cap = Capacitor::new(1e-3, 3.0, 1.0);
+        cap.charge(Joules::from_milli(2.0));
+        assert!(cap.try_draw(Joules::from_milli(1.5)));
+        assert!(!cap.try_draw(Joules::from_milli(1.0)));
+        assert!((cap.stored().millis() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voltage_tracks_energy() {
+        let mut cap = Capacitor::new(1e-3, 3.0, 1.0);
+        assert!((cap.voltage() - 1.0).abs() < 1e-9);
+        cap.charge(cap.capacity());
+        assert!((cap.voltage() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wispcam_default_tens_of_millijoules() {
+        let cap = Capacitor::wispcam_default();
+        assert!(cap.capacity().millis() > 20.0 && cap.capacity().millis() < 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "v_max")]
+    fn inverted_voltages_rejected() {
+        let _ = Capacitor::new(1e-3, 1.0, 3.0);
+    }
+}

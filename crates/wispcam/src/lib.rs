@@ -1,0 +1,51 @@
+//! # incam-wispcam — the battery-free face-authentication camera
+//!
+//! The paper's first case study (§III): a WISPCam-class camera running
+//! continuous face authentication entirely on harvested RF energy. This
+//! crate provides the platform substrate — RF harvester ([`harvester`]),
+//! storage capacitor ([`capacitor`]), image sensor ([`sensor`]),
+//! backscatter radio ([`radio`]) and a general-purpose-MCU baseline
+//! ([`mcu`]) — plus the end-to-end pipeline driver ([`pipeline`]) that
+//! composes motion detection, Viola-Jones face detection and the
+//! SNNAP-style NN authenticator, and the workload assembly helpers
+//! ([`workload`]).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use incam_core::units::Fps;
+//! use incam_wispcam::pipeline::FaPipelineConfig;
+//! use incam_wispcam::platform::WispCamPlatform;
+//! use incam_wispcam::workload::{TrainEffort, Workload};
+//!
+//! let workload = Workload::generate(7, 200, TrainEffort::Quick);
+//! let mut pipeline = workload.pipeline(FaPipelineConfig::full_accelerated());
+//! let summary = pipeline.run(&workload.frames);
+//! println!("{}", summary.energy);
+//!
+//! // does it run on harvested power at 1 FPS?
+//! let platform = WispCamPlatform::wispcam_default();
+//! let fps = platform.sustainable_fps(summary.energy_per_frame());
+//! assert!(fps >= Fps::new(1.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacitor;
+pub mod harvester;
+pub mod mcu;
+pub mod pipeline;
+pub mod platform;
+pub mod radio;
+pub mod sensor;
+pub mod workload;
+
+pub use capacitor::Capacitor;
+pub use harvester::RfHarvester;
+pub use mcu::McuModel;
+pub use pipeline::{FaPipeline, FaPipelineConfig, RunSummary, Substrate, TransmitPolicy};
+pub use platform::{SimulationReport, WispCamPlatform};
+pub use radio::BackscatterRadio;
+pub use sensor::ImageSensor;
+pub use workload::{TrainEffort, Workload};

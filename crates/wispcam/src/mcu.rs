@@ -1,0 +1,111 @@
+//! The general-purpose microprocessor baseline.
+//!
+//! The paper's ASIC evaluation reports "performance and energy efficiency
+//! improvements over a general purpose microprocessor"; this module is
+//! that comparator: a Cortex-M0-class MCU executing the same pipeline in
+//! software, costed per instruction. Software MACs, Haar evaluations and
+//! pixel differences are expanded into instruction counts with
+//! conventional expansion factors.
+
+use incam_core::units::{Hertz, Joules, Seconds, Watts};
+
+/// An energy/latency model of a low-power general-purpose MCU.
+///
+/// # Examples
+///
+/// ```
+/// use incam_wispcam::mcu::McuModel;
+///
+/// let mcu = McuModel::cortex_m_class();
+/// let (energy, time) = mcu.run(1_000_000);
+/// assert!(energy.micros() > 1.0);       // far above the ASIC's cost
+/// assert!(time.millis() > 10.0);        // and far slower
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct McuModel {
+    /// Average energy per executed instruction, picojoules.
+    pub pj_per_instruction: f64,
+    /// Core clock.
+    pub clock: Hertz,
+    /// Idle/sleep power while waiting, microwatts.
+    pub sleep_uw: f64,
+    /// Instructions per software multiply-accumulate (load weight, load
+    /// input, multiply, add, pointer/loop overhead).
+    pub instructions_per_mac: f64,
+    /// Instructions per Haar-feature evaluation (integral-image reads,
+    /// adds, compare, normalization).
+    pub instructions_per_haar: f64,
+    /// Instructions per pixel of frame differencing.
+    pub instructions_per_diff: f64,
+}
+
+impl McuModel {
+    /// A Cortex-M0+-class profile: ~20 pJ/instruction at 48 MHz.
+    pub fn cortex_m_class() -> Self {
+        Self {
+            pj_per_instruction: 20.0,
+            clock: Hertz::from_mhz(48.0),
+            sleep_uw: 5.0,
+            instructions_per_mac: 8.0,
+            instructions_per_haar: 40.0,
+            instructions_per_diff: 4.0,
+        }
+    }
+
+    /// Energy and latency of executing `instructions`.
+    pub fn run(&self, instructions: u64) -> (Joules, Seconds) {
+        let energy = Joules::from_pico(self.pj_per_instruction * instructions as f64);
+        let time = Seconds::new(instructions as f64 / self.clock.hertz());
+        (energy, time)
+    }
+
+    /// Active power while executing.
+    pub fn active_power(&self) -> Watts {
+        Joules::from_pico(self.pj_per_instruction) * incam_core::units::Fps::new(self.clock.hertz())
+    }
+
+    /// Cost of `macs` software multiply-accumulates.
+    pub fn run_macs(&self, macs: u64) -> (Joules, Seconds) {
+        self.run((macs as f64 * self.instructions_per_mac) as u64)
+    }
+
+    /// Cost of `features` software Haar evaluations.
+    pub fn run_haar(&self, features: u64) -> (Joules, Seconds) {
+        self.run((features as f64 * self.instructions_per_haar) as u64)
+    }
+
+    /// Cost of frame differencing over `pixels`.
+    pub fn run_diff(&self, pixels: u64) -> (Joules, Seconds) {
+        self.run((pixels as f64 * self.instructions_per_diff) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_and_time_linear() {
+        let mcu = McuModel::cortex_m_class();
+        let (e1, t1) = mcu.run(1000);
+        let (e2, t2) = mcu.run(2000);
+        assert!((e2.joules() / e1.joules() - 2.0).abs() < 1e-9);
+        assert!((t2.secs() / t1.secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mac_expansion_factor() {
+        let mcu = McuModel::cortex_m_class();
+        let (e_mac, _) = mcu.run_macs(100);
+        let (e_raw, _) = mcu.run(800);
+        assert!((e_mac.joules() - e_raw.joules()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn active_power_order_of_magnitude() {
+        // ~20 pJ x 48 MHz ~ 1 mW: a GP MCU alone busts the sub-mW budget
+        let mcu = McuModel::cortex_m_class();
+        let p = mcu.active_power();
+        assert!(p.milliwatts() > 0.5 && p.milliwatts() < 5.0, "{}", p.human());
+    }
+}

@@ -1,0 +1,106 @@
+//! The image sensor's capture-energy model.
+//!
+//! Capture energy is dominated by pixel-array exposure/readout and the
+//! ADC; both scale with pixel count. The accelerators in this case study
+//! sit on-chip with the sensor and consume the stream over the CSI2
+//! interface, so no extra per-frame I/O energy is charged between sensor
+//! and accelerator.
+
+use incam_core::units::Joules;
+
+/// A low-power CMOS image sensor.
+///
+/// # Examples
+///
+/// ```
+/// use incam_wispcam::sensor::ImageSensor;
+///
+/// let s = ImageSensor::wispcam_default();
+/// assert_eq!(s.dims(), (160, 120));
+/// // tens of microjoules per QQVGA frame
+/// assert!(s.capture_energy().micros() > 1.0);
+/// assert!(s.capture_energy().micros() < 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageSensor {
+    width: usize,
+    height: usize,
+    /// Capture+readout energy per pixel, in picojoules.
+    pj_per_pixel: f64,
+    /// Fixed per-frame overhead (exposure control, PLL), in microjoules.
+    uj_per_frame: f64,
+}
+
+impl ImageSensor {
+    /// Creates a sensor model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero or energies are negative.
+    pub fn new(width: usize, height: usize, pj_per_pixel: f64, uj_per_frame: f64) -> Self {
+        assert!(width > 0 && height > 0, "dimensions must be nonzero");
+        assert!(
+            pj_per_pixel >= 0.0 && uj_per_frame >= 0.0,
+            "energies must be non-negative"
+        );
+        Self {
+            width,
+            height,
+            pj_per_pixel,
+            uj_per_frame,
+        }
+    }
+
+    /// The WISPCam-class sensor: QQVGA (160×120) grayscale, ~1 pJ/pixel
+    /// plus 2 µJ frame overhead.
+    pub fn wispcam_default() -> Self {
+        Self::new(160, 120, 1.0, 2.0)
+    }
+
+    /// Sensor resolution `(width, height)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Pixels per frame.
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Frame payload in bytes (8-bit grayscale).
+    pub fn frame_bytes(&self) -> usize {
+        self.pixels()
+    }
+
+    /// Energy to capture and read out one frame.
+    pub fn capture_energy(&self) -> Joules {
+        Joules::from_pico(self.pj_per_pixel * self.pixels() as f64)
+            + Joules::from_micro(self.uj_per_frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_scales_with_resolution() {
+        let small = ImageSensor::new(80, 60, 1.0, 1.0);
+        let big = ImageSensor::new(160, 120, 1.0, 1.0);
+        assert!(big.capture_energy() > small.capture_energy());
+        assert_eq!(big.pixels(), 4 * small.pixels());
+    }
+
+    #[test]
+    fn capture_energy_components() {
+        let s = ImageSensor::new(100, 100, 2.0, 3.0);
+        // 10000 px * 2 pJ = 20 nJ, + 3 uJ
+        assert!((s.capture_energy().micros() - 3.02).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_width_rejected() {
+        let _ = ImageSensor::new(0, 100, 1.0, 1.0);
+    }
+}

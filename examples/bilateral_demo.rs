@@ -1,0 +1,89 @@
+//! Fig. 6 as a runnable demo: the bilateral filter denoises a step signal
+//! while preserving its edge, where a moving average smears it — rendered
+//! as ASCII plots plus a 2-D depth-refinement example.
+//!
+//! ```text
+//! cargo run --release --example bilateral_demo
+//! ```
+
+use incam::bilateral::grid::GridParams;
+use incam::bilateral::signal::{
+    bilateral_filter_1d, edge_sharpness, moving_average, region_noise, step_signal,
+};
+use incam::bilateral::stereo::{bssa_depth, disparity_mae, BssaConfig, MatchParams, SolverParams};
+use incam::imaging::noise::add_gaussian_noise;
+use incam::imaging::scenes::stereo_scene;
+use rand::SeedableRng;
+
+/// Renders a signal as a small ASCII strip chart.
+fn plot(title: &str, signal: &[f32]) {
+    const ROWS: usize = 8;
+    let (lo, hi) = signal
+        .iter()
+        .fold((f32::INFINITY, f32::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+    println!("{title} (range {lo:.0}..{hi:.0})");
+    let mut rows = vec![vec![' '; signal.len()]; ROWS];
+    for (x, &v) in signal.iter().enumerate() {
+        let t = ((v - lo) / (hi - lo + 1e-6) * (ROWS - 1) as f32).round() as usize;
+        rows[ROWS - 1 - t][x] = '*';
+    }
+    for row in rows {
+        println!("  {}", row.into_iter().collect::<String>());
+    }
+}
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+
+    // ---- the 1-D demonstration (Fig. 6) --------------------------------
+    let signal = step_signal(72, 36, 20.0, 80.0, 6.0, &mut rng);
+    let averaged = moving_average(&signal, 9);
+    let bilateral = bilateral_filter_1d(&signal, 3.0, 20.0);
+
+    plot("a) noisy input", &signal);
+    plot("b) moving average — edge smeared", &averaged);
+    plot("d) bilateral filter — edge preserved", &bilateral);
+
+    println!("\n           noise(sd)  edge step (of 60)");
+    for (name, s) in [
+        ("input    ", &signal),
+        ("box blur ", &averaged),
+        ("bilateral", &bilateral),
+    ] {
+        println!(
+            "{name}  {:>8.2}  {:>8.1}",
+            region_noise(s, 4, 30),
+            edge_sharpness(s, 36, 3)
+        );
+    }
+
+    // ---- the 2-D payoff: bilateral-space stereo refinement --------------
+    println!("\nBSSA on a noisy synthetic stereo pair:");
+    let scene = stereo_scene(160, 120, 8, 4, &mut rng);
+    let left = add_gaussian_noise(&scene.left, 0.06, &mut rng);
+    let right = add_gaussian_noise(&scene.right, 0.06, &mut rng);
+    let result = bssa_depth(
+        &left,
+        &right,
+        &BssaConfig {
+            matching: MatchParams {
+                max_disparity: 8,
+                block_radius: 1,
+            },
+            grid: GridParams::new(6.0, 0.15),
+            solver: SolverParams::default(),
+        },
+    );
+    println!(
+        "  grid {:?} ({} under full-solver accounting)",
+        result.grid_dims,
+        result.grid_memory.human()
+    );
+    println!(
+        "  disparity MAE vs ground truth: block matching {:.2} px -> refined {:.2} px",
+        disparity_mae(&result.initial, &scene.disparity, 8),
+        disparity_mae(&result.disparity, &scene.disparity, 8)
+    );
+}

@@ -1,0 +1,67 @@
+//! The low-power case study end to end: generate a security-camera
+//! workload, train the face detector and the NN authenticator, run the
+//! full in-camera pipeline on the multi-accelerator SoC, and check that
+//! it fits the RF-harvested power budget.
+//!
+//! ```text
+//! cargo run --release --example face_authentication
+//! ```
+
+use incam::core::units::Fps;
+use incam::wispcam::pipeline::FaPipelineConfig;
+use incam::wispcam::platform::WispCamPlatform;
+use incam::wispcam::workload::{TrainEffort, Workload};
+
+fn main() {
+    println!("generating workload and training detector + authenticator...");
+    let workload = Workload::generate(42, 200, TrainEffort::Quick);
+
+    // three pipeline configurations: the NN alone, the NN behind the
+    // Viola-Jones filter, and the full progressive-filtering pipeline
+    let configs = [
+        FaPipelineConfig::full_accelerated().with_blocks(false, false),
+        FaPipelineConfig::full_accelerated().with_blocks(false, true),
+        FaPipelineConfig::full_accelerated(),
+    ];
+
+    let platform = WispCamPlatform::wispcam_default();
+    println!(
+        "\nharvested power budget: {}\n",
+        platform.harvester().output_power().human()
+    );
+
+    for config in configs {
+        let mut pipeline = workload.pipeline(config);
+        let summary = pipeline.run(&workload.frames);
+        let power = summary.average_power(Fps::new(1.0));
+        let sustainable = platform.sustainable_fps(summary.energy_per_frame());
+        println!(
+            "{:<18} {:>12}/frame  {:>12} @1FPS  sustainable {:>6.1} FPS  event miss {:>4.0}%",
+            summary.label,
+            summary.energy_per_frame().human(),
+            power.human(),
+            sustainable.fps(),
+            100.0 * summary.event_miss_rate(),
+        );
+    }
+
+    // itemized energy of the full pipeline
+    let mut full = workload.pipeline(FaPipelineConfig::full_accelerated());
+    let summary = full.run(&workload.frames);
+    println!("\n{}", summary.energy);
+    println!(
+        "\nmotion gated {} of {} frames; detector scanned {}; NN scored {} windows",
+        summary.frames_gated_by_motion,
+        summary.frames,
+        summary.frames_scanned,
+        summary.windows_scored
+    );
+
+    // duty-cycled feasibility simulation on the harvesting platform
+    let mut platform = WispCamPlatform::wispcam_default();
+    let report = platform.simulate(300, Fps::new(1.0), summary.energy_per_frame());
+    println!(
+        "platform simulation: {}/{} frames processed at 1 FPS target ({} brownouts)",
+        report.frames_processed, report.periods, report.brownouts
+    );
+}

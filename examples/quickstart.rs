@@ -1,0 +1,72 @@
+//! Quickstart: build an in-camera pipeline, analyze every offload cut,
+//! and find the configuration that meets a real-time target.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use incam::core::block::{Backend, BlockSpec, DataTransform};
+use incam::core::link::Link;
+use incam::core::offload::{analyze_cuts, best_cut};
+use incam::core::pipeline::{Pipeline, Source, Stage};
+use incam::core::report::{sig3, Table};
+use incam::core::units::{Bytes, Fps};
+
+fn main() {
+    // A camera pipeline in the paper's Fig. 1 shape: the sensor emits
+    // 8 MiB frames; an enhancement block expands data 4x; an analysis
+    // block reduces it to a compact result.
+    let pipeline = Pipeline::new(Source::new(
+        "sensor",
+        Bytes::from_mib(8.0),
+        Fps::new(120.0),
+    ))
+    .then(Stage::new(
+        BlockSpec::core("denoise", DataTransform::Identity),
+        Backend::Asic,
+        Fps::new(240.0),
+    ))
+    .then(Stage::new(
+        BlockSpec::core("enhance", DataTransform::Scale(4.0)),
+        Backend::Fpga,
+        Fps::new(90.0),
+    ))
+    .then(Stage::new(
+        BlockSpec::core("analyze", DataTransform::Fixed(Bytes::from_kib(64.0))),
+        Backend::Fpga,
+        Fps::new(45.0),
+    ));
+
+    let link = Link::new(
+        "uplink",
+        incam::core::units::BytesPerSec::from_gbps(2.0),
+        0.9,
+    );
+
+    println!("Offload analysis over a 2 Gb/s uplink:\n");
+    let mut table = Table::new(&["cut", "upload/frame", "compute FPS", "comm FPS", "total FPS"]);
+    for cut in analyze_cuts(&pipeline, &link) {
+        table.row_owned(vec![
+            cut.label.clone(),
+            cut.upload_size.human(),
+            sig3(cut.compute.fps()),
+            sig3(cut.communication.fps()),
+            sig3(cut.total().fps()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let best = best_cut(&pipeline, &link);
+    println!(
+        "best cut: {} at {} FPS ({})",
+        best.label,
+        sig3(best.total().fps()),
+        best.binding()
+    );
+    let target = Fps::new(30.0);
+    println!(
+        "meets a {} FPS real-time target: {}",
+        target.fps(),
+        if best.meets(target) { "yes" } else { "no" }
+    );
+}

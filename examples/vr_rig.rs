@@ -1,0 +1,97 @@
+//! The VR case study end to end: run the functional four-block pipeline
+//! on a scaled synthetic rig capture, then reproduce the paper's
+//! full-scale Fig. 10 analysis to find the only real-time configuration.
+//!
+//! ```text
+//! cargo run --release --example vr_rig
+//! ```
+
+use incam::core::link::Link;
+use incam::core::report::{sig3, Table};
+use incam::imaging::image::Image;
+use incam::vr::analysis::{fig9, VrModel};
+use incam::vr::blocks::run_functional_pipeline;
+use incam::vr::frame::synthetic_capture;
+use incam::vr::projection::{cylinder_panorama, render_pinhole_view, RingGeometry};
+use incam::vr::rig::CameraRig;
+use rand::SeedableRng;
+
+fn main() {
+    // ---- functional path: actually run B1..B4 on a scaled rig ----------
+    let rig = CameraRig::scaled(8, 96, 64);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    println!(
+        "capturing a synthetic {}-camera rig at {}x{}...",
+        rig.cameras, rig.width, rig.height
+    );
+    let capture = synthetic_capture(&rig, 6, &mut rng);
+    let pano = run_functional_pipeline(&capture);
+    println!(
+        "stitched stereo panorama: {}x{} per eye",
+        pano.left.width(),
+        pano.left.height()
+    );
+
+    // the ring's cylindrical geometry: render what each camera sees of a
+    // 360-degree scene and composite it back
+    let geometry = RingGeometry::new(8, 60f32.to_radians(), 96, 64);
+    let scene = Image::from_fn(720, 64, |x, y| {
+        0.5 + 0.3 * (x as f32 * std::f32::consts::TAU / 720.0).sin()
+            * (0.5 + y as f32 / 128.0)
+    });
+    let views: Vec<_> = (0..geometry.cameras)
+        .map(|cam| render_pinhole_view(&geometry, &scene, cam))
+        .collect();
+    let cyl = cylinder_panorama(&geometry, &views, 720, 32);
+    println!(
+        "cylindrical composite: {}x{} at {:.1} px/rad, {:.0}% inter-camera overlap\n",
+        cyl.image.width(),
+        cyl.image.height(),
+        cyl.pixels_per_radian,
+        100.0 * geometry.overlap() / geometry.fov
+    );
+
+    // ---- analytical path: the paper's 16x4K system ----------------------
+    let model = VrModel::paper_default();
+    println!(
+        "paper rig: {} cameras, {:.1} Gb/s raw ({} per frame)\n",
+        model.rig.cameras,
+        model.rig.aggregate_rate().gbps(),
+        model.rig.rig_frame_bytes().human()
+    );
+
+    println!("Fig. 9 — compute distribution and data sizes:");
+    let mut t9 = Table::new(&["block", "compute %", "output/frame"]);
+    for row in fig9(&model) {
+        t9.row_owned(vec![
+            row.block.to_string(),
+            if row.compute_share > 0.0 {
+                format!("{:.1}", 100.0 * row.compute_share)
+            } else {
+                "-".into()
+            },
+            row.output.human(),
+        ]);
+    }
+    println!("{}", t9.render());
+
+    println!("Fig. 10 — configurations vs. the 30 FPS target (25 GbE):");
+    let mut t10 = Table::new(&["config", "compute", "comm", "total", "real-time?"]);
+    for row in model.fig10(&Link::ethernet_25g()) {
+        t10.row_owned(vec![
+            row.label.clone(),
+            sig3(row.compute.fps()),
+            sig3(row.communication.fps()),
+            sig3(row.total.fps()),
+            if row.real_time() { "yes" } else { "no" }.into(),
+        ]);
+    }
+    println!("{}", t10.render());
+
+    let fps400 = model.sensor_upload_fps(&Link::ethernet_400g());
+    println!(
+        "at 400GbE the raw stream uploads at {} FPS — fast links remove \
+         the incentive for in-camera processing",
+        sig3(fps400.fps())
+    );
+}

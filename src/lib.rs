@@ -1,0 +1,51 @@
+//! # incam — computation-communication tradeoffs in camera systems
+//!
+//! An umbrella crate re-exporting the whole workspace: a from-scratch
+//! reproduction of *“Exploring Computation-Communication Tradeoffs in
+//! Camera Systems”* (IISWC 2017).
+//!
+//! The paper characterizes two extreme camera systems through a common
+//! *in-camera processing pipeline* framework:
+//!
+//! * an ultra-low-power **face-authentication camera** running on
+//!   harvested RF energy ([`wispcam`], built on [`viola`], [`nn`],
+//!   [`snnap`]);
+//! * a **real-time 3D-360° VR rig** processing 32 Gb/s through bilateral-
+//!   space stereo ([`vr`], built on [`bilateral`], [`fpga`]).
+//!
+//! The analytical framework shared by both lives in [`core`]; the image
+//! substrate and synthetic workloads in [`imaging`].
+//!
+//! # Quick start
+//!
+//! ```
+//! use incam::core::link::Link;
+//! use incam::vr::analysis::VrModel;
+//!
+//! // Which VR pipeline configuration sustains 30 FPS on 25 GbE?
+//! let model = VrModel::paper_default();
+//! let real_time: Vec<_> = model
+//!     .fig10(&Link::ethernet_25g())
+//!     .into_iter()
+//!     .filter(|row| row.real_time())
+//!     .collect();
+//! assert_eq!(real_time.len(), 1);
+//! assert_eq!(real_time[0].label, "SB1B2B3FB4F~");
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/repro.rs` for the harness regenerating every
+//! table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use incam_bilateral as bilateral;
+pub use incam_core as core;
+pub use incam_fpga as fpga;
+pub use incam_imaging as imaging;
+pub use incam_nn as nn;
+pub use incam_snnap as snnap;
+pub use incam_viola as viola;
+pub use incam_vr as vr;
+pub use incam_wispcam as wispcam;

@@ -1,0 +1,114 @@
+//! Integration tests of the VR case study: the Fig. 9/Fig. 10/Table I
+//! analyses against the paper's numbers, and the functional pipeline end
+//! to end.
+
+use incam::core::link::Link;
+use incam::fpga::design::FpgaDesign;
+use incam::vr::analysis::{fig9, VrModel};
+use incam::vr::blocks::run_functional_pipeline;
+use incam::vr::frame::synthetic_capture;
+use incam::vr::rig::CameraRig;
+use rand::SeedableRng;
+
+#[test]
+fn fig10_reproduces_paper_bars() {
+    let model = VrModel::paper_default();
+    let rows = model.fig10(&Link::ethernet_25g());
+    let expected = [
+        ("S~", 15.8),
+        ("SB1~", 15.8),
+        ("SB1B2~", 3.95),
+        ("SB1B2B3C~", 0.09),
+        ("SB1B2B3G~", 5.27),
+        ("SB1B2B3F~", 5.27),
+        ("SB1B2B3CB4C~", 0.09),
+        ("SB1B2B3GB4G~", 11.2),
+        ("SB1B2B3FB4F~", 31.6),
+    ];
+    assert_eq!(rows.len(), expected.len());
+    for (row, (label, fps)) in rows.iter().zip(expected) {
+        assert_eq!(row.label, label);
+        let tolerance = (fps * 0.05f64).max(0.01);
+        assert!(
+            (row.total.fps() - fps).abs() < tolerance,
+            "{label}: got {}, paper {fps}",
+            row.total.fps()
+        );
+    }
+}
+
+#[test]
+fn only_the_full_fpga_pipeline_meets_30fps() {
+    let model = VrModel::paper_default();
+    let rows = model.fig10(&Link::ethernet_25g());
+    let winners: Vec<&str> = rows
+        .iter()
+        .filter(|r| r.real_time())
+        .map(|r| r.label.as_str())
+        .collect();
+    assert_eq!(winners, vec!["SB1B2B3FB4F~"]);
+}
+
+#[test]
+fn fig9_shape_matches_paper() {
+    let model = VrModel::paper_default();
+    let rows = fig9(&model);
+    // compute shares ~ 5/20/70/5
+    assert!((rows[1].compute_share - 0.05).abs() < 0.02);
+    assert!((rows[2].compute_share - 0.20).abs() < 0.03);
+    assert!((rows[3].compute_share - 0.70).abs() < 0.03);
+    assert!((rows[4].compute_share - 0.05).abs() < 0.02);
+    // data peaks at B2 and the only sub-sensor size is B4's output
+    let sensor = rows[0].output.bytes();
+    assert!(rows[2].output.bytes() > 3.9 * sensor);
+    assert!(rows[4].output.bytes() < 0.51 * sensor);
+}
+
+#[test]
+fn rig_aggregate_rate_is_over_30_gbps() {
+    let rate = CameraRig::paper_rig().aggregate_rate();
+    assert!(rate.gbps() > 30.0, "got {}", rate.gbps());
+}
+
+#[test]
+fn table1_designs_match_paper() {
+    let eval = FpgaDesign::paper_evaluation();
+    assert_eq!(eval.units(), 11);
+    let u = eval.utilization();
+    assert!((u.dsp_pct - 94.09).abs() < 0.5);
+    assert!((u.logic_pct - 45.91).abs() < 1.0);
+
+    let target = FpgaDesign::paper_target();
+    assert_eq!(target.units(), 682);
+    assert!((target.utilization().dsp_pct - 99.98).abs() < 0.1);
+}
+
+#[test]
+fn functional_pipeline_produces_plausible_panorama() {
+    let rig = CameraRig::scaled(6, 80, 60);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let capture = synthetic_capture(&rig, 6, &mut rng);
+    let pano = run_functional_pipeline(&capture);
+    // six segments with 10px overlap
+    assert_eq!(pano.left.height(), 60);
+    assert_eq!(pano.left.dims(), pano.right.dims());
+    // intensities remain plausible and the eyes differ (parallax)
+    let (lo, hi) = pano.left.min_max();
+    assert!(lo >= -0.05 && hi <= 1.05);
+    let diff: f32 = pano
+        .left
+        .pixels()
+        .iter()
+        .zip(pano.right.pixels())
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f32>()
+        / pano.left.len() as f32;
+    assert!(diff > 1e-4, "eyes identical");
+}
+
+#[test]
+fn fast_links_remove_in_camera_incentive() {
+    let model = VrModel::paper_default();
+    assert!(model.sensor_upload_fps(&Link::ethernet_25g()).fps() < 30.0);
+    assert!(model.sensor_upload_fps(&Link::ethernet_400g()).fps() > 300.0);
+}
