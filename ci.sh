@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Local reproduction of the CI gates (.github/workflows/ci.yml).
+#
+# Every step is offline by construction: the workspace has zero registry
+# dependencies (see README "Hermetic builds"). Run before pushing.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "build (release, offline)"
+cargo build --release --offline --workspace
+
+step "test (offline)"
+cargo test -q --offline --workspace
+
+step "fmt --check"
+cargo fmt --all --check
+
+step "clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+step "determinism smoke (harvest study, seed 2017, twice)"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run --release --offline -p incam-bench --bin repro -- \
+    --experiment harvest --seed 2017 > "$tmpdir/a.txt"
+cargo run --release --offline -p incam-bench --bin repro -- \
+    --experiment harvest --seed 2017 > "$tmpdir/b.txt"
+cmp "$tmpdir/a.txt" "$tmpdir/b.txt"
+
+step "bench harness smoke (2 samples)"
+INCAM_BENCH_SAMPLES=2 cargo bench --offline -p incam-bench -- fa_pipeline
+
+printf '\nAll gates passed.\n'

@@ -3,7 +3,6 @@
 //! topology/geometry/bit-width studies' inference kernels; the end-to-end
 //! pipeline of the §III evaluation).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use incam_imaging::faces::{render_face, render_non_face, Identity, Nuisance};
 use incam_imaging::image::GrayImage;
 use incam_imaging::motion::MotionDetector;
@@ -11,6 +10,9 @@ use incam_nn::mlp::Mlp;
 use incam_nn::quant::QuantizedMlp;
 use incam_nn::sigmoid::Sigmoid;
 use incam_nn::topology::Topology;
+use incam_rng::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incam_rng::rngs::StdRng;
+use incam_rng::SeedableRng;
 use incam_snnap::config::SnnapConfig;
 use incam_snnap::sim::SnnapAccelerator;
 use incam_snnap::sweep::{bitwidth_sweep, geometry_sweep};
@@ -18,8 +20,6 @@ use incam_viola::scan::{scan, ScanParams, StepSize};
 use incam_viola::train::{train_cascade, CascadeTrainConfig};
 use incam_wispcam::pipeline::FaPipelineConfig;
 use incam_wispcam::workload::{TrainEffort, Workload};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
 fn quick_cascade(rng: &mut StdRng) -> incam_viola::train::TrainedCascade {

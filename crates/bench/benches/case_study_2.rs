@@ -3,7 +3,6 @@
 //! analyses; Table I design placement), plus the functional block kernels
 //! behind them.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use incam_bilateral::filter::{bilateral_filter, bilateral_via_grid};
 use incam_bilateral::grid::{BilateralGrid, GridParams};
 use incam_bilateral::signal::{bilateral_filter_1d, moving_average, step_signal};
@@ -12,12 +11,13 @@ use incam_core::link::Link;
 use incam_fpga::design::FpgaDesign;
 use incam_imaging::quality::{ms_ssim, MsSsimConfig};
 use incam_imaging::scenes::stereo_scene;
+use incam_rng::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incam_rng::rngs::StdRng;
+use incam_rng::SeedableRng;
 use incam_vr::analysis::VrModel;
 use incam_vr::blocks::{align, preprocess, run_functional_pipeline, stitch};
 use incam_vr::frame::{synthetic_capture, PairCalibration};
 use incam_vr::rig::CameraRig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
 /// Fig. 6 — the 1-D filters of the bilateral demonstration.
@@ -139,7 +139,13 @@ fn bench_vr_pipeline(c: &mut Criterion) {
     });
     let luma = preprocess::preprocess(raw);
     group.bench_function("b2_align", |b| {
-        b.iter(|| align::align_pair(black_box(&luma), black_box(&luma), &PairCalibration::sample(&mut StdRng::seed_from_u64(15))))
+        b.iter(|| {
+            align::align_pair(
+                black_box(&luma),
+                black_box(&luma),
+                &PairCalibration::sample(&mut StdRng::seed_from_u64(15)),
+            )
+        })
     });
     let pair_depths: Vec<stitch::PairDepth> = capture
         .pairs

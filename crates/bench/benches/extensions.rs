@@ -1,12 +1,12 @@
 //! Criterion benches for the extension studies: the compression codecs
 //! (the optional block the paper defers) and the ablation kernels.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use incam_imaging::codec::{compress_lossless, decompress_lossless, DctCodec};
 use incam_imaging::noise::add_gaussian_noise;
 use incam_imaging::scenes::stereo_scene_sloped;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use incam_rng::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incam_rng::rngs::StdRng;
+use incam_rng::SeedableRng;
 use std::hint::black_box;
 
 fn bench_codecs(c: &mut Criterion) {

@@ -9,7 +9,9 @@
 //! repro --quick               # reduced workloads (CI-sized)
 //! ```
 
-use incam_bench::experiments::{ablations, compression, fa_pipeline, fig4c, harvest, nn_studies, vr_studies};
+use incam_bench::experiments::{
+    ablations, compression, fa_pipeline, fig4c, harvest, nn_studies, vr_studies,
+};
 use incam_vr::analysis::VrModel;
 use incam_wispcam::workload::TrainEffort;
 use std::process::ExitCode;

@@ -19,12 +19,12 @@ use incam_nn::rprop::{train_rprop, RpropConfig};
 use incam_nn::sigmoid::Sigmoid;
 use incam_nn::topology::Topology;
 use incam_nn::train::{train, TrainConfig};
+use incam_rng::rngs::StdRng;
+use incam_rng::SeedableRng;
 use incam_snnap::config::SnnapConfig;
 use incam_snnap::sweep::{geometry_sweep, optimal_geometry};
 use incam_viola::eval::DetectionCounts;
 use incam_viola::scan::{scan, ScanParams, StepSize};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Detection-grouping ablation: the `min_neighbors` false-positive
 /// suppressor trades recall for precision.
@@ -81,7 +81,11 @@ pub fn solver(seed: u64) -> String {
     let mut table = Table::new(&["iterations", "lambda", "MS-SSIM vs converged"]);
     for iterations in [1usize, 5, 10, 20] {
         for lambda in [0.5f32, 2.0, 8.0] {
-            let q = ms_ssim(&run(iterations, lambda), &reference, &MsSsimConfig::default());
+            let q = ms_ssim(
+                &run(iterations, lambda),
+                &reference,
+                &MsSsimConfig::default(),
+            );
             table.row_owned(vec![
                 iterations.to_string(),
                 sig3(lambda as f64),

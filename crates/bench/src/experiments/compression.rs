@@ -12,19 +12,21 @@
 //! 3. re-run the Fig. 10 communication analysis with a compression block
 //!    inserted at each offload cut.
 
+use incam_bilateral::grid::GridParams;
+use incam_bilateral::stereo::{
+    bssa_depth, normalize_disparity, BssaConfig, MatchParams, SolverParams,
+};
 use incam_core::link::Link;
 use incam_core::report::{sig3, Table};
 use incam_imaging::codec::{lossless_ratio, DctCodec};
 use incam_imaging::noise::add_gaussian_noise;
 use incam_imaging::quality::{ms_ssim, psnr, MsSsimConfig};
 use incam_imaging::scenes::stereo_scene_sloped;
-use incam_bilateral::grid::GridParams;
-use incam_bilateral::stereo::{bssa_depth, normalize_disparity, BssaConfig, MatchParams, SolverParams};
 use incam_imaging::scenes::{SecurityScene, SecuritySceneConfig};
+use incam_rng::rngs::StdRng;
+use incam_rng::SeedableRng;
 use incam_vr::analysis::VrModel;
 use incam_vr::frame::to_bayer_raw;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn depth_config(max_disparity: usize) -> BssaConfig {
     BssaConfig {
@@ -107,10 +109,7 @@ pub fn run(seed: u64) -> String {
     // ---- 2. lossy compression before depth estimation -------------------
     let left = add_gaussian_noise(&scene.left, 0.02, &mut rng);
     let right = noisy;
-    let reference = normalize_disparity(
-        &bssa_depth(&left, &right, &depth_config(8)).disparity,
-        8,
-    );
+    let reference = normalize_disparity(&bssa_depth(&left, &right, &depth_config(8)).disparity, 8);
     let mut t = Table::new(&[
         "views compressed at",
         "bits saved",
@@ -147,7 +146,13 @@ pub fn run(seed: u64) -> String {
     let raw_ratio = lossless_ratio(&raw.to_u8());
     let luma_ratio = lossless_ratio(&clean.to_u8());
     let disparity_ratio = lossless_ratio(&reference.to_u8());
-    let lossless_per_cut = [raw_ratio, raw_ratio, luma_ratio, disparity_ratio, luma_ratio];
+    let lossless_per_cut = [
+        raw_ratio,
+        raw_ratio,
+        luma_ratio,
+        disparity_ratio,
+        luma_ratio,
+    ];
     let lossy = DctCodec::new(50);
     let lossy_per_cut = [
         lossy.ratio(&right),
@@ -183,7 +188,12 @@ pub fn run(seed: u64) -> String {
             sig3(base.fps()),
             sig3(with_lossless.fps()),
             sig3(with_lossy.fps()),
-            if with_lossy.fps() >= 30.0 { "yes" } else { "no" }.into(),
+            if with_lossy.fps() >= 30.0 {
+                "yes"
+            } else {
+                "no"
+            }
+            .into(),
         ]);
     }
     out.push_str(&format!(

@@ -48,9 +48,7 @@ pub fn run(seed: u64, frames: usize, effort: TrainEffort) -> Vec<FaConfigResult>
         .map(|config| {
             let mut pipeline = workload.pipeline(config);
             let summary = pipeline.run(&workload.frames);
-            let sustainable_fps = platform
-                .sustainable_fps(summary.energy_per_frame())
-                .fps();
+            let sustainable_fps = platform.sustainable_fps(summary.energy_per_frame()).fps();
             FaConfigResult {
                 summary,
                 sustainable_fps,

@@ -6,11 +6,11 @@ use incam_imaging::draw::blit;
 use incam_imaging::faces::{render_face, Identity, Nuisance};
 use incam_imaging::image::GrayImage;
 use incam_imaging::noise::add_gaussian_noise;
+use incam_rng::rngs::StdRng;
+use incam_rng::{Rng, SeedableRng};
 use incam_viola::eval::{relative_to_best, DetectionCounts, SweepPoint};
 use incam_viola::scan::{scan, Detection, ScanParams, StepSize};
 use incam_viola::train::{train_cascade, CascadeTrainConfig, TrainedCascade};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A labeled test frame: clutter plus zero or more planted faces.
 pub struct TestFrame {
@@ -41,8 +41,7 @@ pub fn test_frames(n: usize, base_window: usize, rng: &mut StdRng) -> Vec<TestFr
             let mut truth = Vec::new();
             let faces = rng.gen_range(0..=2);
             for _ in 0..faces {
-                let side =
-                    (base_window as f32 * rng.gen_range(1.2..3.0)).round() as usize;
+                let side = (base_window as f32 * rng.gen_range(1.2..3.0)).round() as usize;
                 let x = rng.gen_range(0..(128 - side));
                 let y = rng.gen_range(0..(96 - side));
                 let id = Identity::sample(rng);

@@ -23,8 +23,14 @@ pub fn run(seed: u64, quick: bool) -> String {
 
     // per-frame energy of three configurations
     let configs = [
-        ("NN only", FaPipelineConfig::full_accelerated().with_blocks(false, false)),
-        ("FD+NN", FaPipelineConfig::full_accelerated().with_blocks(false, true)),
+        (
+            "NN only",
+            FaPipelineConfig::full_accelerated().with_blocks(false, false),
+        ),
+        (
+            "FD+NN",
+            FaPipelineConfig::full_accelerated().with_blocks(false, true),
+        ),
         ("MD+FD+NN", FaPipelineConfig::full_accelerated()),
     ];
     let energies: Vec<(&str, incam_core::units::Joules)> = configs
@@ -46,10 +52,7 @@ pub fn run(seed: u64, quick: bool) -> String {
     for distance in [0.5f64, 1.0, 2.0, 3.0, 4.0, 6.0] {
         let mut platform = WispCamPlatform::wispcam_default();
         platform.harvester_mut().set_distance(distance);
-        let mut row = vec![
-            sig3(distance),
-            platform.harvester().output_power().human(),
-        ];
+        let mut row = vec![sig3(distance), platform.harvester().output_power().human()];
         for (_, energy) in &energies {
             let fps = platform.sustainable_fps(*energy);
             row.push(if fps >= Fps::new(1.0) {

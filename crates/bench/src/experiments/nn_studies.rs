@@ -19,10 +19,10 @@ use incam_nn::quant::QuantizedMlp;
 use incam_nn::sigmoid::Sigmoid;
 use incam_nn::topology::Topology;
 use incam_nn::train::{train, TrainConfig};
+use incam_rng::rngs::StdRng;
+use incam_rng::SeedableRng;
 use incam_snnap::config::SnnapConfig;
 use incam_snnap::sweep::{bitwidth_sweep, geometry_sweep, topology_sweep};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Difficulty calibrated to land the 400-8-1 reference near the paper's
 /// 5.9 % error.
@@ -56,7 +56,12 @@ pub struct EvalSet {
 
 impl EvalSet {
     /// Renders `n_pairs` enrolled/impostor pairs at the given window size.
-    pub fn generate(dataset: &FaceAuthDataset, n_pairs: usize, input_side: usize, seed: u64) -> Self {
+    pub fn generate(
+        dataset: &FaceAuthDataset,
+        n_pairs: usize,
+        input_side: usize,
+        seed: u64,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut inputs = Vec::with_capacity(2 * n_pairs);
         let mut labels = Vec::with_capacity(2 * n_pairs);
@@ -117,9 +122,12 @@ pub fn nn_topology(seed: u64) -> Vec<TopologyPoint> {
             train(&mut net, &dataset.train, &face_train_config(300), &mut rng);
             let eval = EvalSet::generate(&dataset, 500, side, seed ^ 0xe5a1);
             let confusion = eval.evaluate(|x| net.forward(x, &Sigmoid::Exact)[0]);
-            let energy = topology_sweep(std::slice::from_ref(&topology), &SnnapConfig::paper_default())[0]
-                .energy
-                .nanos();
+            let energy = topology_sweep(
+                std::slice::from_ref(&topology),
+                &SnnapConfig::paper_default(),
+            )[0]
+            .energy
+            .nanos();
             points.push(TopologyPoint {
                 topology,
                 error: confusion.error(),
@@ -245,17 +253,11 @@ pub fn render_bitwidth(points: &[BitwidthPoint]) -> String {
 /// The sigmoid-approximation study: accuracy with LUTs of shrinking size.
 pub fn sigmoid_study(seed: u64) -> String {
     let (net, eval) = reference_setup(seed);
-    let accuracy_with = |sigmoid: &Sigmoid| {
-        eval.evaluate(|x| net.forward(x, sigmoid)[0]).accuracy()
-    };
+    let accuracy_with =
+        |sigmoid: &Sigmoid| eval.evaluate(|x| net.forward(x, sigmoid)[0]).accuracy();
     let reference = accuracy_with(&Sigmoid::Exact);
 
-    let mut table = Table::new(&[
-        "sigmoid",
-        "max |error|",
-        "accuracy %",
-        "loss vs exact (pp)",
-    ]);
+    let mut table = Table::new(&["sigmoid", "max |error|", "accuracy %", "loss vs exact (pp)"]);
     table.row_owned(vec![
         "exact".into(),
         "0".into(),

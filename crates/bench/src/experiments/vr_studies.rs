@@ -10,10 +10,10 @@ use incam_bilateral::sweep::{grid_quality_sweep, GridQualityPoint, GridSweepConf
 use incam_core::link::Link;
 use incam_core::report::{sig3, Table};
 use incam_fpga::report::table1;
+use incam_rng::rngs::StdRng;
+use incam_rng::SeedableRng;
 use incam_vr::analysis::{fig9, VrModel};
 use incam_vr::network::{link_sweep, standard_links};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Fig. 6 — the edge-aware-filter demonstration, as a table of noise
 /// suppression and edge retention for the three signals.
@@ -141,7 +141,12 @@ pub fn render_link_sweep(model: &VrModel) -> String {
             sig3(row.raw_gbps),
             sig3(row.sensor_fps.fps()),
             sig3(row.processed_fps.fps()),
-            if row.raw_offload_real_time { "yes" } else { "no" }.to_string(),
+            if row.raw_offload_real_time {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     table.render()

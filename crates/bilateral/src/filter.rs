@@ -36,7 +36,11 @@ pub fn bilateral_filter(img: &GrayImage, sigma_s: f32, sigma_r: f32) -> GrayImag
 /// Grid-accelerated approximate bilateral filter: splat the image into a
 /// bilateral grid, blur, slice. Linear in pixels plus grid size — the
 /// performance model that makes BSSA's disparity refinement tractable.
-pub fn bilateral_via_grid(img: &GrayImage, params: GridParams, blur_iterations: usize) -> GrayImage {
+pub fn bilateral_via_grid(
+    img: &GrayImage,
+    params: GridParams,
+    blur_iterations: usize,
+) -> GrayImage {
     let mut grid = BilateralGrid::new(img.width(), img.height(), params);
     grid.splat(img, img, None);
     grid.blur(blur_iterations);
@@ -48,8 +52,8 @@ mod tests {
     use super::*;
     use incam_imaging::image::Image;
     use incam_imaging::noise::add_gaussian_noise;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use incam_rng::rngs::StdRng;
+    use incam_rng::SeedableRng;
 
     fn noisy_edge_image(rng: &mut StdRng) -> GrayImage {
         let clean = Image::from_fn(32, 32, |x, _| if x < 16 { 0.2 } else { 0.8 });

@@ -138,7 +138,11 @@ impl BilateralGrid {
 
     fn splat_one(&mut self, x: usize, y: usize, intensity: f32, value: f32, weight: f32) {
         let (fx, fy, fz) = self.coords(x, y, intensity);
-        let (x0, y0, z0) = (fx.floor() as usize, fy.floor() as usize, fz.floor() as usize);
+        let (x0, y0, z0) = (
+            fx.floor() as usize,
+            fy.floor() as usize,
+            fz.floor() as usize,
+        );
         let (tx, ty, tz) = (fx - x0 as f32, fy - y0 as f32, fz - z0 as f32);
         for dz in 0..2usize {
             let wz = if dz == 0 { 1.0 - tz } else { tz };
@@ -212,7 +216,11 @@ impl BilateralGrid {
 
     fn slice_one(&self, x: usize, y: usize, intensity: f32) -> f32 {
         let (fx, fy, fz) = self.coords(x, y, intensity);
-        let (x0, y0, z0) = (fx.floor() as usize, fy.floor() as usize, fz.floor() as usize);
+        let (x0, y0, z0) = (
+            fx.floor() as usize,
+            fy.floor() as usize,
+            fz.floor() as usize,
+        );
         let (tx, ty, tz) = (fx - x0 as f32, fy - y0 as f32, fz - z0 as f32);
         let mut num = 0.0f32;
         let mut den = 0.0f32;

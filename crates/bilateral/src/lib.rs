@@ -11,9 +11,9 @@
 //! ```
 //! use incam_bilateral::stereo::{bssa_depth, BssaConfig};
 //! use incam_imaging::scenes::stereo_scene;
-//! use rand::SeedableRng;
+//! use incam_rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = incam_rng::rngs::StdRng::seed_from_u64(1);
 //! let scene = stereo_scene(96, 64, 6, 3, &mut rng);
 //! let depth = bssa_depth(&scene.left, &scene.right, &BssaConfig::default());
 //! println!("grid {:?}, memory {}", depth.grid_dims, depth.grid_memory.human());

@@ -2,7 +2,7 @@
 //! bilateral filter smooths noise while preserving edges, where a moving
 //! average smears them.
 
-use rand::Rng;
+use incam_rng::Rng;
 
 /// Generates a noisy step signal: `lo` before `edge`, `hi` after, plus
 /// uniform noise of amplitude `noise`.
@@ -15,9 +15,9 @@ use rand::Rng;
 ///
 /// ```
 /// use incam_bilateral::signal::step_signal;
-/// use rand::SeedableRng;
+/// use incam_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = incam_rng::rngs::StdRng::seed_from_u64(1);
 /// let s = step_signal(100, 50, 20.0, 80.0, 4.0, &mut rng);
 /// assert_eq!(s.len(), 100);
 /// assert!(s[10] < 40.0 && s[90] > 60.0);
@@ -116,8 +116,8 @@ pub fn region_noise(signal: &[f32], start: usize, end: usize) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use incam_rng::rngs::StdRng;
+    use incam_rng::SeedableRng;
 
     fn noisy_step(rng: &mut StdRng) -> Vec<f32> {
         step_signal(100, 50, 20.0, 80.0, 5.0, rng)
@@ -161,10 +161,7 @@ mod tests {
     #[test]
     fn constant_signal_is_fixed_point() {
         let s = vec![5.0f32; 32];
-        for out in [
-            moving_average(&s, 5),
-            bilateral_filter_1d(&s, 2.0, 10.0),
-        ] {
+        for out in [moving_average(&s, 5), bilateral_filter_1d(&s, 2.0, 10.0)] {
             for v in out {
                 assert!((v - 5.0).abs() < 1e-5);
             }

@@ -52,9 +52,9 @@ impl Default for MatchParams {
 /// ```
 /// use incam_bilateral::stereo::{block_match, MatchParams};
 /// use incam_imaging::scenes::stereo_scene;
-/// use rand::SeedableRng;
+/// use incam_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut rng = incam_rng::rngs::StdRng::seed_from_u64(3);
 /// let scene = stereo_scene(64, 48, 6, 3, &mut rng);
 /// let init = block_match(&scene.left, &scene.right, &MatchParams {
 ///     max_disparity: 6, block_radius: 2,
@@ -79,8 +79,7 @@ pub fn block_match(left: &GrayImage, right: &GrayImage, params: &MatchParams) ->
                 for dy in -r..=r {
                     for dx in -r..=r {
                         let rv = right.get_clamped(x as isize + dx, y as isize + dy);
-                        let lv =
-                            left.get_clamped(x as isize + dx + d as isize, y as isize + dy);
+                        let lv = left.get_clamped(x as isize + dx + d as isize, y as isize + dy);
                         cost += (rv - lv).abs();
                     }
                 }
@@ -129,8 +128,8 @@ pub fn disparity_mae(estimate: &GrayImage, truth: &GrayImage, margin: usize) -> 
 mod tests {
     use super::*;
     use incam_imaging::scenes::stereo_scene;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use incam_rng::rngs::StdRng;
+    use incam_rng::SeedableRng;
 
     #[test]
     fn recovers_synthetic_disparity_roughly() {

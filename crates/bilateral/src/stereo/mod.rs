@@ -65,9 +65,9 @@ pub struct DepthResult {
 /// ```
 /// use incam_bilateral::stereo::{bssa_depth, BssaConfig};
 /// use incam_imaging::scenes::stereo_scene;
-/// use rand::SeedableRng;
+/// use incam_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let mut rng = incam_rng::rngs::StdRng::seed_from_u64(4);
 /// let scene = stereo_scene(64, 48, 6, 3, &mut rng);
 /// let result = bssa_depth(&scene.left, &scene.right, &BssaConfig::default());
 /// assert_eq!(result.disparity.dims(), (64, 48));
@@ -106,8 +106,8 @@ mod tests {
     use super::*;
     use incam_imaging::quality::{ms_ssim, MsSsimConfig};
     use incam_imaging::scenes::stereo_scene;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use incam_rng::rngs::StdRng;
+    use incam_rng::SeedableRng;
 
     #[test]
     fn refinement_improves_over_block_matching() {

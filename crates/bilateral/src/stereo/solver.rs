@@ -80,7 +80,11 @@ pub fn refine_in_bilateral_space(
         let (values, weights) = state.raw_mut();
         for i in 0..n {
             // initialize with the normalized data estimate where observed
-            values[i] = if w[i] > 1e-8 { b_times_w[i] / w[i] } else { 0.0 };
+            values[i] = if w[i] > 1e-8 {
+                b_times_w[i] / w[i]
+            } else {
+                0.0
+            };
             weights[i] = 1.0;
         }
     }
@@ -97,10 +101,7 @@ pub fn refine_in_bilateral_space(
     let refined = state.slice(guide);
     let stats = SolveStats {
         vertices: n,
-        blur_ops: (n as u64)
-            * 3
-            * solver.blur_per_iteration as u64
-            * solver.iterations as u64,
+        blur_ops: (n as u64) * 3 * solver.blur_per_iteration as u64 * solver.iterations as u64,
     };
     (refined, stats)
 }
@@ -110,8 +111,8 @@ mod tests {
     use super::*;
     use incam_imaging::image::Image;
     use incam_imaging::noise::add_gaussian_noise;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use incam_rng::rngs::StdRng;
+    use incam_rng::SeedableRng;
 
     #[test]
     fn denoises_flat_disparity() {
@@ -133,12 +134,8 @@ mod tests {
             GridParams::new(8.0, 0.2),
             &SolverParams::default(),
         );
-        let err_before: f32 = noisy
-            .pixels()
-            .iter()
-            .map(|&p| (p - 3.0).abs())
-            .sum::<f32>()
-            / noisy.len() as f32;
+        let err_before: f32 =
+            noisy.pixels().iter().map(|&p| (p - 3.0).abs()).sum::<f32>() / noisy.len() as f32;
         let err_after: f32 = refined
             .pixels()
             .iter()
@@ -249,11 +246,7 @@ mod tests {
                     blur_per_iteration: 1,
                 },
             );
-            out.pixels()
-                .iter()
-                .map(|&p| (p - 4.0).abs())
-                .sum::<f32>()
-                / out.len() as f32
+            out.pixels().iter().map(|&p| (p - 4.0).abs()).sum::<f32>() / out.len() as f32
         };
         assert!(run(10) < run(1) + 1e-6);
     }

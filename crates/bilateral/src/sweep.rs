@@ -24,7 +24,7 @@ use incam_imaging::image::GrayImage;
 use incam_imaging::noise::add_gaussian_noise;
 use incam_imaging::quality::{ms_ssim, MsSsimConfig};
 use incam_imaging::scenes::stereo_scene_sloped;
-use rand::Rng;
+use incam_rng::Rng;
 
 /// A nominal sensor resolution the sweep reports against.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -112,12 +112,7 @@ impl Default for GridSweepConfig {
     }
 }
 
-fn run_bssa(
-    left: &GrayImage,
-    right: &GrayImage,
-    ppv: f64,
-    config: &GridSweepConfig,
-) -> GrayImage {
+fn run_bssa(left: &GrayImage, right: &GrayImage, ppv: f64, config: &GridSweepConfig) -> GrayImage {
     let sigma_s = ((ppv / config.scale_divisor) as f32).max(1.0);
     let sigma_r = ((ppv / 256.0) as f32).clamp(0.004, 1.0);
     let cfg = BssaConfig {
@@ -195,8 +190,8 @@ pub fn grid_quality_sweep(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use incam_rng::rngs::StdRng;
+    use incam_rng::SeedableRng;
 
     fn quick_config() -> GridSweepConfig {
         GridSweepConfig {
@@ -228,7 +223,11 @@ mod tests {
             points[2].quality
         );
         // the fine end stays near the reference
-        assert!(points[0].quality > 0.9, "fine-grid quality {}", points[0].quality);
+        assert!(
+            points[0].quality > 0.9,
+            "fine-grid quality {}",
+            points[0].quality
+        );
         // memory shrinks as cells grow (all three axes)
         assert!(points[0].grid_memory.bytes() > 50.0 * points[1].grid_memory.bytes());
     }

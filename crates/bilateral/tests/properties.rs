@@ -4,7 +4,7 @@ use incam_bilateral::grid::{BilateralGrid, GridParams};
 use incam_bilateral::signal::{bilateral_filter_1d, moving_average};
 use incam_bilateral::stereo::{block_match, MatchParams};
 use incam_imaging::image::{GrayImage, Image};
-use proptest::prelude::*;
+use incam_rng::prelude::*;
 
 fn arbitrary_guide() -> impl Strategy<Value = GrayImage> {
     (8usize..36, 8usize..36, 0u64..5000).prop_map(|(w, h, seed)| {

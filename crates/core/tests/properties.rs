@@ -5,7 +5,7 @@ use incam_core::energy::EnergyBreakdown;
 use incam_core::link::Link;
 use incam_core::pipeline::{Pipeline, Source, Stage};
 use incam_core::units::{Bytes, BytesPerSec, Fps, Joules, Seconds, Watts};
-use proptest::prelude::*;
+use incam_rng::prelude::*;
 
 proptest! {
     /// Quantity arithmetic is consistent: (a + b) - b == a within float

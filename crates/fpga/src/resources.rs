@@ -35,7 +35,10 @@ impl Resources {
     ///
     /// Panics if LUT or BRAM counts are negative.
     pub fn new(luts: f64, bram36: f64, dsps: u64) -> Self {
-        assert!(luts >= 0.0 && bram36 >= 0.0, "resources must be non-negative");
+        assert!(
+            luts >= 0.0 && bram36 >= 0.0,
+            "resources must be non-negative"
+        );
         Self { luts, bram36, dsps }
     }
 

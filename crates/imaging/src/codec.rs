@@ -232,7 +232,9 @@ impl DctCodec {
         };
         let mut table = [1.0f32; 64];
         for (t, &base) in table.iter_mut().zip(&BASE_QUANT) {
-            *t = ((base as f32 * scale + 50.0) / 100.0).clamp(1.0, 255.0).floor();
+            *t = ((base as f32 * scale + 50.0) / 100.0)
+                .clamp(1.0, 255.0)
+                .floor();
         }
         table
     }
@@ -264,7 +266,11 @@ impl DctCodec {
                 coeff.set(bx * 8, by * 8, 128);
                 for i in 1..64 {
                     let q = (freq[i] / quant[i]).round().clamp(-127.0, 127.0) as i8;
-                    coeff.set(bx * 8 + (i % 8), by * 8 + (i / 8), (q as u8).wrapping_add(128));
+                    coeff.set(
+                        bx * 8 + (i % 8),
+                        by * 8 + (i / 8),
+                        (q as u8).wrapping_add(128),
+                    );
                 }
             }
         }
@@ -323,8 +329,9 @@ impl DctCodec {
                 let mut freq = [0.0f32; 64];
                 freq[0] = dc_values[by * bw + bx] as f32 * quant[0];
                 for i in 1..64 {
-                    let q =
-                        coeff.get(bx * 8 + (i % 8), by * 8 + (i / 8)).wrapping_sub(128) as i8;
+                    let q = coeff
+                        .get(bx * 8 + (i % 8), by * 8 + (i / 8))
+                        .wrapping_sub(128) as i8;
                     freq[i] = q as f32 * quant[i];
                 }
                 let block = idct2d(&freq);
@@ -402,8 +409,8 @@ mod tests {
     use super::*;
     use crate::noise::add_gaussian_noise;
     use crate::quality::psnr;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use incam_rng::rngs::StdRng;
+    use incam_rng::SeedableRng;
 
     fn textured(w: usize, h: usize) -> GrayImage {
         Image::from_fn(w, h, |x, y| {
@@ -441,7 +448,10 @@ mod tests {
         assert_eq!(decompress_lossless(&truncated), Err(DecodeError::Truncated));
         let mut trailing = compress_lossless(&Image::new(8, 8, 7u8));
         trailing.push(0x42);
-        assert_eq!(decompress_lossless(&trailing), Err(DecodeError::TrailingData));
+        assert_eq!(
+            decompress_lossless(&trailing),
+            Err(DecodeError::TrailingData)
+        );
     }
 
     #[test]

@@ -71,11 +71,15 @@ pub fn demosaic_bilinear(raw: &GrayImage) -> RgbImage {
         for &(dx, dy) in offsets {
             let nx = x as isize + dx;
             let ny = y as isize + dy;
-            if nx >= 0 && ny >= 0 && (nx as usize) < w && (ny as usize) < h
-                && bayer_channel_at(nx as usize, ny as usize) == ch {
-                    sum += raw.get(nx as usize, ny as usize);
-                    count += 1.0;
-                }
+            if nx >= 0
+                && ny >= 0
+                && (nx as usize) < w
+                && (ny as usize) < h
+                && bayer_channel_at(nx as usize, ny as usize) == ch
+            {
+                sum += raw.get(nx as usize, ny as usize);
+                count += 1.0;
+            }
         }
         if count > 0.0 {
             sum / count

@@ -88,7 +88,11 @@ pub fn blend_ellipse(
 pub fn vertical_gradient(img: &mut GrayImage, top: f32, bottom: f32) {
     let h = img.height();
     for y in 0..h {
-        let t = if h > 1 { y as f32 / (h - 1) as f32 } else { 0.0 };
+        let t = if h > 1 {
+            y as f32 / (h - 1) as f32
+        } else {
+            0.0
+        };
         let v = top + (bottom - top) * t;
         for x in 0..img.width() {
             img.set(x, y, v);

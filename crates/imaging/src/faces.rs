@@ -16,7 +16,7 @@
 use crate::draw::{blend_ellipse, fill_ellipse};
 use crate::image::GrayImage;
 use crate::noise::{add_gaussian_noise, gaussian_sample};
-use rand::Rng;
+use incam_rng::Rng;
 
 /// Identity parameters for one synthetic person. Sampled once per person;
 /// all captures of that person share them.
@@ -125,9 +125,9 @@ impl Nuisance {
 ///
 /// ```
 /// use incam_imaging::faces::{render_face, Identity, Nuisance};
-/// use rand::SeedableRng;
+/// use incam_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = incam_rng::rngs::StdRng::seed_from_u64(1);
 /// let id = Identity::sample(&mut rng);
 /// let face = render_face(&id, &Nuisance::none(), 20, &mut rng);
 /// assert_eq!(face.dims(), (20, 20));
@@ -267,8 +267,8 @@ pub fn render_non_face(size: usize, rng: &mut impl Rng) -> GrayImage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use incam_rng::rngs::StdRng;
+    use incam_rng::SeedableRng;
 
     #[test]
     fn faces_have_haar_structure() {

@@ -251,10 +251,11 @@ impl GrayImage {
 
     /// Minimum and maximum intensity.
     pub fn min_max(&self) -> (f32, f32) {
-        self.data.iter().fold(
-            (f32::INFINITY, f32::NEG_INFINITY),
-            |(lo, hi), &p| (lo.min(p), hi.max(p)),
-        )
+        self.data
+            .iter()
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &p| {
+                (lo.min(p), hi.max(p))
+            })
     }
 
     /// Clamps every pixel into `[0, 1]`.

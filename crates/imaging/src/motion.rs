@@ -78,9 +78,7 @@ impl MotionDetector {
     pub fn observe(&mut self, frame: &GrayImage) -> bool {
         let motion = match &self.reference {
             None => false,
-            Some(reference) => {
-                self.changed_fraction(reference, frame) > self.area_threshold
-            }
+            Some(reference) => self.changed_fraction(reference, frame) > self.area_threshold,
         };
         self.reference = Some(frame.clone());
         motion

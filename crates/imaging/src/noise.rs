@@ -6,7 +6,7 @@
 //! difficulty is controllable and realistic in structure.
 
 use crate::image::GrayImage;
-use rand::Rng;
+use incam_rng::Rng;
 
 /// Adds zero-mean Gaussian noise with standard deviation `sigma` and clamps
 /// the result to `[0, 1]`.
@@ -16,9 +16,9 @@ use rand::Rng;
 /// ```
 /// use incam_imaging::image::GrayImage;
 /// use incam_imaging::noise::add_gaussian_noise;
-/// use rand::SeedableRng;
+/// use incam_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = incam_rng::rngs::StdRng::seed_from_u64(7);
 /// let img = GrayImage::new(16, 16, 0.5);
 /// let noisy = add_gaussian_noise(&img, 0.05, &mut rng);
 /// assert!(noisy.variance() > 0.0);
@@ -71,8 +71,8 @@ pub fn gaussian_sample(rng: &mut impl Rng) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use incam_rng::rngs::StdRng;
+    use incam_rng::SeedableRng;
 
     #[test]
     fn gaussian_sample_statistics() {

@@ -70,9 +70,8 @@ pub fn ms_ssim(a: &GrayImage, b: &GrayImage, cfg: &MsSsimConfig) -> f64 {
 
     for (level, &weight) in cfg.weights.iter().enumerate() {
         let comps = ssim_components(&cur_a, &cur_b, &cfg.ssim);
-        let last_level = level == cfg.weights.len() - 1
-            || cur_a.width() / 2 < 8
-            || cur_a.height() / 2 < 8;
+        let last_level =
+            level == cfg.weights.len() - 1 || cur_a.width() / 2 < 8 || cur_a.height() / 2 < 8;
         used_weights.push(weight);
         if last_level {
             final_ssim = comps.mean_ssim;
@@ -100,8 +99,8 @@ mod tests {
     use super::*;
     use crate::image::Image;
     use crate::noise::add_gaussian_noise;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use incam_rng::rngs::StdRng;
+    use incam_rng::SeedableRng;
 
     fn textured(w: usize, h: usize) -> GrayImage {
         Image::from_fn(w, h, |x, y| {

@@ -105,8 +105,8 @@ mod tests {
     use super::*;
     use crate::image::Image;
     use crate::noise::add_gaussian_noise;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use incam_rng::rngs::StdRng;
+    use incam_rng::SeedableRng;
 
     fn textured(w: usize, h: usize) -> GrayImage {
         Image::from_fn(w, h, |x, y| {

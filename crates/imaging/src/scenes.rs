@@ -6,7 +6,7 @@ use crate::draw::{blit, fill_ellipse, fill_rect, vertical_gradient};
 use crate::faces::{render_face, Identity, Nuisance};
 use crate::image::GrayImage;
 use crate::noise::add_gaussian_noise;
-use rand::Rng;
+use incam_rng::Rng;
 
 /// Ground truth for one security-camera frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,8 +101,22 @@ impl<R: Rng> SecurityScene<R> {
         // fixed furniture
         let w = config.width as isize;
         let h = config.height as isize;
-        fill_rect(&mut background, w / 10, h / 2, config.width / 5, config.height / 2, 0.25);
-        fill_rect(&mut background, w * 7 / 10, h * 3 / 5, config.width / 6, config.height * 2 / 5, 0.2);
+        fill_rect(
+            &mut background,
+            w / 10,
+            h / 2,
+            config.width / 5,
+            config.height / 2,
+            0.25,
+        );
+        fill_rect(
+            &mut background,
+            w * 7 / 10,
+            h * 3 / 5,
+            config.width / 6,
+            config.height * 2 / 5,
+            0.2,
+        );
         fill_rect(&mut background, 0, h - 6, config.width, 6, 0.15);
         Self {
             config,
@@ -137,8 +151,7 @@ impl<R: Rng> SecurityScene<R> {
                     let person = if self.rng.gen_bool(self.config.enrolled_prob) {
                         0
                     } else {
-                        self.rng.gen_range(1..self.config.cast_size.max(2))
-                            % self.config.cast_size
+                        self.rng.gen_range(1..self.config.cast_size.max(2)) % self.config.cast_size
                     };
                     self.event = Some((self.config.event_len, person));
                     Some((self.config.event_len, person))
@@ -151,12 +164,11 @@ impl<R: Rng> SecurityScene<R> {
         let mut frame = self.background.clone();
         let truth = if let Some((remaining, person)) = event {
             // person walks left-to-right across the frame over the event
-            let progress =
-                1.0 - remaining as f32 / self.config.event_len as f32;
+            let progress = 1.0 - remaining as f32 / self.config.event_len as f32;
             let body_w = self.config.width / 8;
             let body_h = self.config.height / 2;
-            let x = (progress * (self.config.width as f32 + body_w as f32)) as isize
-                - body_w as isize;
+            let x =
+                (progress * (self.config.width as f32 + body_w as f32)) as isize - body_w as isize;
             let body_y = (self.config.height / 3) as isize;
             fill_rect(&mut frame, x, body_y, body_w, body_h, 0.45);
             // head with face
@@ -166,9 +178,8 @@ impl<R: Rng> SecurityScene<R> {
             let fx = x + (body_w as isize - face_side as isize) / 2;
             let fy = body_y - face_side as isize;
             blit(&mut frame, &face, fx, fy);
-            let visible = fx >= 0
-                && fy >= 0
-                && fx + (face_side as isize) <= self.config.width as isize;
+            let visible =
+                fx >= 0 && fy >= 0 && fx + (face_side as isize) <= self.config.width as isize;
             FrameTruth {
                 person_present: true,
                 identity: Some(person),
@@ -222,9 +233,9 @@ pub struct StereoScene {
 ///
 /// ```
 /// use incam_imaging::scenes::stereo_scene;
-/// use rand::SeedableRng;
+/// use incam_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let mut rng = incam_rng::rngs::StdRng::seed_from_u64(5);
 /// let scene = stereo_scene(64, 48, 6, 3, &mut rng);
 /// assert_eq!(scene.left.dims(), (64, 48));
 /// assert_eq!(scene.max_disparity, 6);
@@ -292,9 +303,8 @@ pub fn stereo_scene_sloped(
     // disparity field: background ground-plane ramp (bottom of the frame
     // is nearest), then layered foreground shapes
     let ramp = slope_fraction * max_disparity as f32;
-    let mut disparity = GrayImage::from_fn(width, height, |_, y| {
-        ramp * y as f32 / (height - 1) as f32
-    });
+    let mut disparity =
+        GrayImage::from_fn(width, height, |_, y| ramp * y as f32 / (height - 1) as f32);
     let mut tone = GrayImage::zeros(width, height); // per-layer tone offset
     for layer in 0..layers {
         let d = ((layer + 1) as f32 / layers as f32 * max_disparity as f32).round();
@@ -314,8 +324,14 @@ pub fn stereo_scene_sloped(
         let cy = rng.gen_range(0.1..0.9) * height as f32;
         let r = rng.gen_range(0.015..0.04) * width as f32;
         fill_ellipse(&mut disparity, cx, cy, r, r, d.round());
-        fill_ellipse(&mut tone, cx, cy, r, r, rng.gen_range(0.06..0.12)
-            * if rng.gen_bool(0.5) { 1.0 } else { -1.0 });
+        fill_ellipse(
+            &mut tone,
+            cx,
+            cy,
+            r,
+            r,
+            rng.gen_range(0.06..0.12) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 },
+        );
     }
 
     let left = GrayImage::from_fn(width, height, |x, y| {
@@ -339,8 +355,8 @@ pub fn stereo_scene_sloped(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use incam_rng::rngs::StdRng;
+    use incam_rng::SeedableRng;
 
     #[test]
     fn idle_frames_dominate_at_low_event_rate() {

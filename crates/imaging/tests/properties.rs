@@ -5,7 +5,7 @@ use incam_imaging::image::{GrayImage, Image};
 use incam_imaging::integral::IntegralImage;
 use incam_imaging::quality::{mse, psnr, ssim, SsimConfig};
 use incam_imaging::resample::{downscale_by, resize_bilinear};
-use proptest::prelude::*;
+use incam_rng::prelude::*;
 
 fn arbitrary_image() -> impl Strategy<Value = GrayImage> {
     (4usize..32, 4usize..32, 0u64..10_000).prop_map(|(w, h, seed)| {

@@ -11,7 +11,7 @@
 use crate::train::TrainingSet;
 use incam_imaging::faces::{render_face, Identity, Nuisance};
 use incam_imaging::resample::resize_bilinear;
-use rand::Rng;
+use incam_rng::Rng;
 
 /// Dataset parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,12 +83,13 @@ impl FaceAuthDataset {
         );
 
         let enrolled = Identity::sample(rng);
-        let impostors: Vec<Identity> =
-            (0..config.impostors).map(|_| Identity::sample(rng)).collect();
+        let impostors: Vec<Identity> = (0..config.impostors)
+            .map(|_| Identity::sample(rng))
+            .collect();
 
         let mut inputs = Vec::new();
         let mut targets = Vec::new();
-        let render = |id: &Identity, label: f32, mut rng: &mut dyn rand::RngCore| {
+        let render = |id: &Identity, label: f32, mut rng: &mut dyn incam_rng::RngCore| {
             let nz = Nuisance::sample(&mut rng, config.nuisance);
             let face = render_face(id, &nz, config.render_side, &mut rng);
             let window = resize_bilinear(&face, config.input_side, config.input_side);
@@ -151,8 +152,8 @@ impl FaceAuthDataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use incam_rng::rngs::StdRng;
+    use incam_rng::SeedableRng;
 
     fn small_config() -> FaceAuthConfig {
         FaceAuthConfig {
@@ -181,12 +182,7 @@ mod tests {
     fn classes_are_roughly_balanced() {
         let mut rng = StdRng::seed_from_u64(6);
         let ds = FaceAuthDataset::generate(&small_config(), &mut rng);
-        let positives: usize = ds
-            .train
-            .targets
-            .iter()
-            .filter(|t| t[0] > 0.5)
-            .count();
+        let positives: usize = ds.train.targets.iter().filter(|t| t[0] > 0.5).count();
         let frac = positives as f32 / ds.train.len() as f32;
         assert!((0.3..0.7).contains(&frac), "positive fraction {frac}");
     }

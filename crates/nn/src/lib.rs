@@ -19,9 +19,9 @@
 //! use incam_nn::sigmoid::Sigmoid;
 //! use incam_nn::topology::Topology;
 //! use incam_nn::train::{train, TrainConfig};
-//! use rand::SeedableRng;
+//! use incam_rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+//! let mut rng = incam_rng::rngs::StdRng::seed_from_u64(9);
 //! let cfg = FaceAuthConfig { input_side: 10, target_samples: 40,
 //!     impostors: 3, impostor_samples: 14, ..Default::default() };
 //! let data = FaceAuthDataset::generate(&cfg, &mut rng);

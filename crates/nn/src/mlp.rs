@@ -9,7 +9,7 @@
 
 use crate::sigmoid::Sigmoid;
 use crate::topology::Topology;
-use rand::Rng;
+use incam_rng::Rng;
 
 /// One fully-connected layer: `outputs × inputs` weights plus biases.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,9 +99,9 @@ impl Layer {
 /// use incam_nn::mlp::Mlp;
 /// use incam_nn::sigmoid::Sigmoid;
 /// use incam_nn::topology::Topology;
-/// use rand::SeedableRng;
+/// use incam_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = incam_rng::rngs::StdRng::seed_from_u64(1);
 /// let net = Mlp::random(Topology::new(vec![4, 3, 1]), &mut rng);
 /// let out = net.forward(&[0.1, 0.5, 0.9, 0.2], &Sigmoid::Exact);
 /// assert_eq!(out.len(), 1);
@@ -166,11 +166,7 @@ impl Mlp {
     ///
     /// Panics if `input.len()` differs from the topology's input width.
     pub fn forward(&self, input: &[f32], sigmoid: &Sigmoid) -> Vec<f32> {
-        assert_eq!(
-            input.len(),
-            self.topology.inputs(),
-            "input width mismatch"
-        );
+        assert_eq!(input.len(), self.topology.inputs(), "input width mismatch");
         let mut activation = input.to_vec();
         for layer in &self.layers {
             activation = layer
@@ -210,8 +206,8 @@ impl Mlp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use incam_rng::rngs::StdRng;
+    use incam_rng::SeedableRng;
 
     #[test]
     fn zero_network_outputs_half() {

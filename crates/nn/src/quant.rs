@@ -260,11 +260,7 @@ impl QuantizedMlp {
     ///
     /// Panics if `input.len()` differs from the topology's input width.
     pub fn forward(&self, input: &[f32]) -> Vec<f32> {
-        assert_eq!(
-            input.len(),
-            self.topology.inputs(),
-            "input width mismatch"
-        );
+        assert_eq!(input.len(), self.topology.inputs(), "input width mismatch");
         let mut activation: Vec<i64> = input
             .iter()
             .map(|&x| self.activation_format.quantize(x))
@@ -272,8 +268,7 @@ impl QuantizedMlp {
 
         let mut output = Vec::new();
         for (li, layer) in self.layers.iter().enumerate() {
-            let acc_scale =
-                layer.weight_format.frac_bits() + self.activation_format.frac_bits();
+            let acc_scale = layer.weight_format.frac_bits() + self.activation_format.frac_bits();
             let acc_lsb = (2.0f64).powi(-(acc_scale as i32));
             let mut next = Vec::with_capacity(layer.outputs);
             let mut next_real = Vec::with_capacity(layer.outputs);
@@ -304,8 +299,8 @@ impl QuantizedMlp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use incam_rng::rngs::StdRng;
+    use incam_rng::{Rng, SeedableRng};
 
     #[test]
     fn qformat_round_trip_bound() {

@@ -136,9 +136,9 @@ pub fn batch_gradients(net: &Mlp, data: &TrainingSet) -> BatchGradients {
 /// use incam_nn::rprop::{train_rprop, RpropConfig};
 /// use incam_nn::topology::Topology;
 /// use incam_nn::train::TrainingSet;
-/// use rand::SeedableRng;
+/// use incam_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut rng = incam_rng::rngs::StdRng::seed_from_u64(4);
 /// let mut net = Mlp::random(Topology::new(vec![2, 4, 1]), &mut rng);
 /// let xor = TrainingSet::new(
 ///     vec![vec![0., 0.], vec![0., 1.], vec![1., 0.], vec![1., 1.]],
@@ -232,8 +232,8 @@ fn rprop_update(
 mod tests {
     use super::*;
     use crate::topology::Topology;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use incam_rng::rngs::StdRng;
+    use incam_rng::SeedableRng;
 
     fn xor() -> TrainingSet {
         TrainingSet::new(

@@ -3,8 +3,8 @@
 
 use crate::mlp::Mlp;
 use crate::sigmoid::{sigmoid_derivative_from_output, Sigmoid};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use incam_rng::seq::SliceRandom;
+use incam_rng::Rng;
 
 /// A supervised training set: input vectors and target vectors.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -94,9 +94,9 @@ pub struct TrainReport {
 /// use incam_nn::sigmoid::Sigmoid;
 /// use incam_nn::topology::Topology;
 /// use incam_nn::train::{train, TrainConfig, TrainingSet};
-/// use rand::SeedableRng;
+/// use incam_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let mut rng = incam_rng::rngs::StdRng::seed_from_u64(42);
 /// let mut net = Mlp::random(Topology::new(vec![2, 4, 1]), &mut rng);
 /// let data = TrainingSet::new(
 ///     vec![vec![0., 0.], vec![0., 1.], vec![1., 0.], vec![1., 1.]],
@@ -233,8 +233,8 @@ pub fn evaluate_mse(net: &Mlp, data: &TrainingSet, sigmoid: &Sigmoid) -> f32 {
 mod tests {
     use super::*;
     use crate::topology::Topology;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use incam_rng::rngs::StdRng;
+    use incam_rng::SeedableRng;
 
     fn xor_data() -> TrainingSet {
         TrainingSet::new(

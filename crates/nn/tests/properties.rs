@@ -5,9 +5,9 @@ use incam_nn::mlp::Mlp;
 use incam_nn::quant::{QFormat, QuantizedMlp};
 use incam_nn::sigmoid::{sigmoid_exact, LutSigmoid, Sigmoid};
 use incam_nn::topology::Topology;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use incam_rng::prelude::*;
+use incam_rng::rngs::StdRng;
+use incam_rng::SeedableRng;
 
 proptest! {
     /// Topology counting identities: weights+biases == per-layer sums and

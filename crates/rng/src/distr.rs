@@ -1,0 +1,213 @@
+//! Uniform sampling: the `Standard`-style distribution behind
+//! [`crate::Rng::gen`] and the range machinery behind
+//! [`crate::Rng::gen_range`].
+
+use crate::RngCore;
+use core::ops::{Range, RangeInclusive};
+
+/// Types with a canonical "standard" distribution: uniform over `[0, 1)`
+/// for floats, uniform over the whole domain for integers and `bool`.
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → uniform on [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // The sign bit of a fresh draw.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types that can be drawn uniformly from a half-open or inclusive range.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)`. Callers guarantee `low < high`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+
+    /// Uniform draw from `[low, high]`. Callers guarantee `low <= high`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Unbiased draw from `[0, span)` by rejection of the short final zone
+/// (Lemire-style widening multiply; the rejection loop terminates with
+/// probability 1 and in practice almost immediately).
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = rng.next_u64();
+        let wide = x as u128 * span as u128;
+        let low = wide as u64;
+        if low >= span.wrapping_neg() % span {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $unsigned:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as $unsigned).wrapping_sub(low as $unsigned) as u64;
+                low.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as $unsigned).wrapping_sub(low as $unsigned) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(uniform_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let unit = <$t as StandardSample>::sample_standard(rng);
+                // low + unit*(high-low) can round up to `high` when the
+                // span is huge; clamp to keep the half-open contract.
+                let v = low + unit * (high - low);
+                if v >= high { <$t>::max(low, high - (high - low) * <$t>::EPSILON) } else { v }
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let unit = <$t as StandardSample>::sample_standard(rng);
+                (low + unit * (high - low)).min(high)
+            }
+        }
+    )*};
+}
+
+uniform_float!(f32, f64);
+
+/// Range expressions accepted by [`crate::Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + Copy + core::fmt::Debug> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(
+            self.start < self.end,
+            "gen_range: empty range {:?}..{:?}",
+            self.start,
+            self.end
+        );
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy + core::fmt::Debug> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = (*self.start(), *self.end());
+        assert!(low <= high, "gen_range: empty range {low:?}..={high:?}");
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Rng, SeedableRng, StdRng};
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..2000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-2i32..=2);
+            assert!((-2..=2).contains(&w));
+            let b = rng.gen_range(0..5u8);
+            assert!(b < 5);
+        }
+    }
+
+    #[test]
+    fn int_range_covers_every_value() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[(rng.gen_range(-2i32..=2) + 2) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..2000 {
+            let v: f32 = rng.gen_range(-1.5..1.5);
+            assert!((-1.5..1.5).contains(&v));
+            let w: f64 = rng.gen_range(0.0..1e12);
+            assert!((0.0..1e12).contains(&w));
+            let u: f32 = rng.gen_range(-0.25..=0.25);
+            assert!((-0.25..=0.25).contains(&u));
+        }
+    }
+
+    #[test]
+    fn float_uniform_mean() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_standard_types() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let f: f32 = rng.gen();
+        let d: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+        assert!((0.0..1.0).contains(&d));
+        let _: u64 = rng.gen();
+        let _: bool = rng.gen();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let _ = rng.gen_range(5..5usize);
+    }
+}

@@ -1,0 +1,561 @@
+//! Minimal property-based testing: seeded case generation, shrinking by
+//! halving, and failure-seed reporting.
+//!
+//! This replaces the `proptest` dependency for the narrow surface the
+//! workspace uses. Write properties with the [`crate::proptest!`] macro:
+//!
+//! ```
+//! use incam_rng::prelude::*;
+//!
+//! proptest! {
+//!     fn addition_commutes(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+//!         prop_assert!((a + b - (b + a)).abs() < 1e-9);
+//!     }
+//! }
+//! addition_commutes(); // in a test file, write #[test] above the fn
+//! ```
+//!
+//! Strategies are ranges (`0.0f64..1e12`, `-2i32..=2`), tuples of
+//! strategies, [`collection::vec`], [`any`]`::<bool>()`, and
+//! [`Strategy::prop_map`]. Each case is generated from a deterministic
+//! per-case seed; on failure the harness shrinks the input (halving
+//! numerics toward the range's lower bound, truncating collections) and
+//! reports the seed environment needed to replay exactly that case:
+//!
+//! ```text
+//! INCAM_PROPTEST_SEED=<n> INCAM_PROPTEST_CASES=1 cargo test <name>
+//! ```
+//!
+//! `INCAM_PROPTEST_CASES` (default 64) scales how many cases every
+//! property runs.
+
+use crate::{Rng, SeedableRng, StdRng};
+use core::fmt::Debug;
+use core::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Default number of cases per property (override with
+/// `INCAM_PROPTEST_CASES`).
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Default base seed (override with `INCAM_PROPTEST_SEED`).
+pub const DEFAULT_SEED: u64 = 0x1ca2_2017_0c05_7bad;
+
+/// Cap on failing-candidate evaluations during shrinking.
+const MAX_SHRINK_EVALS: u32 = 512;
+
+/// A generator of test inputs plus a way to propose smaller variants of
+/// a failing input.
+pub trait Strategy {
+    /// The generated input type.
+    type Value: Clone + Debug;
+
+    /// Draws one input from the seeded generator.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Proposes strictly "smaller" candidates for a failing input, most
+    /// aggressive first. The default proposes nothing (no shrinking).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Maps generated values through `f` (shrinking does not cross the
+    /// map, since `f` is not invertible).
+    fn prop_map<T, F>(self, f: F) -> Mapped<Self, F>
+    where
+        Self: Sized,
+        T: Clone + Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Mapped { inner: self, f }
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start, *value, |low, v| low + (v - low) / 2)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start(), *value, |low, v| low + (v - low) / 2)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start, *value, |low, v| low + (v - low) / 2.0)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start(), *value, |low, v| low + (v - low) / 2.0)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// Shared numeric shrink — "shrinking by halving": the lower bound
+/// itself, then a ladder of successive half-points walking toward the
+/// failing value (`low`, `low + d/2`, `low + 3d/4`, …). The runner takes
+/// the first candidate that still fails and re-shrinks from there, so a
+/// threshold counterexample converges binary-search style onto the
+/// boundary instead of stalling at the first passing midpoint.
+fn shrink_toward<T: PartialEq + Copy>(low: T, value: T, half: impl Fn(T, T) -> T) -> Vec<T> {
+    let mut out = Vec::new();
+    if value == low {
+        return out;
+    }
+    out.push(low);
+    let mut anchor = low;
+    for _ in 0..24 {
+        let mid = half(anchor, value);
+        if mid == anchor || mid == value {
+            break;
+        }
+        out.push(mid);
+        anchor = mid;
+    }
+    out
+}
+
+macro_rules! tuple_strategy {
+    ($(($S:ident, $idx:tt)),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_strategy!((A, 0));
+tuple_strategy!((A, 0), (B, 1));
+tuple_strategy!((A, 0), (B, 1), (C, 2));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5), (G, 6));
+tuple_strategy!(
+    (A, 0),
+    (B, 1),
+    (C, 2),
+    (D, 3),
+    (E, 4),
+    (F, 5),
+    (G, 6),
+    (H, 7)
+);
+
+/// See [`Strategy::prop_map`].
+pub struct Mapped<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Mapped<S, F>
+where
+    S: Strategy,
+    T: Clone + Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::*;
+
+    /// A strategy yielding `Vec`s whose length is drawn from `len` and
+    /// whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "collection::vec: empty length range");
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.len.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            let min = self.len.start;
+            if value.len() > min {
+                // Halve the length, then peel one element — the
+                // coarse-to-fine order shrinks long counterexamples fast.
+                let half = (value.len() / 2).max(min);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..value.len() - 1].to_vec());
+            }
+            for (i, element) in value.iter().enumerate() {
+                for candidate in self.element.shrink(element) {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Types with a default whole-domain strategy, for `any::<T>()`.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The whole-domain strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The whole-domain strategy for `T` (`any::<bool>()` et al.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Fair coin strategy; shrinks `true` to `false`.
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+
+    fn arbitrary() -> BoolStrategy {
+        BoolStrategy
+    }
+}
+
+/// Marker payload thrown by [`crate::prop_assume!`]; the runner treats
+/// it as "discard this case", not a failure.
+pub struct Rejected;
+
+/// Aborts the current case as rejected. Used via [`crate::prop_assume!`].
+pub fn reject() -> ! {
+    std::panic::panic_any(Rejected)
+}
+
+enum CaseOutcome {
+    Pass,
+    Reject,
+    Fail(String),
+}
+
+fn run_case<V, F: Fn(V)>(value: V, test: &F) -> CaseOutcome {
+    match catch_unwind(AssertUnwindSafe(|| test(value))) {
+        Ok(()) => CaseOutcome::Pass,
+        Err(payload) => {
+            if payload.is::<Rejected>() {
+                CaseOutcome::Reject
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                CaseOutcome::Fail((*s).to_string())
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                CaseOutcome::Fail(s.clone())
+            } else {
+                CaseOutcome::Fail("<non-string panic payload>".to_string())
+            }
+        }
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|e| panic!("{name}={v:?} is not a u64: {e}")),
+        Err(_) => default,
+    }
+}
+
+/// Drives one property: generation, rejection handling, shrinking, and
+/// the failure report. Called by the [`crate::proptest!`] expansion —
+/// not meant to be invoked by hand.
+pub fn run_property<S: Strategy>(name: &str, strategy: &S, test: impl Fn(S::Value)) {
+    let cases = env_u64("INCAM_PROPTEST_CASES", u64::from(DEFAULT_CASES)) as u32;
+    let base_seed = env_u64("INCAM_PROPTEST_SEED", DEFAULT_SEED);
+
+    let mut accepted = 0u32;
+    let mut attempt = 0u32;
+    let max_attempts = cases.saturating_mul(8).max(8);
+    while accepted < cases {
+        if attempt >= max_attempts {
+            assert!(
+                accepted > 0,
+                "property '{name}': prop_assume! rejected all {attempt} generated cases"
+            );
+            break;
+        }
+        // seed_from_u64 SplitMix-scrambles, so consecutive per-case
+        // seeds yield decorrelated streams.
+        let case_seed = base_seed.wrapping_add(u64::from(attempt));
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        let value = strategy.generate(&mut rng);
+        match run_case(value.clone(), &test) {
+            CaseOutcome::Pass => accepted += 1,
+            CaseOutcome::Reject => {}
+            CaseOutcome::Fail(message) => {
+                let (minimal, message) = shrink_failure(strategy, value, message, &test);
+                panic!(
+                    "property '{name}' failed at case {attempt} (base seed {base_seed}):\n\
+                     \x20 minimal failing input: {minimal:?}\n\
+                     \x20 failure: {message}\n\
+                     \x20 replay exactly this case with:\n\
+                     \x20   INCAM_PROPTEST_SEED={case_seed} INCAM_PROPTEST_CASES=1 \
+                     cargo test {name}"
+                );
+            }
+        }
+        attempt += 1;
+    }
+}
+
+/// Greedy shrink: repeatedly take the first proposed candidate that
+/// still fails, until no candidate fails or the evaluation budget is
+/// spent. Returns the smallest failing input and its failure message.
+fn shrink_failure<S: Strategy>(
+    strategy: &S,
+    original: S::Value,
+    original_message: String,
+    test: &impl Fn(S::Value),
+) -> (S::Value, String) {
+    let mut current = original;
+    let mut message = original_message;
+    let mut evals = 0u32;
+    'outer: while evals < MAX_SHRINK_EVALS {
+        for candidate in strategy.shrink(&current) {
+            if evals >= MAX_SHRINK_EVALS {
+                break 'outer;
+            }
+            evals += 1;
+            if let CaseOutcome::Fail(m) = run_case(candidate.clone(), test) {
+                current = candidate;
+                message = m;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, message)
+}
+
+/// Declares property tests. Mirrors `proptest::proptest!`:
+///
+/// ```
+/// use incam_rng::prelude::*;
+///
+/// proptest! {
+///     /// Doubling then halving is the identity on small integers.
+///     fn double_halves(x in 0u32..10_000) {
+///         prop_assert_eq!((x * 2) / 2, x);
+///     }
+/// }
+/// double_halves(); // in a test file, write #[test] above the fn
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let strategy = ($($strategy,)+);
+                $crate::prop::run_property(
+                    stringify!($name),
+                    &strategy,
+                    |($($arg,)+)| $body,
+                );
+            }
+        )+
+    };
+}
+
+/// Asserts inside a property; on failure the harness shrinks and
+/// reports the case seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Discards the current case unless `cond` holds (counted separately
+/// from failures; a property rejecting every case fails loudly).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            $crate::prop::reject();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 5u32..100, y in -4i64..=4, z in 0.25f64..0.75) {
+            prop_assert!((5..100).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+            prop_assert!((0.25..0.75).contains(&z));
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in prop::collection::vec(0u8..10, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn prop_map_applies(n in (1usize..20).prop_map(|n| n * 3)) {
+            prop_assert_eq!(n % 3, 0);
+        }
+
+        #[test]
+        fn assume_discards(a in 0u32..10, b in 0u32..10) {
+            prop_assume!(a != b);
+            prop_assert!(a != b);
+        }
+
+        #[test]
+        fn any_bool_generates(flag in any::<bool>()) {
+            prop_assert!(usize::from(flag) <= 1);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::prop::Strategy;
+        let strategy = (0.0f64..1e9, 0usize..100);
+        let gen_at = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            strategy.generate(&mut rng)
+        };
+        assert_eq!(gen_at(77), gen_at(77));
+        assert_ne!(gen_at(77), gen_at(78));
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_boundary() {
+        // Property "x < 700" over 0..1000 fails; halving from any
+        // failing draw should land on a small counterexample.
+        let strategy = (0u32..1000,);
+        let failing = std::panic::catch_unwind(|| {
+            crate::prop::run_property("shrink_demo", &strategy, |(x,)| {
+                assert!(x < 700, "x={x}");
+            });
+        });
+        let message = match failing {
+            Err(payload) => payload
+                .downcast_ref::<String>()
+                .expect("string panic payload")
+                .clone(),
+            Ok(()) => panic!("property unexpectedly passed"),
+        };
+        assert!(message.contains("minimal failing input"), "{message}");
+        assert!(message.contains("INCAM_PROPTEST_SEED="), "{message}");
+        // The halving ladder converges exactly onto the boundary.
+        let shrunk: u32 = message
+            .split("minimal failing input: (")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|n| n.trim().parse().ok())
+            .expect("parse shrunk value");
+        assert_eq!(shrunk, 700, "shrunk to {shrunk}");
+    }
+
+    #[test]
+    fn tuple_shrink_is_componentwise() {
+        use crate::prop::Strategy;
+        let strategy = (10u32..100, 5i32..50);
+        let candidates = strategy.shrink(&(60, 40));
+        assert!(candidates.contains(&(10, 40)));
+        assert!(candidates.contains(&(35, 40)));
+        assert!(candidates.contains(&(60, 5)));
+        assert!(candidates.contains(&(60, 22)));
+    }
+}

@@ -1,0 +1,62 @@
+//! Sequence helpers: the `rand`-style `SliceRandom` surface the
+//! codebase uses (just `shuffle`).
+
+use crate::{Rng, RngCore};
+
+/// In-place random reordering of slices.
+pub trait SliceRandom {
+    /// Shuffles the slice uniformly (Fisher–Yates, iterating from the
+    /// end, matching the classical algorithm exactly so streams are
+    /// easy to reason about).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, StdRng};
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements staying sorted is ~impossible");
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let shuffled = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut v: Vec<usize> = (0..20).collect();
+            v.shuffle(&mut rng);
+            v
+        };
+        assert_eq!(shuffled(5), shuffled(5));
+        assert_ne!(shuffled(5), shuffled(6));
+    }
+
+    #[test]
+    fn shuffle_visits_all_positions() {
+        // Element 0 should land in many different slots across seeds.
+        let mut landed = [false; 10];
+        for seed in 0..200 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut v: Vec<usize> = (0..10).collect();
+            v.shuffle(&mut rng);
+            landed[v.iter().position(|&x| x == 0).unwrap()] = true;
+        }
+        assert!(landed.iter().all(|&l| l));
+    }
+}

@@ -71,11 +71,7 @@ impl DatapathSim {
     ///
     /// Panics if `input` does not match the network's input width.
     pub fn run(&self, net: &QuantizedMlp, input: &[f32]) -> (Vec<f32>, DatapathStats) {
-        assert_eq!(
-            input.len(),
-            net.topology().inputs(),
-            "input width mismatch"
-        );
+        assert_eq!(input.len(), net.topology().inputs(), "input width mismatch");
         let p = self.config.num_pes;
         let act_format = net.activation_format();
         let mut stats = DatapathStats::default();
@@ -202,8 +198,8 @@ mod tests {
     use incam_nn::mlp::Mlp;
     use incam_nn::sigmoid::Sigmoid;
     use incam_nn::topology::Topology;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use incam_rng::rngs::StdRng;
+    use incam_rng::{Rng, SeedableRng};
 
     fn quantized_net(topology: Vec<usize>, seed: u64) -> QuantizedMlp {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -85,7 +85,8 @@ impl EnergyModel {
     /// MAC energy at the given datapath width and voltage.
     pub fn mac_energy(&self, bits: u32, voltage: f64) -> Joules {
         Joules::from_pico(
-            self.mac_pj_8bit * Self::bit_scale(bits, self.mac_bit_exp)
+            self.mac_pj_8bit
+                * Self::bit_scale(bits, self.mac_bit_exp)
                 * self.dynamic_v_scale(voltage),
         )
     }
@@ -93,7 +94,8 @@ impl EnergyModel {
     /// Weight-SRAM read energy.
     pub fn sram_energy(&self, bits: u32, voltage: f64) -> Joules {
         Joules::from_pico(
-            self.sram_pj_8bit * Self::bit_scale(bits, self.sram_bit_exp)
+            self.sram_pj_8bit
+                * Self::bit_scale(bits, self.sram_bit_exp)
                 * self.dynamic_v_scale(voltage),
         )
     }

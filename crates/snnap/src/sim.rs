@@ -36,9 +36,9 @@ impl SnnapAccelerator {
     /// use incam_nn::topology::Topology;
     /// use incam_snnap::config::SnnapConfig;
     /// use incam_snnap::sim::SnnapAccelerator;
-    /// use rand::SeedableRng;
+    /// use incam_rng::SeedableRng;
     ///
-    /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    /// let mut rng = incam_rng::rngs::StdRng::seed_from_u64(1);
     /// let net = Mlp::random(Topology::new(vec![16, 4, 1]), &mut rng);
     /// let acc = SnnapAccelerator::new(&net, SnnapConfig::paper_default());
     /// let (score, cost) = acc.infer(&[0.5; 16]);
@@ -127,13 +127,16 @@ impl SnnapAccelerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use incam_rng::rngs::StdRng;
+    use incam_rng::SeedableRng;
 
     fn accelerator(pes: usize, bits: u32) -> SnnapAccelerator {
         let mut rng = StdRng::seed_from_u64(5);
         let net = Mlp::random(Topology::paper_default(), &mut rng);
-        SnnapAccelerator::new(&net, SnnapConfig::paper_default().with_pes(pes).with_bits(bits))
+        SnnapAccelerator::new(
+            &net,
+            SnnapConfig::paper_default().with_pes(pes).with_bits(bits),
+        )
     }
 
     #[test]

@@ -2,10 +2,10 @@
 
 use incam_core::units::Watts;
 use incam_nn::topology::Topology;
+use incam_rng::prelude::*;
 use incam_snnap::config::SnnapConfig;
 use incam_snnap::energy::{evaluate, EnergyModel};
 use incam_snnap::sched::Schedule;
-use proptest::prelude::*;
 
 fn arbitrary_topology() -> impl Strategy<Value = Topology> {
     prop::collection::vec(1usize..64, 2..5).prop_map(Topology::new)

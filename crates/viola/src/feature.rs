@@ -103,10 +103,10 @@ impl HaarFeature {
         let (cells_x, cells_y) = self.kind.cells();
         let fw = cw * cells_x;
         let fh = ch * cells_y;
-        let x = (wx + ((self.x as f64) * scale).round() as usize)
-            .min(ii.width().saturating_sub(fw));
-        let y = (wy + ((self.y as f64) * scale).round() as usize)
-            .min(ii.height().saturating_sub(fh));
+        let x =
+            (wx + ((self.x as f64) * scale).round() as usize).min(ii.width().saturating_sub(fw));
+        let y =
+            (wy + ((self.y as f64) * scale).round() as usize).min(ii.height().saturating_sub(fh));
         let raw = match self.kind {
             HaarKind::TwoRectHorizontal => {
                 let left = ii.rect_sum(x, y, cw, ch);
@@ -246,13 +246,7 @@ mod tests {
 
     #[test]
     fn four_rect_detects_checkerboard() {
-        let img = Image::from_fn(4, 4, |x, y| {
-            if (x < 2) == (y < 2) {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let img = Image::from_fn(4, 4, |x, y| if (x < 2) == (y < 2) { 1.0 } else { 0.0 });
         let f = HaarFeature {
             kind: HaarKind::FourRect,
             x: 0,

@@ -17,9 +17,9 @@
 //! use incam_imaging::faces::{render_face, render_non_face, Identity, Nuisance};
 //! use incam_viola::scan::{scan, ScanParams};
 //! use incam_viola::train::{train_cascade, CascadeTrainConfig};
-//! use rand::SeedableRng;
+//! use incam_rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = incam_rng::rngs::StdRng::seed_from_u64(7);
 //! let faces: Vec<_> = (0..80).map(|_| {
 //!     let id = Identity::sample(&mut rng);
 //!     render_face(&id, &Nuisance::sample(&mut rng, 0.3), 16, &mut rng)

@@ -86,8 +86,7 @@ impl Detection {
         let x1 = (self.x + self.side).min(other.x + other.side) as f64;
         let y1 = (self.y + self.side).min(other.y + other.side) as f64;
         let inter = (x1 - x0).max(0.0) * (y1 - y0).max(0.0);
-        let union =
-            (self.side * self.side + other.side * other.side) as f64 - inter;
+        let union = (self.side * self.side + other.side * other.side) as f64 - inter;
         if union <= 0.0 {
             0.0
         } else {
@@ -284,10 +283,13 @@ mod tests {
             },
         );
         assert!(!result.detections.is_empty());
-        let hit = result
-            .detections
-            .iter()
-            .any(|d| d.iou(&Detection { x: 16, y: 16, side: 8 }) > 0.25);
+        let hit = result.detections.iter().any(|d| {
+            d.iou(&Detection {
+                x: 16,
+                y: 16,
+                side: 8,
+            }) > 0.25
+        });
         assert!(hit, "detections: {:?}", result.detections);
     }
 
@@ -345,10 +347,26 @@ mod tests {
     #[test]
     fn grouping_merges_overlaps() {
         let raw = vec![
-            Detection { x: 10, y: 10, side: 10 },
-            Detection { x: 11, y: 10, side: 10 },
-            Detection { x: 12, y: 11, side: 10 },
-            Detection { x: 40, y: 40, side: 10 },
+            Detection {
+                x: 10,
+                y: 10,
+                side: 10,
+            },
+            Detection {
+                x: 11,
+                y: 10,
+                side: 10,
+            },
+            Detection {
+                x: 12,
+                y: 11,
+                side: 10,
+            },
+            Detection {
+                x: 40,
+                y: 40,
+                side: 10,
+            },
         ];
         let grouped = group_detections(&raw, 0.3);
         assert_eq!(grouped.len(), 2);
@@ -356,9 +374,17 @@ mod tests {
 
     #[test]
     fn iou_identity_and_disjoint() {
-        let a = Detection { x: 0, y: 0, side: 10 };
+        let a = Detection {
+            x: 0,
+            y: 0,
+            side: 10,
+        };
         assert!((a.iou(&a) - 1.0).abs() < 1e-9);
-        let b = Detection { x: 20, y: 20, side: 5 };
+        let b = Detection {
+            x: 20,
+            y: 20,
+            side: 5,
+        };
         assert_eq!(a.iou(&b), 0.0);
     }
 

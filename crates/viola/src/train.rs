@@ -92,9 +92,9 @@ pub struct TrainedCascade {
 /// ```no_run
 /// use incam_imaging::faces::{render_face, render_non_face, Identity, Nuisance};
 /// use incam_viola::train::{train_cascade, CascadeTrainConfig};
-/// use rand::SeedableRng;
+/// use incam_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let mut rng = incam_rng::rngs::StdRng::seed_from_u64(2);
 /// let faces: Vec<_> = (0..60).map(|_| {
 ///     let id = Identity::sample(&mut rng);
 ///     render_face(&id, &Nuisance::sample(&mut rng, 0.3), 16, &mut rng)
@@ -142,7 +142,10 @@ pub fn train_cascade(
         let mut labels = vec![true; n_pos];
         labels.extend(std::iter::repeat_n(false, neg_live.len()));
         let mut weights = vec![0.5 / n_pos as f64; n_pos];
-        weights.extend(std::iter::repeat_n(0.5 / neg_live.len() as f64, neg_live.len()));
+        weights.extend(std::iter::repeat_n(
+            0.5 / neg_live.len() as f64,
+            neg_live.len(),
+        ));
 
         let stage_responses: Vec<Vec<f64>> = features
             .iter()
@@ -242,11 +245,7 @@ pub fn train_cascade(
 
 /// Feature responses on base-window examples, variance-normalized exactly
 /// like scan-time windows.
-fn response_matrix(
-    features: &[HaarFeature],
-    examples: &[GrayImage],
-    side: usize,
-) -> Vec<Vec<f64>> {
+fn response_matrix(features: &[HaarFeature], examples: &[GrayImage], side: usize) -> Vec<Vec<f64>> {
     let prepared: Vec<(IntegralImage, f64)> = examples
         .iter()
         .map(|img| {
@@ -270,7 +269,12 @@ fn response_matrix(
 /// [`crate::weak::fit_stump`] with a caller-supplied sort order, so the
 /// `O(n log n)` sort is paid once per feature per stage instead of once
 /// per boosting round.
-fn fit_stump_sorted(responses: &[f64], order: &[u32], labels: &[bool], weights: &[f64]) -> StumpFit {
+fn fit_stump_sorted(
+    responses: &[f64],
+    order: &[u32],
+    labels: &[bool],
+    weights: &[f64],
+) -> StumpFit {
     let total_pos: f64 = weights
         .iter()
         .zip(labels)
@@ -323,8 +327,8 @@ mod tests {
     use super::*;
     use incam_imaging::faces::{render_face, render_non_face, Identity, Nuisance};
     use incam_imaging::integral::IntegralImage;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use incam_rng::rngs::StdRng;
+    use incam_rng::{Rng, SeedableRng};
 
     fn training_data(
         rng: &mut StdRng,
@@ -354,7 +358,10 @@ mod tests {
         let classify = |img: &GrayImage| {
             let ii = IntegralImage::new(img);
             let sq = IntegralImage::squared(img);
-            trained.cascade.classify_window(&ii, &sq, 0, 0, 1.0).accepted
+            trained
+                .cascade
+                .classify_window(&ii, &sq, 0, 0, 1.0)
+                .accepted
         };
         let tp = test_pos.iter().filter(|i| classify(i)).count();
         let fp = test_neg.iter().filter(|i| classify(i)).count();
@@ -383,10 +390,7 @@ mod tests {
         let trained = train_cascade(&pos, &neg, &CascadeTrainConfig::fast());
         // at least one stage must reject a decent share of negatives
         assert!(
-            trained
-                .reports
-                .iter()
-                .any(|r| r.false_positive_rate < 0.8),
+            trained.reports.iter().any(|r| r.false_positive_rate < 0.8),
             "reports: {:?}",
             trained.reports
         );
@@ -413,6 +417,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive examples")]
     fn empty_positives_rejected() {
-        let _ = train_cascade(&[], &[GrayImage::zeros(16, 16)], &CascadeTrainConfig::fast());
+        let _ = train_cascade(
+            &[],
+            &[GrayImage::zeros(16, 16)],
+            &CascadeTrainConfig::fast(),
+        );
     }
 }

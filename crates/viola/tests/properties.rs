@@ -2,10 +2,10 @@
 
 use incam_imaging::image::Image;
 use incam_imaging::integral::IntegralImage;
+use incam_rng::prelude::*;
 use incam_viola::feature::feature_pool;
 use incam_viola::scan::{group_detections, Detection, StepSize};
 use incam_viola::weak::{alpha_for_error, fit_stump};
-use proptest::prelude::*;
 
 proptest! {
     /// Every pooled feature fits its base window, and denser strides are

@@ -97,31 +97,27 @@ impl VrModel {
             DepthBackend::Gpu => Backend::Gpu,
             DepthBackend::Fpga => Backend::Fpga,
         };
-        Pipeline::new(Source::new(
-            "S",
-            self.rig.rig_frame_bytes(),
-            cal.sensor_fps,
-        ))
-        .then(Stage::new(
-            BlockSpec::core("B1", DataTransform::Scale(DATA_RATIOS[0])),
-            Backend::Cpu,
-            cal.b1_stage_fps,
-        ))
-        .then(Stage::new(
-            BlockSpec::core("B2", DataTransform::Scale(DATA_RATIOS[1])),
-            Backend::Cpu,
-            cal.b2_stage_fps,
-        ))
-        .then(Stage::new(
-            BlockSpec::core("B3", DataTransform::Scale(DATA_RATIOS[2] / DATA_RATIOS[1])),
-            core_backend,
-            depth_fps,
-        ))
-        .then(Stage::new(
-            BlockSpec::core("B4", DataTransform::Scale(DATA_RATIOS[3] / DATA_RATIOS[2])),
-            core_backend,
-            cal.b4_stage_fps,
-        ))
+        Pipeline::new(Source::new("S", self.rig.rig_frame_bytes(), cal.sensor_fps))
+            .then(Stage::new(
+                BlockSpec::core("B1", DataTransform::Scale(DATA_RATIOS[0])),
+                Backend::Cpu,
+                cal.b1_stage_fps,
+            ))
+            .then(Stage::new(
+                BlockSpec::core("B2", DataTransform::Scale(DATA_RATIOS[1])),
+                Backend::Cpu,
+                cal.b2_stage_fps,
+            ))
+            .then(Stage::new(
+                BlockSpec::core("B3", DataTransform::Scale(DATA_RATIOS[2] / DATA_RATIOS[1])),
+                core_backend,
+                depth_fps,
+            ))
+            .then(Stage::new(
+                BlockSpec::core("B4", DataTransform::Scale(DATA_RATIOS[3] / DATA_RATIOS[2])),
+                core_backend,
+                cal.b4_stage_fps,
+            ))
     }
 
     /// One Fig. 10 row.
@@ -198,7 +194,12 @@ pub struct Fig9Row {
 /// sensor row).
 pub fn fig9(model: &VrModel) -> Vec<Fig9Row> {
     let shares = model.compute_shares();
-    let names = ["B1 pre-processing", "B2 image alignment", "B3 depth estimation", "B4 image stitching"];
+    let names = [
+        "B1 pre-processing",
+        "B2 image alignment",
+        "B3 depth estimation",
+        "B4 image stitching",
+    ];
     let mut rows = vec![Fig9Row {
         block: "Sensor",
         compute_share: 0.0,

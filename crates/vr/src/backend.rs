@@ -111,11 +111,9 @@ impl BackendCalibration {
             DepthBackend::Gpu => Fps::new(self.gpu_ops_per_sec / rig_ops),
             DepthBackend::Fpga => {
                 // pairs are distributed across the FPGAs
-                let pairs_per_fpga =
-                    (rig.stereo_pairs() as f64 / self.fpga_count as f64).max(1.0);
-                
-                self
-                    .fpga_design
+                let pairs_per_fpga = (rig.stereo_pairs() as f64 / self.fpga_count as f64).max(1.0);
+
+                self.fpga_design
                     .throughput(ops_per_pair * pairs_per_fpga, self.fpga_efficiency)
             }
         }

@@ -68,8 +68,8 @@ pub fn ops_for(pixels: usize) -> f64 {
 mod tests {
     use super::*;
     use incam_imaging::image::Image;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use incam_rng::rngs::StdRng;
+    use incam_rng::SeedableRng;
 
     #[test]
     fn alignment_restores_misaligned_view() {

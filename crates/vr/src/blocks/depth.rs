@@ -76,8 +76,8 @@ pub fn estimate_depth(pair: &AlignedPair, max_disparity: usize) -> DepthResult {
 mod tests {
     use super::*;
     use incam_imaging::scenes::stereo_scene;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use incam_rng::rngs::StdRng;
+    use incam_rng::SeedableRng;
 
     #[test]
     fn workload_counts_paper_scale() {

@@ -20,10 +20,10 @@ use stitch::{PairDepth, StereoPanorama};
 /// use incam_vr::blocks::run_functional_pipeline;
 /// use incam_vr::frame::synthetic_capture;
 /// use incam_vr::rig::CameraRig;
-/// use rand::SeedableRng;
+/// use incam_rng::SeedableRng;
 ///
 /// let rig = CameraRig::scaled(4, 64, 48);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let mut rng = incam_rng::rngs::StdRng::seed_from_u64(5);
 /// let capture = synthetic_capture(&rig, 5, &mut rng);
 /// let pano = run_functional_pipeline(&capture);
 /// assert_eq!(pano.left.height(), 48);
@@ -56,8 +56,8 @@ mod tests {
     use super::*;
     use crate::frame::synthetic_capture;
     use crate::rig::CameraRig;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use incam_rng::rngs::StdRng;
+    use incam_rng::SeedableRng;
 
     #[test]
     fn end_to_end_produces_stereo_panorama() {

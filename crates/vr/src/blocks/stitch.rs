@@ -124,10 +124,7 @@ mod tests {
     #[test]
     fn seams_blend_smoothly() {
         // alternate dark / bright segments: the seam must be intermediate
-        let pairs = vec![
-            pair_of(0.2, 0.0, 32, 8),
-            pair_of(0.8, 0.0, 32, 8),
-        ];
+        let pairs = vec![pair_of(0.2, 0.0, 32, 8), pair_of(0.8, 0.0, 32, 8)];
         let pano = stitch(&pairs, 8, 0.0);
         // find the value at the center of the overlap band
         let seam_x = 32 - 4;

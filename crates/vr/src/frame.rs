@@ -12,7 +12,7 @@ use crate::rig::CameraRig;
 use incam_imaging::color::{bayer_mosaic, RgbImage};
 use incam_imaging::image::GrayImage;
 use incam_imaging::scenes::stereo_scene;
-use rand::Rng;
+use incam_rng::Rng;
 
 /// Mount misalignment of a camera pair, removed by block B2.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -148,8 +148,8 @@ pub fn synthetic_capture(rig: &CameraRig, max_disparity: usize, rng: &mut impl R
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use incam_rng::rngs::StdRng;
+    use incam_rng::SeedableRng;
 
     #[test]
     fn capture_has_one_pair_per_camera() {

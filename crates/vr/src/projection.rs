@@ -115,11 +115,7 @@ pub fn cylinder_panorama(
     output_width: usize,
     output_height: usize,
 ) -> CylinderPanorama {
-    assert_eq!(
-        images.len(),
-        geometry.cameras,
-        "one image per ring camera"
-    );
+    assert_eq!(images.len(), geometry.cameras, "one image per ring camera");
     for img in images {
         assert_eq!(
             img.dims(),
@@ -174,11 +170,7 @@ pub fn cylinder_panorama(
 /// Renders the pinhole view a ring camera would capture of a cylindrical
 /// scene texture (used by tests and the synthetic rig) — the exact
 /// inverse of the compositor's sampling.
-pub fn render_pinhole_view(
-    geometry: &RingGeometry,
-    scene: &GrayImage,
-    camera: usize,
-) -> GrayImage {
+pub fn render_pinhole_view(geometry: &RingGeometry, scene: &GrayImage, camera: usize) -> GrayImage {
     let heading = geometry.heading(camera);
     let scene_ppr = scene.width() as f32 / TAU;
     let v_span = {

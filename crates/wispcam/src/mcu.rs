@@ -106,6 +106,10 @@ mod tests {
         // ~20 pJ x 48 MHz ~ 1 mW: a GP MCU alone busts the sub-mW budget
         let mcu = McuModel::cortex_m_class();
         let p = mcu.active_power();
-        assert!(p.milliwatts() > 0.5 && p.milliwatts() < 5.0, "{}", p.human());
+        assert!(
+            p.milliwatts() > 0.5 && p.milliwatts() < 5.0,
+            "{}",
+            p.human()
+        );
     }
 }

@@ -266,7 +266,14 @@ impl FaPipeline {
         for (dx, dy) in offsets {
             let x = (det.x as isize + dx).max(0) as usize;
             let y = (det.y as isize + dy).max(0) as usize;
-            let score = self.score_window(frame, &Detection { x, y, side: det.side });
+            let score = self.score_window(
+                frame,
+                &Detection {
+                    x,
+                    y,
+                    side: det.side,
+                },
+            );
             if score > best {
                 best = score;
             }
@@ -325,8 +332,7 @@ impl FaPipeline {
 
         for frame in frames {
             let img = &frame.image;
-            let energy_before =
-                e_sensor + e_motion + e_detect + e_nn + e_radio;
+            let energy_before = e_sensor + e_motion + e_detect + e_nn + e_radio;
             let windows_before = windows_scored;
             let scanned_before = scanned_frames;
             e_sensor += self.sensor.capture_energy();
@@ -406,8 +412,7 @@ impl FaPipeline {
                 TransmitPolicy::VerdictOnly => self.radio.transmit_energy(Bytes::new(1.0)),
             };
 
-            let truth_positive =
-                frame.truth.identity == Some(0) && frame.truth.face_box.is_some();
+            let truth_positive = frame.truth.identity == Some(0) && frame.truth.face_box.is_some();
             confusion.record(authenticated, truth_positive);
             let energy_after = e_sensor + e_motion + e_detect + e_nn + e_radio;
             outcomes.push(FrameOutcome {
@@ -472,10 +477,10 @@ mod tests {
     use incam_nn::mlp::Mlp;
     use incam_nn::topology::Topology;
     use incam_nn::train::{train, TrainConfig, TrainingSet};
+    use incam_rng::rngs::StdRng;
+    use incam_rng::SeedableRng;
     use incam_snnap::config::SnnapConfig;
     use incam_viola::train::{train_cascade, CascadeTrainConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// Trains a quick authenticator for `enrolled` vs a small cast.
     fn quick_authenticator(
@@ -650,8 +655,20 @@ mod tests {
         let mut raw = build_pipeline(raw_cfg, &scene, &mut rng);
         let s_v = verdict.run(&frames);
         let s_r = raw.run(&frames);
-        let radio_v = s_v.energy.items().iter().find(|i| i.name == "radio").unwrap().energy;
-        let radio_r = s_r.energy.items().iter().find(|i| i.name == "radio").unwrap().energy;
+        let radio_v = s_v
+            .energy
+            .items()
+            .iter()
+            .find(|i| i.name == "radio")
+            .unwrap()
+            .energy;
+        let radio_r = s_r
+            .energy
+            .items()
+            .iter()
+            .find(|i| i.name == "radio")
+            .unwrap()
+            .energy;
         assert!(radio_r.joules() > 1000.0 * radio_v.joules());
     }
 

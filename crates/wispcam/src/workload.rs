@@ -13,12 +13,12 @@ use incam_imaging::scenes::{LabeledFrame, SecurityScene, SecuritySceneConfig};
 use incam_nn::mlp::Mlp;
 use incam_nn::topology::Topology;
 use incam_nn::train::{train, TrainConfig, TrainingSet};
+use incam_rng::rngs::StdRng;
+use incam_rng::{Rng, SeedableRng};
 use incam_snnap::config::SnnapConfig;
 use incam_snnap::sim::SnnapAccelerator;
 use incam_viola::scan::ScanParams;
 use incam_viola::train::{train_cascade, CascadeTrainConfig, TrainedCascade};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Training-effort presets for workload assembly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,14 +134,14 @@ pub fn train_authenticator(
     let mut inputs = Vec::new();
     let mut targets = Vec::new();
     {
-        let mut push = |id: &Identity, label: f32, mut rng: &mut dyn rand::RngCore| {
+        let mut push = |id: &Identity, label: f32, mut rng: &mut dyn incam_rng::RngCore| {
             // deployment realism: half the samples are tight renders with
             // alignment jitter, half are detector-style crops of the face
             // embedded in scene context — the two window geometries the
             // authenticator actually sees
             let nz = Nuisance::sample(&mut rng, 0.35);
             let face = render_face(id, &nz, 24, &mut rng);
-            let window = if rand::Rng::gen_bool(&mut rng, 0.5) {
+            let window = if incam_rng::Rng::gen_bool(&mut rng, 0.5) {
                 scene_like_crop(&face, &mut rng)
             } else {
                 face
@@ -177,8 +177,8 @@ pub fn train_authenticator(
 /// Embeds a rendered face into scene-like context (background plus a body
 /// under the head) and crops it with detector-style geometry jitter: a
 /// window 1.0–1.4× the face side, offset by up to ±3 px.
-fn scene_like_crop(face: &GrayImage, rng: &mut dyn rand::RngCore) -> GrayImage {
-    use rand::Rng as _;
+fn scene_like_crop(face: &GrayImage, rng: &mut dyn incam_rng::RngCore) -> GrayImage {
+    use incam_rng::Rng as _;
     let fs = face.width();
     let ctx = fs * 2;
     let mut patch = GrayImage::new(ctx, ctx, rng.gen_range(0.25..0.55));
@@ -191,11 +191,16 @@ fn scene_like_crop(face: &GrayImage, rng: &mut dyn rand::RngCore) -> GrayImage {
         ctx / 2,
         0.45,
     );
-    blit(&mut patch, face, (ctx / 2 - fs / 2) as isize, (ctx / 2 - fs / 2) as isize);
+    blit(
+        &mut patch,
+        face,
+        (ctx / 2 - fs / 2) as isize,
+        (ctx / 2 - fs / 2) as isize,
+    );
     let side = ((fs as f32) * rng.gen_range(1.0..1.25)) as usize;
     let max_off = ctx - side;
     let cx = (ctx / 2).saturating_sub(side / 2);
-    let jitter = |c: usize, rng: &mut dyn rand::RngCore| -> usize {
+    let jitter = |c: usize, rng: &mut dyn incam_rng::RngCore| -> usize {
         let j = rng.gen_range(-2i32..=2);
         (c as i32 + j).clamp(0, max_off as i32) as usize
     };
@@ -266,9 +271,6 @@ mod tests {
         };
         let s_pos = score(&enrolled, &mut rng);
         let s_neg = score(&impostors[0], &mut rng);
-        assert!(
-            s_pos > s_neg + 0.15,
-            "enrolled {s_pos} vs impostor {s_neg}"
-        );
+        assert!(s_pos > s_neg + 0.15, "enrolled {s_pos} vs impostor {s_neg}");
     }
 }

@@ -18,10 +18,10 @@ use incam::snnap::config::SnnapConfig;
 use incam::snnap::datapath::DatapathSim;
 use incam::snnap::energy::{evaluate, EnergyModel};
 use incam::snnap::sched::Schedule;
-use rand::SeedableRng;
+use incam_rng::SeedableRng;
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut rng = incam_rng::rngs::StdRng::seed_from_u64(11);
     println!("training the 400-8-1 authenticator...");
     let dataset = FaceAuthDataset::generate(
         &FaceAuthConfig {

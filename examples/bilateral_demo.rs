@@ -13,7 +13,7 @@ use incam::bilateral::signal::{
 use incam::bilateral::stereo::{bssa_depth, disparity_mae, BssaConfig, MatchParams, SolverParams};
 use incam::imaging::noise::add_gaussian_noise;
 use incam::imaging::scenes::stereo_scene;
-use rand::SeedableRng;
+use incam_rng::SeedableRng;
 
 /// Renders a signal as a small ASCII strip chart.
 fn plot(title: &str, signal: &[f32]) {
@@ -35,7 +35,7 @@ fn plot(title: &str, signal: &[f32]) {
 }
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let mut rng = incam_rng::rngs::StdRng::seed_from_u64(6);
 
     // ---- the 1-D demonstration (Fig. 6) --------------------------------
     let signal = step_signal(72, 36, 20.0, 80.0, 6.0, &mut rng);

@@ -86,7 +86,10 @@ fn main() {
     // ---- sweep 3: would a mid-range FPGA per pair suffice? --------------
     println!("device sweep (one FPGA per camera pair):\n");
     let mut t = Table::new(&["device", "compute units", "DSP util %", "depth FPS"]);
-    for device in [FpgaDevice::zynq_7020(), FpgaDevice::virtex_ultrascale_plus()] {
+    for device in [
+        FpgaDevice::zynq_7020(),
+        FpgaDevice::virtex_ultrascale_plus(),
+    ] {
         let design = FpgaDesign::max_units(device, ComputeUnitSpec::paper_default());
         model.calibration.fpga_design = design.clone();
         let depth = model

@@ -16,26 +16,22 @@ fn main() {
     // A camera pipeline in the paper's Fig. 1 shape: the sensor emits
     // 8 MiB frames; an enhancement block expands data 4x; an analysis
     // block reduces it to a compact result.
-    let pipeline = Pipeline::new(Source::new(
-        "sensor",
-        Bytes::from_mib(8.0),
-        Fps::new(120.0),
-    ))
-    .then(Stage::new(
-        BlockSpec::core("denoise", DataTransform::Identity),
-        Backend::Asic,
-        Fps::new(240.0),
-    ))
-    .then(Stage::new(
-        BlockSpec::core("enhance", DataTransform::Scale(4.0)),
-        Backend::Fpga,
-        Fps::new(90.0),
-    ))
-    .then(Stage::new(
-        BlockSpec::core("analyze", DataTransform::Fixed(Bytes::from_kib(64.0))),
-        Backend::Fpga,
-        Fps::new(45.0),
-    ));
+    let pipeline = Pipeline::new(Source::new("sensor", Bytes::from_mib(8.0), Fps::new(120.0)))
+        .then(Stage::new(
+            BlockSpec::core("denoise", DataTransform::Identity),
+            Backend::Asic,
+            Fps::new(240.0),
+        ))
+        .then(Stage::new(
+            BlockSpec::core("enhance", DataTransform::Scale(4.0)),
+            Backend::Fpga,
+            Fps::new(90.0),
+        ))
+        .then(Stage::new(
+            BlockSpec::core("analyze", DataTransform::Fixed(Bytes::from_kib(64.0))),
+            Backend::Fpga,
+            Fps::new(45.0),
+        ));
 
     let link = Link::new(
         "uplink",
@@ -44,7 +40,13 @@ fn main() {
     );
 
     println!("Offload analysis over a 2 Gb/s uplink:\n");
-    let mut table = Table::new(&["cut", "upload/frame", "compute FPS", "comm FPS", "total FPS"]);
+    let mut table = Table::new(&[
+        "cut",
+        "upload/frame",
+        "compute FPS",
+        "comm FPS",
+        "total FPS",
+    ]);
     for cut in analyze_cuts(&pipeline, &link) {
         table.row_owned(vec![
             cut.label.clone(),

@@ -14,12 +14,12 @@ use incam::vr::blocks::run_functional_pipeline;
 use incam::vr::frame::synthetic_capture;
 use incam::vr::projection::{cylinder_panorama, render_pinhole_view, RingGeometry};
 use incam::vr::rig::CameraRig;
-use rand::SeedableRng;
+use incam_rng::SeedableRng;
 
 fn main() {
     // ---- functional path: actually run B1..B4 on a scaled rig ----------
     let rig = CameraRig::scaled(8, 96, 64);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng = incam_rng::rngs::StdRng::seed_from_u64(7);
     println!(
         "capturing a synthetic {}-camera rig at {}x{}...",
         rig.cameras, rig.width, rig.height
@@ -36,8 +36,7 @@ fn main() {
     // 360-degree scene and composite it back
     let geometry = RingGeometry::new(8, 60f32.to_radians(), 96, 64);
     let scene = Image::from_fn(720, 64, |x, y| {
-        0.5 + 0.3 * (x as f32 * std::f32::consts::TAU / 720.0).sin()
-            * (0.5 + y as f32 / 128.0)
+        0.5 + 0.3 * (x as f32 * std::f32::consts::TAU / 720.0).sin() * (0.5 + y as f32 / 128.0)
     });
     let views: Vec<_> = (0..geometry.cameras)
         .map(|cam| render_pinhole_view(&geometry, &scene, cam))

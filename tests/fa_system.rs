@@ -86,7 +86,10 @@ fn accelerator_design_space_claims_hold_together() {
     let bits = bitwidth_sweep(&topo, &base, &[16, 8, 4]);
     let row8 = bits.iter().find(|r| r.data_bits == 8).expect("8-bit row");
     let reduction = 1.0 - row8.power_vs_16bit;
-    assert!((0.35..0.48).contains(&reduction), "16->8 bit saves {reduction}");
+    assert!(
+        (0.35..0.48).contains(&reduction),
+        "16->8 bit saves {reduction}"
+    );
 
     // the selected design point stays sub-mW
     let row_at_8pe = geometry.iter().find(|r| r.num_pes == 8).expect("8-PE row");
@@ -129,15 +132,13 @@ fn bursty_trace_simulation_matches_reality_better_than_the_average() {
     // per-frame energies sum to the run's compute+radio total minus
     // nothing: the breakdown accounts the same joules
     assert!(
-        (trace_total - summary.total_energy.joules()).abs()
-            < summary.total_energy.joules() * 1e-9,
+        (trace_total - summary.total_energy.joules()).abs() < summary.total_energy.joules() * 1e-9,
         "trace {} vs summary {}",
         trace_total,
         summary.total_energy.joules()
     );
 
-    let energies: Vec<incam::core::units::Joules> =
-        outcomes.iter().map(|o| o.energy).collect();
+    let energies: Vec<incam::core::units::Joules> = outcomes.iter().map(|o| o.energy).collect();
     let mut platform = WispCamPlatform::wispcam_default();
     let report = platform.simulate_trace(&energies, Fps::new(1.0));
     assert_eq!(report.brownouts, 0, "default budget handles the bursts");

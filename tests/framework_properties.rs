@@ -10,7 +10,7 @@ use incam::core::units::{Bytes, BytesPerSec, Fps};
 use incam::imaging::image::{GrayImage, Image};
 use incam::imaging::integral::IntegralImage;
 use incam::nn::quant::QFormat;
-use proptest::prelude::*;
+use incam_rng::prelude::*;
 
 fn arbitrary_pipeline() -> impl Strategy<Value = Pipeline> {
     let stage = (0.1f64..8.0, 1.0f64..500.0).prop_map(|(scale, fps)| {

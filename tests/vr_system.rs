@@ -8,7 +8,7 @@ use incam::vr::analysis::{fig9, VrModel};
 use incam::vr::blocks::run_functional_pipeline;
 use incam::vr::frame::synthetic_capture;
 use incam::vr::rig::CameraRig;
-use rand::SeedableRng;
+use incam_rng::SeedableRng;
 
 #[test]
 fn fig10_reproduces_paper_bars() {
@@ -86,7 +86,7 @@ fn table1_designs_match_paper() {
 #[test]
 fn functional_pipeline_produces_plausible_panorama() {
     let rig = CameraRig::scaled(6, 80, 60);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut rng = incam_rng::rngs::StdRng::seed_from_u64(99);
     let capture = synthetic_capture(&rig, 6, &mut rng);
     let pano = run_functional_pipeline(&capture);
     // six segments with 10px overlap
