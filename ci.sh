@@ -17,6 +17,9 @@ cargo build --release --offline --workspace
 step "test (offline)"
 cargo test -q --offline --workspace
 
+step "test (offline, INCAM_THREADS=4 worker pool)"
+INCAM_THREADS=4 cargo test -q --offline --workspace
+
 step "fmt --check"
 cargo fmt --all --check
 
@@ -32,7 +35,18 @@ cargo run --release --offline -p incam-bench --bin repro -- \
     --experiment harvest --seed 2017 > "$tmpdir/b.txt"
 cmp "$tmpdir/a.txt" "$tmpdir/b.txt"
 
+step "parallel determinism (FA + VR reports, threads 1 vs 4)"
+for exp in fa-pipeline fig6; do
+    INCAM_THREADS=1 cargo run --release --offline -p incam-bench --bin repro -- \
+        --experiment "$exp" --seed 2017 --quick > "$tmpdir/${exp}_t1.txt"
+    INCAM_THREADS=4 cargo run --release --offline -p incam-bench --bin repro -- \
+        --experiment "$exp" --seed 2017 --quick > "$tmpdir/${exp}_t4.txt"
+    cmp "$tmpdir/${exp}_t1.txt" "$tmpdir/${exp}_t4.txt"
+done
+
 step "bench harness smoke (2 samples)"
-INCAM_BENCH_SAMPLES=2 cargo bench --offline -p incam-bench -- fa_pipeline
+# INCAM_BENCH_DIR keeps smoke output away from the committed
+# crates/bench/BENCH_parallel.json baseline (default dir is the package).
+INCAM_BENCH_SAMPLES=2 INCAM_BENCH_DIR="$tmpdir" cargo bench --offline -p incam-bench -- fa_pipeline
 
 printf '\nAll gates passed.\n'

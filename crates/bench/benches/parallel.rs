@@ -1,0 +1,196 @@
+//! Thread-scaling benches for the `incam-parallel` substrate: every hot
+//! kernel the PR ported, swept at 1/2/4/8 worker threads via the
+//! programmatic override. Because all primitives are thread-count
+//! deterministic, every sweep point computes the *same* bytes — only the
+//! wall clock may change.
+//!
+//! Results land in `BENCH_parallel.json` (see `INCAM_BENCH_DIR`). On a
+//! single-core host the sweep is still meaningful as a regression guard:
+//! it bounds the overhead of the pool at thread counts above the
+//! available parallelism.
+
+use incam_bilateral::grid::{BilateralGrid, GridParams};
+use incam_bilateral::stereo::{block_match, MatchParams};
+use incam_imaging::convolve::gaussian_blur;
+use incam_imaging::faces::{render_face, render_non_face, Identity, Nuisance};
+use incam_imaging::image::GrayImage;
+use incam_imaging::integral::IntegralImage;
+use incam_imaging::quality::{ms_ssim, MsSsimConfig};
+use incam_imaging::scenes::stereo_scene;
+use incam_nn::mlp::Mlp;
+use incam_nn::sigmoid::Sigmoid;
+use incam_nn::topology::Topology;
+use incam_rng::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incam_rng::rngs::StdRng;
+use incam_rng::{Rng, SeedableRng};
+use incam_viola::scan::{scan, ScanParams, StepSize};
+use incam_viola::train::{train_cascade, CascadeTrainConfig};
+use incam_vr::blocks::run_functional_pipeline;
+use incam_vr::frame::synthetic_capture;
+use incam_vr::rig::CameraRig;
+use std::hint::black_box;
+
+/// Pool sizes swept by every group.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs `f` with the pool pinned to `threads`, restoring the default.
+fn with_threads(threads: usize, f: impl FnOnce()) {
+    incam_parallel::set_thread_override(Some(threads));
+    f();
+    incam_parallel::set_thread_override(None);
+}
+
+/// Separable convolution and integral-image row pass (imaging crate).
+fn bench_imaging(c: &mut Criterion) {
+    let img = GrayImage::from_fn(512, 384, |x, y| ((x * 7 + y * 13) % 97) as f32 / 97.0);
+    let noisy = GrayImage::from_fn(512, 384, |x, y| ((x * 11 + y * 5) % 89) as f32 / 89.0);
+    let mut group = c.benchmark_group("scaling_imaging");
+    for t in THREADS {
+        group.bench_with_input(BenchmarkId::new("gaussian_blur_512x384", t), &t, |b, &t| {
+            with_threads(t, || b.iter(|| gaussian_blur(black_box(&img), 2.0)));
+        });
+    }
+    for t in THREADS {
+        group.bench_with_input(BenchmarkId::new("integral_512x384", t), &t, |b, &t| {
+            with_threads(t, || b.iter(|| IntegralImage::new(black_box(&img))));
+        });
+    }
+    group.sample_size(10);
+    for t in THREADS {
+        group.bench_with_input(BenchmarkId::new("ms_ssim_512x384", t), &t, |b, &t| {
+            with_threads(t, || {
+                b.iter(|| ms_ssim(black_box(&img), black_box(&noisy), &MsSsimConfig::default()))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Bilateral-grid splat/blur/slice and block matching (bilateral crate).
+fn bench_bilateral(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(21);
+    let scene = stereo_scene(256, 192, 8, 4, &mut rng);
+    let params = GridParams::new(4.0, 0.1);
+    let mut splatted = BilateralGrid::new(256, 192, params);
+    splatted.splat(&scene.right, &scene.disparity, None);
+
+    let mut group = c.benchmark_group("scaling_bilateral");
+    for t in THREADS {
+        group.bench_with_input(BenchmarkId::new("grid_blur_x2", t), &t, |b, &t| {
+            with_threads(t, || {
+                b.iter(|| {
+                    let mut grid = splatted.clone();
+                    grid.blur(2);
+                    grid
+                })
+            });
+        });
+    }
+    for t in THREADS {
+        group.bench_with_input(BenchmarkId::new("splat_blur_slice_256", t), &t, |b, &t| {
+            with_threads(t, || {
+                b.iter(|| {
+                    let mut grid = BilateralGrid::new(256, 192, params);
+                    grid.splat(black_box(&scene.right), black_box(&scene.disparity), None);
+                    grid.blur(2);
+                    grid.slice(black_box(&scene.right))
+                })
+            });
+        });
+    }
+    group.sample_size(10);
+    for t in THREADS {
+        group.bench_with_input(BenchmarkId::new("block_match_256", t), &t, |b, &t| {
+            with_threads(t, || {
+                b.iter(|| {
+                    block_match(
+                        black_box(&scene.left),
+                        black_box(&scene.right),
+                        &MatchParams {
+                            max_disparity: 8,
+                            block_radius: 2,
+                        },
+                    )
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The multi-scale Viola-Jones sweep (viola crate).
+fn bench_viola(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(22);
+    let pos: Vec<GrayImage> = (0..80)
+        .map(|_| {
+            let id = Identity::sample(&mut rng);
+            render_face(&id, &Nuisance::sample(&mut rng, 0.25), 16, &mut rng)
+        })
+        .collect();
+    let neg: Vec<GrayImage> = (0..160).map(|_| render_non_face(16, &mut rng)).collect();
+    let cascade = train_cascade(&pos, &neg, &CascadeTrainConfig::fast());
+    let frame = GrayImage::from_fn(160, 120, |x, y| ((x * 7 + y * 13) % 97) as f32 / 97.0);
+    let params = ScanParams {
+        scale_factor: 1.25,
+        step: StepSize::Static(2),
+        min_scale: 1.0,
+        min_neighbors: 1,
+    };
+
+    let mut group = c.benchmark_group("scaling_viola");
+    for t in THREADS {
+        group.bench_with_input(BenchmarkId::new("scan_160x120", t), &t, |b, &t| {
+            with_threads(t, || {
+                b.iter(|| scan(black_box(&cascade.cascade), black_box(&frame), &params))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Batched MLP inference (nn crate).
+fn bench_nn(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(23);
+    let net = Mlp::random(Topology::new(vec![400, 8, 1]), &mut rng);
+    let batch: Vec<Vec<f32>> = (0..256)
+        .map(|_| (0..400).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+
+    let mut group = c.benchmark_group("scaling_nn");
+    for t in THREADS {
+        group.bench_with_input(BenchmarkId::new("forward_batch_256x400", t), &t, |b, &t| {
+            with_threads(t, || {
+                b.iter(|| net.forward_batch(black_box(&batch), &Sigmoid::Exact))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Per-camera fan-out of the VR functional pipeline (vr crate).
+fn bench_vr(c: &mut Criterion) {
+    let rig = CameraRig::scaled(4, 96, 64);
+    let mut rng = StdRng::seed_from_u64(24);
+    let capture = synthetic_capture(&rig, 6, &mut rng);
+
+    let mut group = c.benchmark_group("scaling_vr");
+    group.sample_size(10);
+    for t in THREADS {
+        group.bench_with_input(BenchmarkId::new("pipeline_4cam_96px", t), &t, |b, &t| {
+            with_threads(t, || {
+                b.iter(|| run_functional_pipeline(black_box(&capture)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    parallel,
+    bench_imaging,
+    bench_bilateral,
+    bench_viola,
+    bench_nn,
+    bench_vr
+);
+criterion_main!(parallel);

@@ -116,6 +116,14 @@ impl BilateralGrid {
     /// Splats `values` (weighted by `confidence`, or 1) into the grid,
     /// guided by `guide`'s intensities, with trilinear weights.
     ///
+    /// Parallel strategy: workers own disjoint bands of intensity slabs
+    /// (the grid's contiguous z-major layout) and every worker scans the
+    /// full pixel stream in the same row-major order, accumulating only
+    /// the taps whose clamped slab falls in its band. Each vertex is
+    /// therefore updated by exactly one worker *in the sequential pixel
+    /// order*, so the result is byte-identical to the single-threaded
+    /// scatter at any thread count (and at any banding).
+    ///
     /// # Panics
     ///
     /// Panics if dimensions disagree.
@@ -124,92 +132,66 @@ impl BilateralGrid {
         if let Some(c) = confidence {
             assert_eq!(guide.dims(), c.dims(), "guide/confidence must match");
         }
-        for y in 0..guide.height() {
-            for x in 0..guide.width() {
-                let v = values.get(x, y);
-                let w = confidence.map_or(1.0, |c| c.get(x, y));
-                if w <= 0.0 {
-                    continue;
-                }
-                self.splat_one(x, y, guide.get(x, y), v, w);
-            }
-        }
-    }
-
-    fn splat_one(&mut self, x: usize, y: usize, intensity: f32, value: f32, weight: f32) {
-        let (fx, fy, fz) = self.coords(x, y, intensity);
-        let (x0, y0, z0) = (
-            fx.floor() as usize,
-            fy.floor() as usize,
-            fz.floor() as usize,
-        );
-        let (tx, ty, tz) = (fx - x0 as f32, fy - y0 as f32, fz - z0 as f32);
-        for dz in 0..2usize {
-            let wz = if dz == 0 { 1.0 - tz } else { tz };
-            for dy in 0..2usize {
-                let wy = if dy == 0 { 1.0 - ty } else { ty };
-                for dx in 0..2usize {
-                    let wx = if dx == 0 { 1.0 - tx } else { tx };
-                    let w = wx * wy * wz * weight;
-                    if w <= 0.0 {
-                        continue;
+        let (gw, gh, gz) = (self.gw, self.gh, self.gz);
+        let slab = gh * gw;
+        let params = self.params;
+        incam_parallel::par_bands_mut2(
+            &mut self.values,
+            &mut self.weights,
+            gz,
+            |band, band_values, band_weights| {
+                let base = band.start * slab;
+                for y in 0..guide.height() {
+                    for x in 0..guide.width() {
+                        let v = values.get(x, y);
+                        let w = confidence.map_or(1.0, |c| c.get(x, y));
+                        if w <= 0.0 {
+                            continue;
+                        }
+                        splat_taps(params, (gw, gh, gz), (x, y, guide.get(x, y)), |i, tap_w| {
+                            let tap_w = tap_w * w;
+                            if tap_w <= 0.0 {
+                                return;
+                            }
+                            if (base..base + band_values.len()).contains(&i) {
+                                band_values[i - base] += tap_w * v;
+                                band_weights[i - base] += tap_w;
+                            }
+                        });
                     }
-                    let i = self.idx(
-                        (x0 + dx).min(self.gw - 1),
-                        (y0 + dy).min(self.gh - 1),
-                        (z0 + dz).min(self.gz - 1),
-                    );
-                    self.values[i] += w * value;
-                    self.weights[i] += w;
                 }
-            }
-        }
+            },
+        );
     }
 
     /// Applies `iterations` of a separable `[1, 2, 1]/4` blur along each
     /// grid axis, to values and weights alike (homogeneous blur). Borders
     /// replicate, which preserves total mass.
+    ///
+    /// The scratch buffer is allocated once and ping-ponged across all
+    /// `iterations × 3 axes × {values, weights}` passes; each pass writes
+    /// output rows in parallel.
     pub fn blur(&mut self, iterations: usize) {
+        if iterations == 0 {
+            return;
+        }
+        let dims = (self.gw, self.gh, self.gz);
+        let mut scratch = vec![0.0f32; self.values.len()];
         for _ in 0..iterations {
             for axis in 0..3 {
-                self.values = self.blur_axis(&self.values, axis);
-                self.weights = self.blur_axis(&self.weights, axis);
+                blur_axis_into(dims, &self.values, &mut scratch, axis);
+                core::mem::swap(&mut self.values, &mut scratch);
+                blur_axis_into(dims, &self.weights, &mut scratch, axis);
+                core::mem::swap(&mut self.weights, &mut scratch);
             }
         }
-    }
-
-    fn blur_axis(&self, data: &[f32], axis: usize) -> Vec<f32> {
-        let mut out = vec![0.0f32; data.len()];
-        let (nx, ny, nz) = (self.gw, self.gh, self.gz);
-        let get = |x: isize, y: isize, z: isize| -> f32 {
-            let cx = x.clamp(0, nx as isize - 1) as usize;
-            let cy = y.clamp(0, ny as isize - 1) as usize;
-            let cz = z.clamp(0, nz as isize - 1) as usize;
-            data[(cz * ny + cy) * nx + cx]
-        };
-        for z in 0..nz as isize {
-            for y in 0..ny as isize {
-                for x in 0..nx as isize {
-                    let (dx, dy, dz) = match axis {
-                        0 => (1, 0, 0),
-                        1 => (0, 1, 0),
-                        _ => (0, 0, 1),
-                    };
-                    let v = (get(x - dx, y - dy, z - dz)
-                        + 2.0 * get(x, y, z)
-                        + get(x + dx, y + dy, z + dz))
-                        / 4.0;
-                    out[((z as usize) * ny + y as usize) * nx + x as usize] = v;
-                }
-            }
-        }
-        out
     }
 
     /// Reads the filtered value at every pixel of `guide` (trilinear
     /// interpolation of `value/weight`). Vertices with no support yield 0.
+    /// Pixels are independent gathers, evaluated row-parallel.
     pub fn slice(&self, guide: &GrayImage) -> GrayImage {
-        GrayImage::from_fn(guide.width(), guide.height(), |x, y| {
+        GrayImage::from_fn_par(guide.width(), guide.height(), |x, y| {
             self.slice_one(x, y, guide.get(x, y))
         })
     }
@@ -263,6 +245,74 @@ impl BilateralGrid {
     pub fn raw_mut(&mut self) -> (&mut [f32], &mut [f32]) {
         (&mut self.values, &mut self.weights)
     }
+}
+
+/// Enumerates the (up to 8) trilinear taps of one pixel, invoking
+/// `emit(flat_index, tap_weight)` in the same fixed `dz, dy, dx` order as
+/// the original sequential scatter. Zero-weight taps are skipped, exactly
+/// as before.
+#[inline]
+fn splat_taps(
+    params: GridParams,
+    (gw, gh, gz): (usize, usize, usize),
+    (x, y, intensity): (usize, usize, f32),
+    mut emit: impl FnMut(usize, f32),
+) {
+    let fx = x as f32 / params.sigma_spatial;
+    let fy = y as f32 / params.sigma_spatial;
+    let fz = intensity.clamp(0.0, 1.0) / params.sigma_range;
+    let (x0, y0, z0) = (
+        fx.floor() as usize,
+        fy.floor() as usize,
+        fz.floor() as usize,
+    );
+    let (tx, ty, tz) = (fx - x0 as f32, fy - y0 as f32, fz - z0 as f32);
+    for dz in 0..2usize {
+        let wz = if dz == 0 { 1.0 - tz } else { tz };
+        for dy in 0..2usize {
+            let wy = if dy == 0 { 1.0 - ty } else { ty };
+            for dx in 0..2usize {
+                let wx = if dx == 0 { 1.0 - tx } else { tx };
+                let w = wx * wy * wz;
+                if w <= 0.0 {
+                    continue;
+                }
+                let cx = (x0 + dx).min(gw - 1);
+                let cy = (y0 + dy).min(gh - 1);
+                let cz = (z0 + dz).min(gz - 1);
+                emit((cz * gh + cy) * gw + cx, w);
+            }
+        }
+    }
+}
+
+/// One `[1, 2, 1]/4` blur pass along `axis` (0=x, 1=y, 2=intensity) with
+/// replicated borders, `src` → `dst`. Output rows are independent, so they
+/// run on the [`incam_parallel`] pool; each output element is a pure
+/// function of `src`, making the pass byte-identical at any thread count.
+fn blur_axis_into((nx, ny, nz): (usize, usize, usize), src: &[f32], dst: &mut [f32], axis: usize) {
+    debug_assert_eq!(src.len(), nx * ny * nz);
+    debug_assert_eq!(dst.len(), src.len());
+    let get = |x: isize, y: isize, z: isize| -> f32 {
+        let cx = x.clamp(0, nx as isize - 1) as usize;
+        let cy = y.clamp(0, ny as isize - 1) as usize;
+        let cz = z.clamp(0, nz as isize - 1) as usize;
+        src[(cz * ny + cy) * nx + cx]
+    };
+    let (dx, dy, dz) = match axis {
+        0 => (1, 0, 0),
+        1 => (0, 1, 0),
+        _ => (0, 0, 1),
+    };
+    incam_parallel::par_chunks(dst, nx, |row, out_row| {
+        let z = (row / ny) as isize;
+        let y = (row % ny) as isize;
+        for (x, out) in out_row.iter_mut().enumerate() {
+            let x = x as isize;
+            *out = (get(x - dx, y - dy, z - dz) + 2.0 * get(x, y, z) + get(x + dx, y + dy, z + dz))
+                / 4.0;
+        }
+    });
 }
 
 #[cfg(test)]

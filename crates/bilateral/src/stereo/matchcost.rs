@@ -69,38 +69,49 @@ pub fn block_match(left: &GrayImage, right: &GrayImage, params: &MatchParams) ->
 
     let mut disparity = GrayImage::zeros(w, h);
     let mut confidence = GrayImage::zeros(w, h);
-    for y in 0..h {
-        for x in 0..w {
-            let mut best_d = 0usize;
-            let mut best_cost = f32::INFINITY;
-            let mut second = f32::INFINITY;
-            for d in 0..=params.max_disparity {
-                let mut cost = 0.0f32;
-                for dy in -r..=r {
-                    for dx in -r..=r {
-                        let rv = right.get_clamped(x as isize + dx, y as isize + dy);
-                        let lv = left.get_clamped(x as isize + dx + d as isize, y as isize + dy);
-                        cost += (rv - lv).abs();
+    // Rows are independent; each worker owns a disjoint band of output
+    // rows of both maps and runs the identical per-pixel search, so the
+    // result is byte-equal to the sequential scan at any thread count.
+    incam_parallel::par_bands_mut2(
+        disparity.pixels_mut(),
+        confidence.pixels_mut(),
+        h,
+        |rows, disp_band, conf_band| {
+            for y in rows.clone() {
+                let row = (y - rows.start) * w;
+                for x in 0..w {
+                    let mut best_d = 0usize;
+                    let mut best_cost = f32::INFINITY;
+                    let mut second = f32::INFINITY;
+                    for d in 0..=params.max_disparity {
+                        let mut cost = 0.0f32;
+                        for dy in -r..=r {
+                            for dx in -r..=r {
+                                let rv = right.get_clamped(x as isize + dx, y as isize + dy);
+                                let lv =
+                                    left.get_clamped(x as isize + dx + d as isize, y as isize + dy);
+                                cost += (rv - lv).abs();
+                            }
+                        }
+                        if cost < best_cost {
+                            second = best_cost;
+                            best_cost = cost;
+                            best_d = d;
+                        } else if cost < second {
+                            second = cost;
+                        }
                     }
-                }
-                if cost < best_cost {
-                    second = best_cost;
-                    best_cost = cost;
-                    best_d = d;
-                } else if cost < second {
-                    second = cost;
+                    disp_band[row + x] = best_d as f32;
+                    // ratio test: distinct minima are trustworthy
+                    conf_band[row + x] = if second.is_finite() && second > 1e-6 {
+                        (1.0 - best_cost / second).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
                 }
             }
-            disparity.set(x, y, best_d as f32);
-            // ratio test: distinct minima are trustworthy
-            let conf = if second.is_finite() && second > 1e-6 {
-                (1.0 - best_cost / second).clamp(0.0, 1.0)
-            } else {
-                0.0
-            };
-            confidence.set(x, y, conf);
-        }
-    }
+        },
+    );
     InitialDisparity {
         disparity,
         confidence,

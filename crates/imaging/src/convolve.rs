@@ -1,5 +1,9 @@
 //! Separable convolution and the small set of kernels the workspace needs
 //! (box, Gaussian). Borders use pixel replication.
+//!
+//! Both 1-D passes evaluate output rows on the [`incam_parallel`] pool;
+//! each output pixel is a pure function of its coordinates, so results
+//! are byte-identical at any thread count.
 
 use crate::image::GrayImage;
 
@@ -11,7 +15,7 @@ use crate::image::GrayImage;
 pub fn convolve_h(img: &GrayImage, kernel: &[f32]) -> GrayImage {
     check_kernel(kernel);
     let r = (kernel.len() / 2) as isize;
-    GrayImage::from_fn(img.width(), img.height(), |x, y| {
+    GrayImage::from_fn_par(img.width(), img.height(), |x, y| {
         let mut acc = 0.0f32;
         for (i, &k) in kernel.iter().enumerate() {
             let sx = x as isize + i as isize - r;
@@ -29,7 +33,7 @@ pub fn convolve_h(img: &GrayImage, kernel: &[f32]) -> GrayImage {
 pub fn convolve_v(img: &GrayImage, kernel: &[f32]) -> GrayImage {
     check_kernel(kernel);
     let r = (kernel.len() / 2) as isize;
-    GrayImage::from_fn(img.width(), img.height(), |x, y| {
+    GrayImage::from_fn_par(img.width(), img.height(), |x, y| {
         let mut acc = 0.0f32;
         for (i, &k) in kernel.iter().enumerate() {
             let sy = y as isize + i as isize - r;

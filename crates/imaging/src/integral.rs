@@ -49,15 +49,30 @@ impl IntegralImage {
         Self::from_mapped(img, |p| (p as f64) * (p as f64))
     }
 
-    fn from_mapped(img: &GrayImage, f: impl Fn(f32) -> f64) -> Self {
+    fn from_mapped(img: &GrayImage, f: impl Fn(f32) -> f64 + Sync) -> Self {
         let (w, h) = img.dims();
         let tw = w + 1;
         let mut table = vec![0.0f64; tw * (h + 1)];
-        for y in 0..h {
+        // Pass 1 (parallel rows): table row y+1 holds the running prefix
+        // sums of image row y. Rows are independent, so the pool computes
+        // them byte-identically at any thread count.
+        let (_, rows) = table.split_at_mut(tw);
+        incam_parallel::par_chunks(rows, tw, |y, row| {
             let mut row_sum = 0.0f64;
             for x in 0..w {
                 row_sum += f(img.get(x, y));
-                table[(y + 1) * tw + (x + 1)] = table[y * tw + (x + 1)] + row_sum;
+                row[x + 1] = row_sum;
+            }
+        });
+        // Pass 2 (sequential): vertical accumulation. Each add pairs the
+        // same two values as the fused single-pass construction (addition
+        // is commutative in IEEE-754), so the table is bit-equal to it.
+        for y in 2..=h {
+            let (head, tail) = table.split_at_mut(y * tw);
+            let prev = &head[(y - 1) * tw..];
+            let cur = &mut tail[..tw];
+            for x in 1..=w {
+                cur[x] += prev[x];
             }
         }
         Self {

@@ -1,6 +1,8 @@
 //! Property-based tests of the imaging substrate.
 
-use incam_imaging::convolve::{box_blur, convolve_h, gaussian_blur};
+use incam_imaging::convolve::{
+    box_blur, convolve_h, convolve_separable, gaussian_blur, gaussian_kernel,
+};
 use incam_imaging::image::{GrayImage, Image};
 use incam_imaging::integral::IntegralImage;
 use incam_imaging::quality::{mse, psnr, ssim, SsimConfig};
@@ -98,6 +100,56 @@ proptest! {
             if w % 2 == 0 && h % 2 == 0 {
                 prop_assert!((half.mean() - img.mean()).abs() < 1e-4);
             }
+        }
+    }
+
+    /// The separable fast path equals the naive dense 2-D convolution
+    /// with the same replicate border — the factorization identity the
+    /// parallel convolution relies on.
+    #[test]
+    fn separable_equals_naive_2d(img in arbitrary_image(), sigma in 0.5f32..2.0) {
+        let kernel = gaussian_kernel(sigma);
+        let fast = convolve_separable(&img, &kernel);
+        let r = (kernel.len() / 2) as isize;
+        let (w, h) = img.dims();
+        let naive = Image::from_fn(w, h, |x, y| {
+            let mut acc = 0.0f64;
+            for (j, &kv) in kernel.iter().enumerate() {
+                for (i, &kh) in kernel.iter().enumerate() {
+                    let sx = x as isize + i as isize - r;
+                    let sy = y as isize + j as isize - r;
+                    acc += kv as f64 * kh as f64 * img.get_clamped(sx, sy) as f64;
+                }
+            }
+            acc as f32
+        });
+        for (a, b) in fast.pixels().iter().zip(naive.pixels()) {
+            prop_assert!((a - b).abs() < 1e-4, "separable {} vs naive {}", a, b);
+        }
+    }
+
+    /// The parallel row primitive is byte-identical across pool sizes,
+    /// including odd-sized inputs that don't divide evenly among workers.
+    #[test]
+    fn par_map_rows_thread_count_invariant(
+        rows in 1usize..33,
+        row_len in 1usize..17,
+        seed in 0u64..1000,
+    ) {
+        let fill = move |y: usize, row: &mut [f32]| {
+            for (x, slot) in row.iter_mut().enumerate() {
+                *slot = ((y * 31 + x * 17 + seed as usize) % 101) as f32 / 101.0;
+            }
+        };
+        let run = |threads: usize| {
+            incam_parallel::set_thread_override(Some(threads));
+            let out = incam_parallel::par_map_rows(rows, row_len, fill);
+            incam_parallel::set_thread_override(None);
+            out
+        };
+        let reference = run(1);
+        for threads in [2usize, 3, 8] {
+            prop_assert_eq!(&run(threads), &reference, "threads={}", threads);
         }
     }
 

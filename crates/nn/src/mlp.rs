@@ -178,6 +178,17 @@ impl Mlp {
         activation
     }
 
+    /// Forward passes for a whole batch, evaluated on the
+    /// [`incam_parallel`] pool and returned in input order.
+    ///
+    /// Each example's forward is independent and pure, so the batch is
+    /// byte-identical to mapping [`Mlp::forward`] sequentially — at any
+    /// thread count. This is the inference hot path for Fig. 2/3-style
+    /// sweeps that score hundreds of probe images per configuration.
+    pub fn forward_batch(&self, inputs: &[Vec<f32>], sigmoid: &Sigmoid) -> Vec<Vec<f32>> {
+        incam_parallel::par_map(inputs.len(), |i| self.forward(&inputs[i], sigmoid))
+    }
+
     /// Forward pass returning every layer's activations (input first) —
     /// the intermediate values backprop needs.
     pub fn forward_trace(&self, input: &[f32], sigmoid: &Sigmoid) -> Vec<Vec<f32>> {

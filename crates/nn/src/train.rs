@@ -214,12 +214,16 @@ pub fn train(
 }
 
 /// Mean squared error of `net` on `data` with the given activation.
+///
+/// The forwards run batched on the worker pool; the error accumulation
+/// stays a single in-order loop, so the result is bit-equal to the
+/// sequential evaluation at any thread count.
 pub fn evaluate_mse(net: &Mlp, data: &TrainingSet, sigmoid: &Sigmoid) -> f32 {
     assert!(!data.is_empty(), "evaluation set must be non-empty");
+    let outputs = net.forward_batch(&data.inputs, sigmoid);
     let mut sum = 0.0f64;
     let mut count = 0usize;
-    for (input, target) in data.inputs.iter().zip(&data.targets) {
-        let out = net.forward(input, sigmoid);
+    for (out, target) in outputs.iter().zip(&data.targets) {
         for (&o, &t) in out.iter().zip(target) {
             let e = (o - t) as f64;
             sum += e * e;

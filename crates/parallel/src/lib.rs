@@ -1,0 +1,517 @@
+//! # incam-parallel — deterministic data-parallel kernel substrate
+//!
+//! A zero-dependency scoped worker pool (`std::thread::scope`) exposing
+//! order-preserving data-parallel primitives for the workspace's hot
+//! kernels. Every primitive carries the same **determinism contract**:
+//!
+//! > The result is byte-identical regardless of the number of worker
+//! > threads, including the sequential fallback at one thread.
+//!
+//! The contract holds by construction, not by luck:
+//!
+//! * [`par_chunks`] / [`par_map_rows`] / [`par_map`] only ever compute
+//!   per-element (or per-row) values that are pure functions of the
+//!   element's index — threads write disjoint output regions, so no
+//!   ordering is observable;
+//! * [`par_reduce`] splits the index space into **fixed-size chunks whose
+//!   boundaries do not depend on the thread count**, computes one partial
+//!   per chunk, and folds the partials in chunk order on the calling
+//!   thread — the floating-point combination tree is frozen;
+//! * [`par_bands_mut2`] hands threads disjoint bands of two parallel
+//!   payload arrays; its callers (e.g. the bilateral-grid splat) keep the
+//!   per-slot accumulation order fixed independent of the banding.
+//!
+//! ## Thread-count selection
+//!
+//! The pool size comes from, in priority order:
+//!
+//! 1. [`set_thread_override`] (scoped programmatic override, used by the
+//!    bench harness and the determinism tests);
+//! 2. the `INCAM_THREADS` environment variable (parsed once per process);
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! `INCAM_THREADS=1` (or a single-core host) selects the sequential
+//! fallback: no threads are spawned at all. Nested parallel regions
+//! (a parallel kernel calling another parallel kernel from inside a
+//! worker) automatically run sequentially instead of oversubscribing.
+//!
+//! # Examples
+//!
+//! ```
+//! // A 5x4 "image" where each row is filled in parallel.
+//! let data = incam_parallel::par_map_rows(5, 4, |row, out| {
+//!     for (x, slot) in out.iter_mut().enumerate() {
+//!         *slot = (row * 4 + x) as u32;
+//!     }
+//! });
+//! assert_eq!(data[..6], [0, 1, 2, 3, 4, 5]);
+//!
+//! // An order-preserving reduction: fixed chunk boundaries, fixed fold
+//! // order, identical result at any thread count.
+//! let total = incam_parallel::par_reduce(1000, 64, |r| r.sum::<usize>(), |a, b| a + b);
+//! assert_eq!(total, Some(499_500));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Programmatic thread-count override (0 = none).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set inside pool workers so nested parallel regions degrade to the
+    /// sequential fallback instead of oversubscribing the machine.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        match std::env::var("INCAM_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                // Malformed or zero: fall back to the hardware default
+                // rather than crashing a long pipeline run on a typo.
+                _ => default_threads(),
+            },
+            Err(_) => default_threads(),
+        }
+    })
+}
+
+/// The worker-pool size parallel regions will use: the programmatic
+/// override if set, else `INCAM_THREADS`, else
+/// [`std::thread::available_parallelism`].
+pub fn num_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o != 0 {
+        o
+    } else {
+        env_threads()
+    }
+}
+
+/// Overrides the pool size for the whole process (`None` restores the
+/// `INCAM_THREADS`/hardware default).
+///
+/// Intended for the bench harness (thread-scaling sweeps) and the
+/// determinism tests; pipelines should prefer the environment knob.
+/// Because every primitive is thread-count-deterministic, flipping the
+/// override concurrently with a running kernel cannot change any result.
+///
+/// # Panics
+///
+/// Panics on `Some(0)`.
+pub fn set_thread_override(threads: Option<usize>) {
+    if let Some(n) = threads {
+        assert!(n >= 1, "thread override must be at least 1");
+    }
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// True while executing inside a pool worker (or inside the calling
+/// thread's own band). Nested parallel regions check this to fall back
+/// to sequential execution.
+pub fn in_parallel_region() -> bool {
+    IN_WORKER.with(|f| f.get())
+}
+
+/// Threads a region spanning `units` independent work units should use.
+fn effective_threads(units: usize) -> usize {
+    if units <= 1 || in_parallel_region() {
+        1
+    } else {
+        num_threads().min(units).max(1)
+    }
+}
+
+/// Near-equal contiguous partition of `0..n` into `parts` ranges (the
+/// first `n % parts` ranges hold one extra element). `parts` must be
+/// in `1..=n`.
+fn bands(n: usize, parts: usize) -> Vec<Range<usize>> {
+    debug_assert!(parts >= 1 && parts <= n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `f` with the worker flag set, restoring it afterwards (the
+/// calling thread doubles as a worker for its own band).
+fn as_worker<R>(f: impl FnOnce() -> R) -> R {
+    IN_WORKER.with(|flag| {
+        let prev = flag.replace(true);
+        let out = f();
+        flag.set(prev);
+        out
+    })
+}
+
+/// Applies `f(chunk_index, chunk)` to every `chunk_len`-sized chunk of
+/// `data`, distributing contiguous runs of chunks across the pool.
+///
+/// Chunks are disjoint and each is computed by exactly one worker, so the
+/// output is byte-identical at any thread count provided `f` writes a
+/// pure function of the chunk index (the normal case: one image row per
+/// chunk).
+///
+/// # Panics
+///
+/// Panics if `chunk_len` is zero or does not divide `data.len()`.
+pub fn par_chunks<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be nonzero");
+    assert_eq!(
+        data.len() % chunk_len,
+        0,
+        "data length {} is not a multiple of chunk_len {}",
+        data.len(),
+        chunk_len
+    );
+    let chunks = data.len() / chunk_len;
+    let threads = effective_threads(chunks);
+    if threads <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let plan = bands(chunks, threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = data;
+        let mut tail_band: Option<(usize, &mut [T])> = None;
+        for (b, band) in plan.iter().enumerate() {
+            let len = (band.end - band.start) * chunk_len;
+            let (mine, next) = rest.split_at_mut(len);
+            rest = next;
+            let start = band.start;
+            if b + 1 == plan.len() {
+                // The calling thread works the last band itself.
+                tail_band = Some((start, mine));
+            } else {
+                scope.spawn(move || {
+                    as_worker(|| {
+                        for (i, chunk) in mine.chunks_mut(chunk_len).enumerate() {
+                            f(start + i, chunk);
+                        }
+                    })
+                });
+            }
+        }
+        if let Some((start, mine)) = tail_band {
+            as_worker(|| {
+                for (i, chunk) in mine.chunks_mut(chunk_len).enumerate() {
+                    f(start + i, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Allocates a `rows × row_len` buffer and fills each row in parallel
+/// with `f(row_index, row)`. Rows are initialised to `T::default()`
+/// before `f` runs.
+///
+/// The workhorse for image kernels: each output row is a pure function
+/// of its index, so the result is byte-identical at any thread count.
+pub fn par_map_rows<T, F>(rows: usize, row_len: usize, f: F) -> Vec<T>
+where
+    T: Send + Copy + Default,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let mut out = vec![T::default(); rows * row_len];
+    if row_len > 0 {
+        par_chunks(&mut out, row_len, f);
+    }
+    out
+}
+
+/// Computes `f(i)` for every `i in 0..n`, returning the results in index
+/// order. Workers own contiguous index bands; band results are stitched
+/// back in band order, so output order (and content) never depends on
+/// the thread count.
+pub fn par_map<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = effective_threads(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let plan = bands(n, threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::with_capacity(plan.len() - 1);
+        for band in &plan[..plan.len() - 1] {
+            let band = band.clone();
+            handles.push(scope.spawn(move || as_worker(|| band.map(f).collect::<Vec<R>>())));
+        }
+        let last = plan[plan.len() - 1].clone();
+        let tail = as_worker(|| last.map(f).collect::<Vec<R>>());
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            out.extend(handle.join().expect("parallel worker panicked"));
+        }
+        out.extend(tail);
+        out
+    })
+}
+
+/// Order-preserving parallel reduction over `0..n`.
+///
+/// The index space is cut into fixed `chunk`-sized pieces (the last may
+/// be short), `map` produces one partial per piece, and the partials are
+/// folded **in piece order** on the calling thread. Because the piece
+/// boundaries depend only on `(n, chunk)` — never on the thread count —
+/// the floating-point combination tree is identical under any pool size,
+/// and the result is byte-identical. Returns `None` when `n == 0`.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero.
+pub fn par_reduce<R, M, F>(n: usize, chunk: usize, map: M, fold: F) -> Option<R>
+where
+    R: Send,
+    M: Fn(Range<usize>) -> R + Sync,
+    F: Fn(R, R) -> R,
+{
+    assert!(chunk > 0, "chunk must be nonzero");
+    if n == 0 {
+        return None;
+    }
+    let pieces = n.div_ceil(chunk);
+    let partials = par_map(pieces, |p| {
+        let start = p * chunk;
+        map(start..(start + chunk).min(n))
+    });
+    partials.into_iter().reduce(fold)
+}
+
+/// Partitions two parallel payload arrays along a shared unit axis and
+/// runs `f(unit_range, a_band, b_band)` once per band.
+///
+/// `a` must hold `units * a_per_unit` elements and `b` must hold
+/// `units * b_per_unit`; band boundaries fall on unit boundaries so both
+/// slices shard consistently. Used for kernels that update two parallel
+/// accumulator arrays (bilateral-grid values/weights, disparity/
+/// confidence maps).
+///
+/// **Determinism contract for callers:** the band partition *does*
+/// depend on the thread count, so `f` must produce band contents that
+/// are invariant under re-banding — each output slot's value must be a
+/// pure function of the inputs and its own unit index (e.g. a scatter
+/// that accumulates every slot's contributions in a fixed global order).
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `units`.
+pub fn par_bands_mut2<A, B, F>(a: &mut [A], b: &mut [B], units: usize, f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(Range<usize>, &mut [A], &mut [B]) + Sync,
+{
+    assert!(units > 0, "units must be nonzero");
+    assert_eq!(a.len() % units, 0, "a length must be a multiple of units");
+    assert_eq!(b.len() % units, 0, "b length must be a multiple of units");
+    let a_per_unit = a.len() / units;
+    let b_per_unit = b.len() / units;
+    let threads = effective_threads(units);
+    if threads <= 1 {
+        f(0..units, a, b);
+        return;
+    }
+    let plan = bands(units, threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let (mut rest_a, mut rest_b) = (a, b);
+        let mut tail_band: Option<(Range<usize>, &mut [A], &mut [B])> = None;
+        for (i, band) in plan.iter().enumerate() {
+            let take = band.end - band.start;
+            let (mine_a, next_a) = rest_a.split_at_mut(take * a_per_unit);
+            let (mine_b, next_b) = rest_b.split_at_mut(take * b_per_unit);
+            rest_a = next_a;
+            rest_b = next_b;
+            let band = band.clone();
+            if i + 1 == plan.len() {
+                tail_band = Some((band, mine_a, mine_b));
+            } else {
+                scope.spawn(move || as_worker(|| f(band, mine_a, mine_b)));
+            }
+        }
+        if let Some((band, mine_a, mine_b)) = tail_band {
+            as_worker(|| f(band, mine_a, mine_b));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serialises tests that flip the global override.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_thread_override(Some(n));
+        let out = f();
+        set_thread_override(None);
+        out
+    }
+
+    #[test]
+    fn bands_cover_exactly() {
+        for n in 1..40 {
+            for parts in 1..=n {
+                let plan = bands(n, parts);
+                assert_eq!(plan.len(), parts);
+                assert_eq!(plan[0].start, 0);
+                assert_eq!(plan[parts - 1].end, n);
+                for w in plan.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                    // near-equal: sizes differ by at most one
+                    let (a, b) = (w[0].end - w[0].start, w[1].end - w[1].start);
+                    assert!(a >= b && a - b <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_matches_sequential_at_any_thread_count() {
+        let rows = 13; // deliberately not divisible by pool sizes
+        let width = 7;
+        let fill = |i: usize, chunk: &mut [u64]| {
+            for (x, slot) in chunk.iter_mut().enumerate() {
+                *slot = (i * 1_000 + x) as u64;
+            }
+        };
+        let reference = {
+            let mut v = vec![0u64; rows * width];
+            for (i, chunk) in v.chunks_mut(width).enumerate() {
+                fill(i, chunk);
+            }
+            v
+        };
+        for threads in [1, 2, 3, 8] {
+            let got = with_threads(threads, || {
+                let mut v = vec![0u64; rows * width];
+                par_chunks(&mut v, width, fill);
+                v
+            });
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        for threads in [1, 2, 5] {
+            let got = with_threads(threads, || par_map(11, |i| i * i));
+            assert_eq!(got, (0..11).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_reduce_is_thread_count_invariant_on_floats() {
+        // A sum whose value depends on the combination tree: only a
+        // frozen tree gives bit-equal results across pool sizes.
+        let term = |i: usize| 1.0f64 / (i as f64 + 1.0);
+        let reduce = || par_reduce(10_001, 64, |r| r.map(term).sum::<f64>(), |a, b| a + b).unwrap();
+        let reference = with_threads(1, reduce);
+        for threads in [2, 3, 8] {
+            let got = with_threads(threads, reduce);
+            assert_eq!(got.to_bits(), reference.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_reduce_empty_is_none() {
+        assert_eq!(par_reduce(0, 8, |r| r.len(), |a, b| a + b), None);
+    }
+
+    #[test]
+    fn par_bands_mut2_shards_consistently() {
+        let units = 9;
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let mut a = vec![0u32; units * 3];
+                let mut b = vec![0u16; units * 2];
+                par_bands_mut2(&mut a, &mut b, units, |range, ab, bb| {
+                    for (i, u) in range.clone().enumerate() {
+                        for (j, slot) in ab[i * 3..(i + 1) * 3].iter_mut().enumerate() {
+                            *slot = (u * 10 + j) as u32;
+                        }
+                        for (j, slot) in bb[i * 2..(i + 1) * 2].iter_mut().enumerate() {
+                            *slot = (u * 10 + j) as u16;
+                        }
+                    }
+                });
+                (a, b)
+            })
+        };
+        let reference = run(1);
+        for threads in [2, 4, 7] {
+            assert_eq!(run(threads), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn nested_regions_fall_back_to_sequential() {
+        with_threads(4, || {
+            let out = par_map(4, |i| {
+                assert!(in_parallel_region());
+                // The nested call must not deadlock or explode the thread
+                // count; it runs inline.
+                par_map(3, move |j| i * 10 + j)
+            });
+            assert_eq!(out[2], vec![20, 21, 22]);
+        });
+        assert!(!in_parallel_region());
+    }
+
+    #[test]
+    fn override_api_round_trips() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_thread_override(Some(3));
+        assert_eq!(num_threads(), 3);
+        set_thread_override(None);
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_override_rejected() {
+        set_thread_override(Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of chunk_len")]
+    fn ragged_chunks_rejected() {
+        let mut v = vec![0u8; 10];
+        par_chunks(&mut v, 3, |_, _| {});
+    }
+}

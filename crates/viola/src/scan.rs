@@ -151,19 +151,32 @@ pub fn scan(cascade: &Cascade, image: &GrayImage, params: &ScanParams) -> ScanRe
         }
         result.stats.scales += 1;
         let stride = params.step.stride(side);
-        let mut y = 0;
-        while y + side <= h {
+        // Window rows at this scale are independent sweeps; evaluate them
+        // on the pool and stitch per-row hits back in row order, so the
+        // raw-detection order (scale-major, then y, then x) matches the
+        // sequential scan exactly. The work counters are integer sums and
+        // therefore order-insensitive.
+        let row_count = (h - side) / stride + 1;
+        let rows = incam_parallel::par_map(row_count, |r| {
+            let y = r * stride;
+            let mut hits = Vec::new();
+            let (mut windows, mut features) = (0u64, 0u64);
             let mut x = 0;
             while x + side <= w {
                 let verdict = cascade.classify_window(&ii, &sq, x, y, scale);
-                result.stats.windows += 1;
-                result.stats.features += verdict.features_evaluated as u64;
+                windows += 1;
+                features += verdict.features_evaluated as u64;
                 if verdict.accepted {
-                    result.raw.push(Detection { x, y, side });
+                    hits.push(Detection { x, y, side });
                 }
                 x += stride;
             }
-            y += stride;
+            (hits, windows, features)
+        });
+        for (hits, windows, features) in rows {
+            result.raw.extend(hits);
+            result.stats.windows += windows;
+            result.stats.features += features;
         }
         scale *= params.scale_factor;
     }
@@ -201,19 +214,106 @@ pub fn group_detections(raw: &[Detection], iou_threshold: f64) -> Vec<Detection>
         .collect()
 }
 
+/// Greedy single-pass clustering, identical in output to the naive
+/// all-pairs sweep but without its O(n²) IoU evaluations.
+///
+/// The original algorithm examined every remaining detection for every
+/// group. Here detections are sorted by left edge once; each group keeps
+/// a running bounding box and only ever enqueues candidates whose
+/// x-interval can intersect it (positive IoU with any member requires
+/// intersecting the members' bounding box). Candidates are drained in
+/// original index order, so every join decision sees exactly the group
+/// state the naive pass would have seen: a detection outside the box at
+/// the moment its index came up has zero IoU with every member and would
+/// have been rejected anyway. Detections far from every cluster are never
+/// touched after the sort.
 fn group_clusters(raw: &[Detection], iou_threshold: f64) -> Vec<Vec<&Detection>> {
-    let mut assigned = vec![false; raw.len()];
+    let n = raw.len();
+    let mut assigned = vec![false; n];
     let mut groups: Vec<Vec<&Detection>> = Vec::new();
+    if n == 0 {
+        return groups;
+    }
+    if iou_threshold <= 0.0 {
+        // Degenerate threshold: every pair "overlaps", one big cluster.
+        groups.push(raw.iter().collect());
+        return groups;
+    }
+
+    // Detection indices sorted by left edge, for windowed candidate
+    // lookups. `max_side` bounds how far left of a window a still-
+    // intersecting detection can start.
+    let mut by_x: Vec<usize> = (0..n).collect();
+    by_x.sort_by_key(|&i| raw[i].x);
+    let xs: Vec<usize> = by_x.iter().map(|&i| raw[i].x).collect();
+    let max_side = raw.iter().map(|d| d.side).max().unwrap_or(0);
+
+    // `stamp[j] == i` marks j as already enqueued for the group seeded at
+    // i, so window re-expansions never enqueue a candidate twice.
+    let mut stamp = vec![usize::MAX; n];
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> =
+        std::collections::BinaryHeap::new();
+
     for (i, det) in raw.iter().enumerate() {
         if assigned[i] {
             continue;
         }
         assigned[i] = true;
         let mut group = vec![det];
-        for (j, other) in raw.iter().enumerate().skip(i + 1) {
-            if !assigned[j] && group.iter().any(|g| g.iou(other) >= iou_threshold) {
+        // Group bounding box (union of member boxes).
+        let (mut bx0, mut bx1) = (det.x, det.x + det.side);
+        let (mut by0, mut by1) = (det.y, det.y + det.side);
+        heap.clear();
+        let enqueue = |lo: usize,
+                       hi: usize,
+                       heap: &mut std::collections::BinaryHeap<std::cmp::Reverse<usize>>,
+                       stamp: &mut [usize],
+                       assigned: &[bool]| {
+            for &j in &by_x[lo..hi] {
+                if j > i && !assigned[j] && stamp[j] != i {
+                    stamp[j] = i;
+                    heap.push(std::cmp::Reverse(j));
+                }
+            }
+        };
+        let window = |bx0: usize, bx1: usize| -> (usize, usize) {
+            let lo = xs.partition_point(|&x| x + max_side <= bx0);
+            let hi = xs.partition_point(|&x| x < bx1);
+            (lo, hi.max(lo))
+        };
+        // Positions of `by_x` already enqueued for this group.
+        let (mut wlo, mut whi) = window(bx0, bx1);
+        enqueue(wlo, whi, &mut heap, &mut stamp, &assigned);
+        let mut cursor = i;
+        while let Some(std::cmp::Reverse(j)) = heap.pop() {
+            // A candidate enqueued by a later box expansion but indexed
+            // before the current pass position was already implicitly
+            // rejected (it had zero overlap when its turn came).
+            if j <= cursor || assigned[j] {
+                continue;
+            }
+            cursor = j;
+            let other = &raw[j];
+            let boxed = other.x < bx1
+                && other.x + other.side > bx0
+                && other.y < by1
+                && other.y + other.side > by0;
+            if boxed && group.iter().any(|g| g.iou(other) >= iou_threshold) {
                 assigned[j] = true;
                 group.push(other);
+                bx0 = bx0.min(other.x);
+                bx1 = bx1.max(other.x + other.side);
+                by0 = by0.min(other.y);
+                by1 = by1.max(other.y + other.side);
+                let (nlo, nhi) = window(bx0, bx1);
+                if nlo < wlo {
+                    enqueue(nlo, wlo, &mut heap, &mut stamp, &assigned);
+                    wlo = nlo;
+                }
+                if nhi > whi {
+                    enqueue(whi, nhi, &mut heap, &mut stamp, &assigned);
+                    whi = nhi;
+                }
             }
         }
         groups.push(group);
@@ -370,6 +470,48 @@ mod tests {
         ];
         let grouped = group_detections(&raw, 0.3);
         assert_eq!(grouped.len(), 2);
+    }
+
+    /// The naive all-pairs greedy pass the windowed sweep replaced.
+    fn naive_clusters(raw: &[Detection], iou_threshold: f64) -> Vec<Vec<Detection>> {
+        let mut assigned = vec![false; raw.len()];
+        let mut groups = Vec::new();
+        for (i, det) in raw.iter().enumerate() {
+            if assigned[i] {
+                continue;
+            }
+            assigned[i] = true;
+            let mut group = vec![*det];
+            for (j, other) in raw.iter().enumerate().skip(i + 1) {
+                if !assigned[j] && group.iter().any(|g| g.iou(other) >= iou_threshold) {
+                    assigned[j] = true;
+                    group.push(*other);
+                }
+            }
+            groups.push(group);
+        }
+        groups
+    }
+
+    #[test]
+    fn grouping_matches_naive_reference() {
+        use incam_rng::rngs::StdRng;
+        use incam_rng::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let raw: Vec<Detection> = (0..150)
+            .map(|_| Detection {
+                x: rng.gen_range(0..160),
+                y: rng.gen_range(0..160),
+                side: rng.gen_range(5..40),
+            })
+            .collect();
+        for threshold in [0.05, 0.3, 0.6, 0.9] {
+            let fast: Vec<Vec<Detection>> = group_clusters(&raw, threshold)
+                .into_iter()
+                .map(|g| g.into_iter().copied().collect())
+                .collect();
+            assert_eq!(fast, naive_clusters(&raw, threshold), "t={threshold}");
+        }
     }
 
     #[test]

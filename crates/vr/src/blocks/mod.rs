@@ -29,23 +29,27 @@ use stitch::{PairDepth, StereoPanorama};
 /// assert_eq!(pano.left.height(), 48);
 /// ```
 pub fn run_functional_pipeline(capture: &RigCapture) -> StereoPanorama {
-    let pair_depths: Vec<PairDepth> = capture
-        .pairs
-        .iter()
-        .map(|pair| {
-            // B1: demosaic each raw view
-            let reference = preprocess::preprocess(&pair.reference_raw);
-            let neighbour = preprocess::preprocess(&pair.neighbour_raw);
-            // B2: rectify
-            let aligned = align::align_pair(&reference, &neighbour, &pair.calibration);
-            // B3: bilateral-space stereo
-            let depth = depth::estimate_depth(&aligned, capture.max_disparity);
-            PairDepth {
-                reference: aligned.reference,
-                disparity: depth.disparity,
-            }
-        })
-        .collect();
+    // Camera pairs are independent through B1–B3, so they fan out across
+    // the worker pool (the paper's per-camera parallelism); results come
+    // back in rig order and each pair's chain is a pure function of its
+    // capture, so the panorama is byte-identical at any thread count.
+    // Kernels inside a pair (convolution, grid, block match) detect the
+    // nested parallel region and run sequentially rather than
+    // oversubscribing.
+    let pair_depths: Vec<PairDepth> = incam_parallel::par_map(capture.pairs.len(), |i| {
+        let pair = &capture.pairs[i];
+        // B1: demosaic each raw view
+        let reference = preprocess::preprocess(&pair.reference_raw);
+        let neighbour = preprocess::preprocess(&pair.neighbour_raw);
+        // B2: rectify
+        let aligned = align::align_pair(&reference, &neighbour, &pair.calibration);
+        // B3: bilateral-space stereo
+        let depth = depth::estimate_depth(&aligned, capture.max_disparity);
+        PairDepth {
+            reference: aligned.reference,
+            disparity: depth.disparity,
+        }
+    });
     // B4: panoramic stitch with a modest overlap and IPD scale
     let overlap = capture.pairs[0].reference_raw.width() / 8;
     stitch::stitch(&pair_depths, overlap, 0.5)
