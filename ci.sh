@@ -35,8 +35,8 @@ cargo run --release --offline -p incam-bench --bin repro -- \
     --experiment harvest --seed 2017 > "$tmpdir/b.txt"
 cmp "$tmpdir/a.txt" "$tmpdir/b.txt"
 
-step "parallel determinism (FA + VR reports, threads 1 vs 4)"
-for exp in fa-pipeline fig6; do
+step "parallel determinism (FA + VR + chaos reports, threads 1 vs 4)"
+for exp in fa-pipeline fig6 chaos; do
     INCAM_THREADS=1 cargo run --release --offline -p incam-bench --bin repro -- \
         --experiment "$exp" --seed 2017 --quick > "$tmpdir/${exp}_t1.txt"
     INCAM_THREADS=4 cargo run --release --offline -p incam-bench --bin repro -- \

@@ -1,0 +1,62 @@
+//! Benchmarks for the fault-injection substrate: trace sampling and the
+//! degradation-aware runtime replay.
+
+use incam_bench::experiments::chaos;
+use incam_core::link::Link;
+use incam_rng::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incam_vr::analysis::VrModel;
+use incam_vr::degrade::{run_policy, GracefulPolicy};
+use incam_wispcam::runtime::RecoveryPolicy;
+use incam_wispcam::workload::TrainEffort;
+
+const SEED: u64 = 2017;
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faults/trace");
+    for &slots in &[1024usize, 8192] {
+        group.bench_with_input(
+            BenchmarkId::new("gilbert_elliott", slots),
+            &slots,
+            |b, &slots| {
+                let model = incam_faults::GilbertElliott::congested(0.05);
+                b.iter(|| model.trace(SEED, slots).digest());
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("brownout", slots), &slots, |b, &slots| {
+            let model = chaos::canonical_brownout_model();
+            b.iter(|| model.trace(SEED, slots).digest());
+        });
+    }
+    group.finish();
+}
+
+fn bench_degraded_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faults/runtime");
+
+    let model = VrModel::paper_default();
+    let link = Link::ethernet_25g();
+    let config = chaos::canonical_vr_config();
+    let scenario = chaos::canonical_vr_scenario(SEED, 200);
+    for policy in GracefulPolicy::ALL {
+        group.bench_function(BenchmarkId::new("vr_policy", policy.label()), |b| {
+            b.iter(|| run_policy(&model, &config, &link, &scenario, policy).frames_completed);
+        });
+    }
+
+    let outcomes = chaos::fa_frame_trace(SEED, 60, TrainEffort::Quick);
+    for (label, policy) in [
+        ("restart", RecoveryPolicy::RestartFrame),
+        ("checkpoint", RecoveryPolicy::Checkpoint),
+    ] {
+        group.bench_function(BenchmarkId::new("wispcam_recovery", label), |b| {
+            b.iter(|| {
+                chaos::wispcam_report(&outcomes, SEED, chaos::CANONICAL_DISTANCE_M, policy)
+                    .frames_completed
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(faults, bench_trace_generation, bench_degraded_runtime);
+criterion_main!(faults);

@@ -10,7 +10,7 @@
 //! ```
 
 use incam_bench::experiments::{
-    ablations, compression, fa_pipeline, fig4c, harvest, nn_studies, vr_studies,
+    ablations, chaos, compression, fa_pipeline, fig4c, harvest, nn_studies, vr_studies,
 };
 use incam_vr::analysis::VrModel;
 use incam_wispcam::workload::TrainEffort;
@@ -39,6 +39,7 @@ const ALL: &[&str] = &[
     "compression",
     "ablations",
     "harvest",
+    "chaos",
 ];
 
 fn parse_args() -> Result<Options, String> {
@@ -177,6 +178,10 @@ fn run_experiment(name: &str, opts: &Options) -> (String, String) {
         "harvest" => {
             banner("Platform — sustainable FPS vs. reader distance");
             print!("{}", harvest::run(seed, opts.quick));
+        }
+        "chaos" => {
+            banner("Chaos study — degradation under link, harvest and compute faults");
+            print!("{}", chaos::run(seed, opts.quick));
         }
         _ => unreachable!("validated in parse_args"),
     }

@@ -4,6 +4,7 @@
 //! `DESIGN.md`).
 
 pub mod ablations;
+pub mod chaos;
 pub mod compression;
 pub mod fa_pipeline;
 pub mod fig4c;

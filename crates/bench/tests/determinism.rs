@@ -14,7 +14,7 @@
 //! mode, scaled down: determinism holds at any size, so the smallest
 //! workload that exercises the full code path is the right one.
 
-use incam_bench::experiments::{fa_pipeline, vr_studies};
+use incam_bench::experiments::{chaos, fa_pipeline, vr_studies};
 use incam_wispcam::workload::TrainEffort;
 use std::sync::Mutex;
 
@@ -84,4 +84,26 @@ fn vr_reports_are_byte_identical_across_thread_counts() {
         fig7_seq, fig7_par,
         "VR fig7 report must not depend on the worker-thread count"
     );
+}
+
+#[test]
+fn chaos_study_is_byte_identical_across_thread_counts() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let report = || chaos::run(SEED, true);
+    let sequential = at_threads(1, report);
+    let pooled = at_threads(4, report);
+    assert_eq!(
+        sequential, pooled,
+        "chaos report must not depend on the worker-thread count"
+    );
+    // Guards against the degenerate way to pass: a study that ignores
+    // its seed (and hence its fault traces) entirely.
+    assert_ne!(chaos::run(SEED, true), chaos::run(SEED + 1, true));
+}
+
+#[test]
+fn fault_sweep_is_byte_identical_across_thread_counts() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let sweep = || chaos::fault_sweep(SEED, true);
+    assert_eq!(at_threads(1, sweep), at_threads(4, sweep));
 }

@@ -51,11 +51,16 @@ pub mod link;
 pub mod offload;
 pub mod pipeline;
 pub mod report;
+pub mod runtime;
 pub mod units;
 
 pub use block::{Backend, BlockKind, BlockSpec, DataTransform};
 pub use energy::EnergyBreakdown;
-pub use link::Link;
+pub use link::{Link, LinkError};
 pub use offload::{analyze_cut, analyze_cuts, best_cut, Constraint, CutAnalysis};
 pub use pipeline::{Pipeline, Source, Stage};
+pub use runtime::{
+    ComputeCondition, DegradationReport, FaultOracle, IdealOracle, LinkCondition, RetryPolicy,
+    Runtime,
+};
 pub use units::{Bytes, BytesPerSec, Fps, Hertz, Joules, Seconds, Watts};

@@ -7,6 +7,26 @@
 //! models both.
 
 use crate::units::{Bytes, BytesPerSec, Fps, Joules, Seconds};
+use core::fmt;
+
+/// Errors from link rate/time queries with degenerate payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkError {
+    /// The frame/payload size was NaN or infinite.
+    NonFiniteSize,
+    /// The frame size was zero or negative (zero frames upload in zero
+    /// time but carry no rate; negative sizes are meaningless).
+    NonPositiveSize,
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::NonFiniteSize => f.write_str("frame size must be finite"),
+            LinkError::NonPositiveSize => f.write_str("frame size must be positive"),
+        }
+    }
+}
 
 /// A network or radio uplink with a raw signalling rate, a protocol
 /// efficiency, and an optional per-bit transmit energy.
@@ -41,13 +61,17 @@ impl Link {
     ///
     /// # Panics
     ///
-    /// Panics if `efficiency` is not in `(0, 1]` or `raw` is not positive.
+    /// Panics if `efficiency` is not in `(0, 1]` (NaN included) or `raw`
+    /// is not positive and finite.
     pub fn new(name: impl Into<String>, raw: BytesPerSec, efficiency: f64) -> Self {
         assert!(
             efficiency > 0.0 && efficiency <= 1.0,
             "link efficiency must be in (0, 1], got {efficiency}"
         );
-        assert!(raw.per_sec() > 0.0, "link rate must be positive");
+        assert!(
+            raw.per_sec() > 0.0 && raw.per_sec().is_finite(),
+            "link rate must be positive and finite"
+        );
         Self {
             name: name.into(),
             raw,
@@ -97,14 +121,67 @@ impl Link {
         self.raw * self.efficiency
     }
 
+    /// A copy of this link degraded to `goodput` of its nominal
+    /// efficiency — congestion or a lossy channel reducing useful
+    /// throughput without changing the raw signalling rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `goodput` is not in `(0, 1]`.
+    pub fn degraded(&self, goodput: f64) -> Self {
+        assert!(
+            goodput > 0.0 && goodput <= 1.0,
+            "goodput factor must be in (0, 1], got {goodput}"
+        );
+        Self {
+            name: self.name.clone(),
+            raw: self.raw,
+            efficiency: self.efficiency * goodput,
+            energy_per_bit: self.energy_per_bit,
+        }
+    }
+
+    /// Frame rate at which frames of `frame_size` can be uploaded, or an
+    /// error for zero/negative/non-finite sizes (the naive division would
+    /// return `inf`/`NaN` FPS that poisons downstream `min` comparisons).
+    pub fn try_upload_fps(&self, frame_size: Bytes) -> Result<Fps, LinkError> {
+        if !frame_size.bytes().is_finite() {
+            return Err(LinkError::NonFiniteSize);
+        }
+        if frame_size.bytes() <= 0.0 {
+            return Err(LinkError::NonPositiveSize);
+        }
+        Ok(self.effective_rate() / frame_size)
+    }
+
     /// Frame rate at which frames of `frame_size` can be uploaded.
+    ///
+    /// Saturates to [`Fps::ZERO`] for degenerate sizes (zero, negative or
+    /// non-finite) instead of producing `inf`/`NaN`; use
+    /// [`Link::try_upload_fps`] to distinguish the error cases.
     pub fn upload_fps(&self, frame_size: Bytes) -> Fps {
-        self.effective_rate() / frame_size
+        self.try_upload_fps(frame_size).unwrap_or(Fps::ZERO)
+    }
+
+    /// Time to upload a single payload, or an error for negative or
+    /// non-finite payloads. A zero payload legitimately takes zero time.
+    pub fn try_upload_time(&self, payload: Bytes) -> Result<Seconds, LinkError> {
+        if !payload.bytes().is_finite() {
+            return Err(LinkError::NonFiniteSize);
+        }
+        if payload.bytes() < 0.0 {
+            return Err(LinkError::NonPositiveSize);
+        }
+        Ok(payload / self.effective_rate())
     }
 
     /// Time to upload a single payload.
+    ///
+    /// Saturates to [`Seconds::ZERO`] for negative or non-finite payloads
+    /// instead of producing a negative/`NaN` duration; use
+    /// [`Link::try_upload_time`] to distinguish the error cases.
     pub fn upload_time(&self, payload: Bytes) -> Seconds {
-        payload / self.effective_rate()
+        self.try_upload_time(payload).unwrap_or(Seconds::ZERO)
     }
 
     /// Energy spent by the camera to transmit a payload.
@@ -165,5 +242,71 @@ mod tests {
     #[should_panic(expected = "efficiency")]
     fn rejects_bad_efficiency() {
         let _ = Link::new("bad", BytesPerSec::from_gbps(1.0), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn rejects_nan_efficiency() {
+        let _ = Link::new("bad", BytesPerSec::from_gbps(1.0), f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_infinite_rate() {
+        let _ = Link::new("bad", BytesPerSec::new(f64::INFINITY), 0.9);
+    }
+
+    #[test]
+    fn upload_fps_saturates_on_degenerate_sizes() {
+        let link = Link::ethernet_25g();
+        assert_eq!(link.upload_fps(Bytes::new(0.0)), Fps::ZERO);
+        assert_eq!(link.upload_fps(Bytes::new(-5.0)), Fps::ZERO);
+        assert_eq!(link.upload_fps(Bytes::new(f64::NAN)), Fps::ZERO);
+        assert_eq!(link.upload_fps(Bytes::new(f64::INFINITY)), Fps::ZERO);
+        assert_eq!(
+            link.try_upload_fps(Bytes::new(0.0)),
+            Err(LinkError::NonPositiveSize)
+        );
+        assert_eq!(
+            link.try_upload_fps(Bytes::new(f64::NAN)),
+            Err(LinkError::NonFiniteSize)
+        );
+        assert!(link.try_upload_fps(Bytes::new(1.0)).unwrap().fps() > 0.0);
+    }
+
+    #[test]
+    fn upload_time_saturates_on_degenerate_payloads() {
+        let link = Link::ethernet_25g();
+        // zero payload is fine: zero time
+        assert_eq!(link.upload_time(Bytes::new(0.0)), Seconds::ZERO);
+        assert_eq!(link.try_upload_time(Bytes::new(0.0)), Ok(Seconds::ZERO));
+        assert_eq!(link.upload_time(Bytes::new(-1.0)), Seconds::ZERO);
+        assert_eq!(
+            link.try_upload_time(Bytes::new(-1.0)),
+            Err(LinkError::NonPositiveSize)
+        );
+        assert_eq!(
+            link.try_upload_time(Bytes::new(f64::INFINITY)),
+            Err(LinkError::NonFiniteSize)
+        );
+        let fps = link.upload_fps(Bytes::new(f64::NAN)).fps();
+        assert!(fps.is_finite(), "no NaN leaks: got {fps}");
+    }
+
+    #[test]
+    fn degraded_scales_effective_rate() {
+        let link = Link::ethernet_25g();
+        let half = link.degraded(0.5);
+        assert!(
+            (half.effective_rate().per_sec() - link.effective_rate().per_sec() * 0.5).abs() < 1e-6
+        );
+        assert_eq!(half.raw_rate(), link.raw_rate());
+        assert_eq!(half.name(), link.name());
+    }
+
+    #[test]
+    #[should_panic(expected = "goodput")]
+    fn degraded_rejects_zero_factor() {
+        let _ = Link::ethernet_25g().degraded(0.0);
     }
 }

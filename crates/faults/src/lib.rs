@@ -1,0 +1,55 @@
+//! # incam-faults — deterministic fault injection for camera pipelines
+//!
+//! The analytical models in `incam-core` assume a perfect world: links
+//! deliver every byte at nominal goodput, harvesters see a steady
+//! carrier, accelerator blocks never hiccup. Real deployments of the
+//! paper's two case studies violate all three — congested Ethernet
+//! drops VR rig frames in bursts, people walking through an RFID beam
+//! brown out WISPCam for seconds, and transient faults force stage
+//! re-execution. This crate injects those failures *deterministically*
+//! so that robustness experiments are exactly as reproducible as the
+//! ideal-world ones.
+//!
+//! Three injectors, one oracle:
+//!
+//! * [`GilbertElliott`] — the classic two-state bursty-loss channel,
+//!   sampled into replayable [`LinkTrace`]s with a closed-form
+//!   stationary loss rate the property tests pin against;
+//! * [`BrownoutModel`] — RF carrier outages with geometric dwell times,
+//!   sampled into [`BrownoutTrace`]s a harvesting platform replays
+//!   period by period;
+//! * [`ComputeFaultModel`] — transient per-block faults sampled
+//!   *statelessly* from a hash of `(seed, frame, stage, attempt)`;
+//! * [`ChaosOracle`] — composes a link trace and a compute model behind
+//!   `incam_core`'s [`FaultOracle`](incam_core::runtime::FaultOracle)
+//!   trait for the degradation-aware runtime to consult.
+//!
+//! # Determinism contract
+//!
+//! Every artifact here is a pure function of its seed and parameters.
+//! Traces are materialised by a single sequential pass of the in-tree
+//! [`incam_rng`] generator, and point lookups are stateless hashes —
+//! so the same seed yields byte-identical faults no matter how many
+//! threads (`INCAM_THREADS`) consume them, or in what order.
+//!
+//! ```
+//! use incam_faults::GilbertElliott;
+//!
+//! let ge = GilbertElliott::congested(0.05);
+//! let a = ge.trace(2017, 8192);
+//! let b = ge.trace(2017, 8192);
+//! assert_eq!(a.digest(), b.digest());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brownout;
+pub mod chaos;
+pub mod compute;
+pub mod gilbert;
+
+pub use brownout::{BrownoutModel, BrownoutTrace};
+pub use chaos::ChaosOracle;
+pub use compute::ComputeFaultModel;
+pub use gilbert::{GilbertElliott, LinkSlot, LinkTrace};

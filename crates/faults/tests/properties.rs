@@ -1,0 +1,109 @@
+//! Property-based tests of the fault injectors.
+//!
+//! The load-bearing properties: sampled Gilbert–Elliott traces converge
+//! to the closed-form stationary loss rate, and every injector is a
+//! pure function of its seed (identical seeds ⇒ byte-identical traces).
+
+use incam_faults::{BrownoutModel, ComputeFaultModel, GilbertElliott};
+use incam_rng::prelude::*;
+
+proptest! {
+    /// Long-run sampled loss rate converges to the analytic stationary
+    /// probability π_g·loss_g + π_b·loss_b within a CLT-scale tolerance.
+    #[test]
+    fn ge_loss_converges_to_stationary(
+        p_gb in 0.02f64..0.5,
+        p_bg in 0.05f64..0.8,
+        loss_good in 0.0f64..0.1,
+        loss_bad in 0.2f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let ge = GilbertElliott::new(p_gb, p_bg, loss_good, loss_bad);
+        let trace = ge.trace(seed, 40_000);
+        let expected = ge.stationary_loss();
+        // correlated samples: inflate the iid CLT bound by the chain's
+        // mixing time (~1/p_bg burst persistence), with an absolute floor
+        let sigma = (expected * (1.0 - expected) / 40_000.0).sqrt();
+        let tol = (6.0 * sigma * (1.0 + 2.0 / p_bg).sqrt()).max(0.015);
+        prop_assert!(
+            (trace.loss_rate() - expected).abs() < tol,
+            "sampled {} vs stationary {} (tol {})",
+            trace.loss_rate(), expected, tol
+        );
+    }
+
+    /// Bad-state occupancy likewise converges to π_b = p_gb/(p_gb+p_bg).
+    #[test]
+    fn ge_bad_rate_converges_to_stationary(
+        p_gb in 0.02f64..0.5,
+        p_bg in 0.05f64..0.8,
+        seed in 0u64..1_000_000,
+    ) {
+        let ge = GilbertElliott::new(p_gb, p_bg, 0.0, 1.0);
+        let trace = ge.trace(seed, 40_000);
+        let expected = ge.stationary_bad();
+        let sigma = (expected * (1.0 - expected) / 40_000.0).sqrt();
+        let tol = (6.0 * sigma * (1.0 + 2.0 / p_bg).sqrt()).max(0.015);
+        prop_assert!(
+            (trace.bad_rate() - expected).abs() < tol,
+            "sampled {} vs stationary {} (tol {})",
+            trace.bad_rate(), expected, tol
+        );
+    }
+
+    /// Identical seeds give byte-identical link traces; the digest is
+    /// faithful to equality.
+    #[test]
+    fn ge_same_seed_identical_trace(seed in 0u64..u64::MAX, slots in 1usize..4096) {
+        let ge = GilbertElliott::congested(0.1);
+        let a = ge.trace(seed, slots);
+        let b = ge.trace(seed, slots);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.digest(), b.digest());
+        let c = ge.trace(seed.wrapping_add(1), slots);
+        if a != c {
+            prop_assert!(a.digest() != c.digest() || a.slots() == c.slots());
+        }
+    }
+
+    /// Brownout traces are seed-deterministic and hit the renewal-theory
+    /// availability.
+    #[test]
+    fn brownout_seed_deterministic_and_converges(
+        p_start in 0.01f64..0.2,
+        mean_len in 1.0f64..10.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let model = BrownoutModel::new(p_start, mean_len);
+        let a = model.trace(seed, 30_000);
+        prop_assert_eq!(&a, &model.trace(seed, 30_000));
+        let expected = model.expected_availability();
+        prop_assert!(
+            (a.availability() - expected).abs() < 0.04,
+            "sampled {} vs expected {}",
+            a.availability(), expected
+        );
+    }
+
+    /// Compute-fault conditions depend only on the key, and the empirical
+    /// failure rate over many frames tracks the configured probability.
+    #[test]
+    fn compute_faults_stateless_and_calibrated(
+        seed in 0u64..u64::MAX,
+        fail in 0.0f64..0.5,
+    ) {
+        let m = ComputeFaultModel::new(seed, fail, 0.0, 1.0);
+        let n = 8192u64;
+        let fails = (0..n)
+            .filter(|&f| m.condition(f, 0, 0) == incam_core::runtime::ComputeCondition::Failed)
+            .count();
+        // independent draws: plain CLT bound
+        let sigma = (fail * (1.0 - fail) / n as f64).sqrt();
+        let rate = fails as f64 / n as f64;
+        prop_assert!((rate - fail).abs() < 6.0 * sigma + 0.005, "rate {} vs p {}", rate, fail);
+        // re-query in reverse order: identical answers
+        for f in (0..64).rev() {
+            prop_assert_eq!(m.condition(f, 1, 2), m.condition(f, 1, 2));
+        }
+    }
+}

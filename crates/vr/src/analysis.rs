@@ -90,8 +90,25 @@ impl VrModel {
 
     /// Builds the `incam-core` pipeline for a given depth backend.
     pub fn pipeline(&self, depth_backend: DepthBackend) -> Pipeline {
+        self.pipeline_custom(depth_backend, &self.workload, DATA_RATIOS[2])
+    }
+
+    /// Like [`VrModel::pipeline`] but with an explicit depth workload and
+    /// B3 output ratio — the hook graceful-degradation policies use to
+    /// swap in a coarser bilateral-grid solve (faster B3, smaller
+    /// disparity output) without touching the calibrated defaults.
+    pub fn pipeline_custom(
+        &self,
+        depth_backend: DepthBackend,
+        workload: &DepthWorkload,
+        b3_output_ratio: f64,
+    ) -> Pipeline {
+        assert!(
+            b3_output_ratio > 0.0 && b3_output_ratio.is_finite(),
+            "B3 output ratio must be positive and finite"
+        );
         let cal = &self.calibration;
-        let depth_fps = cal.depth_fps(&self.rig, &self.workload, depth_backend);
+        let depth_fps = cal.depth_fps(&self.rig, workload, depth_backend);
         let core_backend = match depth_backend {
             DepthBackend::Cpu => Backend::Cpu,
             DepthBackend::Gpu => Backend::Gpu,
@@ -109,12 +126,12 @@ impl VrModel {
                 cal.b2_stage_fps,
             ))
             .then(Stage::new(
-                BlockSpec::core("B3", DataTransform::Scale(DATA_RATIOS[2] / DATA_RATIOS[1])),
+                BlockSpec::core("B3", DataTransform::Scale(b3_output_ratio / DATA_RATIOS[1])),
                 core_backend,
                 depth_fps,
             ))
             .then(Stage::new(
-                BlockSpec::core("B4", DataTransform::Scale(DATA_RATIOS[3] / DATA_RATIOS[2])),
+                BlockSpec::core("B4", DataTransform::Scale(DATA_RATIOS[3] / b3_output_ratio)),
                 core_backend,
                 cal.b4_stage_fps,
             ))

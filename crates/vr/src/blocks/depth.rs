@@ -34,6 +34,27 @@ impl DepthWorkload {
         }
     }
 
+    /// A coarser operating point: grid cells `factor×` larger in each
+    /// spatial axis, shrinking the vertex count (and therefore blur ops)
+    /// by roughly `factor²`. The graceful-degradation fallback trades
+    /// depth resolution for throughput when the system falls behind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1`.
+    #[must_use]
+    pub fn coarsened(&self, factor: f64) -> Self {
+        assert!(
+            factor >= 1.0,
+            "coarsening factor must be >= 1, got {factor}"
+        );
+        Self {
+            pixels_per_vertex: self.pixels_per_vertex * factor,
+            range_cells: self.range_cells,
+            iterations: self.iterations,
+        }
+    }
+
     /// Grid vertices for one pair at `width × height` resolution.
     pub fn vertices(&self, width: usize, height: usize) -> f64 {
         let gw = width as f64 / self.pixels_per_vertex + 1.0;

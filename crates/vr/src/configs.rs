@@ -49,6 +49,22 @@ impl PipelineConfig {
         set
     }
 
+    /// The configuration processing `cut` blocks in-camera, attaching
+    /// `backend` to B3 exactly when the cut includes it. The constructor
+    /// adaptive-cut degradation uses when it re-chooses the offload
+    /// point at runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cut > 4`.
+    pub fn at_cut(cut: usize, backend: DepthBackend) -> Self {
+        assert!(cut <= 4, "at most four blocks, got {cut}");
+        Self {
+            blocks: cut,
+            depth_backend: (cut >= 3).then_some(backend),
+        }
+    }
+
     /// The figure's label style, e.g. `SB1B2B3F~` for sensor + B1 + B2 +
     /// B3 on the FPGA.
     pub fn label(&self) -> String {
@@ -138,6 +154,19 @@ mod tests {
             depth_backend: Some(DepthBackend::Gpu),
         };
         assert_eq!(cfg.description(), "sensor + B1 + B2 + B3 + B4 (GPU)");
+    }
+
+    #[test]
+    fn at_cut_attaches_backend_only_when_needed() {
+        for cut in 0..=4 {
+            let cfg = PipelineConfig::at_cut(cut, DepthBackend::Fpga);
+            cfg.validate();
+            assert_eq!(cfg.depth_backend.is_some(), cut >= 3);
+        }
+        assert_eq!(
+            PipelineConfig::at_cut(4, DepthBackend::Fpga).label(),
+            "SB1B2B3FB4F~"
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod analysis;
 pub mod backend;
 pub mod blocks;
 pub mod configs;
+pub mod degrade;
 pub mod frame;
 pub mod network;
 pub mod projection;
@@ -43,4 +44,5 @@ pub mod rig;
 pub use analysis::{fig9, Fig10Row, Fig9Row, VrModel};
 pub use backend::{BackendCalibration, DepthBackend};
 pub use configs::PipelineConfig;
+pub use degrade::{policy_sweep, run_policy, GracefulPolicy, VrChaosScenario};
 pub use rig::CameraRig;

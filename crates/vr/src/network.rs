@@ -44,6 +44,30 @@ pub fn link_sweep(model: &VrModel, links: &[Link]) -> Vec<LinkRow> {
         .collect()
 }
 
+/// Degraded copies of a link at each goodput factor, named like
+/// `25GbE@75%` — the x-axis of the chaos sweeps, where congestion
+/// shrinks useful throughput without changing the raw signalling rate.
+///
+/// # Panics
+///
+/// Panics if any factor is outside `(0, 1]` (see
+/// [`Link::degraded`]).
+pub fn degraded_links(base: &Link, goodputs: &[f64]) -> Vec<Link> {
+    goodputs
+        .iter()
+        .map(|&g| {
+            let mut link = base.degraded(g);
+            link = Link::new(
+                format!("{}@{:.0}%", base.name(), g * 100.0),
+                link.raw_rate(),
+                link.efficiency(),
+            )
+            .with_energy_per_bit(base.energy_per_bit());
+            link
+        })
+        .collect()
+}
+
 /// The paper's two link scenarios plus intermediate Ethernet generations
 /// for the crossover study.
 pub fn standard_links() -> Vec<Link> {
@@ -71,6 +95,19 @@ mod tests {
         for row in &rows {
             assert!(row.processed_fps.fps() > row.sensor_fps.fps());
         }
+    }
+
+    #[test]
+    fn degraded_links_scale_and_rename() {
+        let base = Link::ethernet_25g();
+        let rows = degraded_links(&base, &[1.0, 0.5, 0.25]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1].name(), "25GbE@50%");
+        assert!(
+            (rows[1].effective_rate().per_sec() - base.effective_rate().per_sec() * 0.5).abs()
+                < 1.0
+        );
+        assert_eq!(rows[0].effective_rate(), base.effective_rate());
     }
 
     #[test]

@@ -83,6 +83,23 @@ impl RfHarvester {
     pub fn harvest(&self, duration: Seconds) -> Joules {
         self.output_power() * duration
     }
+
+    /// Energy delivered over a duration while the RF carrier is degraded
+    /// to `power_factor` of nominal (1 = full carrier, 0 = complete
+    /// brownout). Drives the fault-injected platform simulations, which
+    /// feed each harvest period's factor from a
+    /// `BrownoutTrace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power_factor` is not in `[0, 1]`.
+    pub fn harvest_during(&self, duration: Seconds, power_factor: f64) -> Joules {
+        assert!(
+            (0.0..=1.0).contains(&power_factor),
+            "power_factor must be in [0, 1], got {power_factor}"
+        );
+        self.output_power() * duration * power_factor
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +126,23 @@ mod tests {
     fn efficiency_scales_output() {
         let lossy = RfHarvester::new(Watts::from_micro(100.0), 1.0, 0.5);
         assert!((lossy.output_power().microwatts() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn harvest_during_scales_with_power_factor() {
+        let h = RfHarvester::wispcam_default();
+        let full = h.harvest(Seconds::new(1.0));
+        assert_eq!(h.harvest_during(Seconds::new(1.0), 1.0), full);
+        assert_eq!(h.harvest_during(Seconds::new(1.0), 0.0), Joules::ZERO);
+        let half = h.harvest_during(Seconds::new(1.0), 0.5);
+        assert!((half.joules() - full.joules() * 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "power_factor")]
+    fn harvest_during_rejects_bad_factor() {
+        let h = RfHarvester::wispcam_default();
+        let _ = h.harvest_during(Seconds::new(1.0), 1.5);
     }
 
     #[test]

@@ -38,14 +38,19 @@ pub mod mcu;
 pub mod pipeline;
 pub mod platform;
 pub mod radio;
+pub mod runtime;
 pub mod sensor;
 pub mod workload;
 
 pub use capacitor::Capacitor;
 pub use harvester::RfHarvester;
 pub use mcu::McuModel;
-pub use pipeline::{FaPipeline, FaPipelineConfig, RunSummary, Substrate, TransmitPolicy};
+pub use pipeline::{
+    BlockEnergies, FaPipeline, FaPipelineConfig, FrameOutcome, RunSummary, Substrate,
+    TransmitPolicy,
+};
 pub use platform::{SimulationReport, WispCamPlatform};
 pub use radio::BackscatterRadio;
+pub use runtime::{simulate_degraded, DegradedReport, DegradedSimConfig, RecoveryPolicy};
 pub use sensor::ImageSensor;
 pub use workload::{TrainEffort, Workload};

@@ -123,6 +123,42 @@ impl FaPipelineConfig {
     }
 }
 
+/// One frame's energy draw, itemized by pipeline block.
+///
+/// The ordering of [`BlockEnergies::as_array`] is the execution order —
+/// sensor first, radio last — which is what lets a degraded platform
+/// simulation checkpoint a frame *between* blocks and resume after a
+/// power loss (see `runtime`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BlockEnergies {
+    /// Image-sensor capture.
+    pub sensor: Joules,
+    /// Motion-detection optional block (zero when disabled).
+    pub motion: Joules,
+    /// Viola-Jones face-detection optional block (zero when disabled or
+    /// gated off by motion).
+    pub detect: Joules,
+    /// NN authentication inferences.
+    pub nn: Joules,
+    /// Backscatter radio transmission.
+    pub radio: Joules,
+}
+
+impl BlockEnergies {
+    /// Human-readable block names, matching [`BlockEnergies::as_array`].
+    pub const NAMES: [&'static str; 5] = ["sensor", "motion", "detect", "nn", "radio"];
+
+    /// The blocks in execution order.
+    pub fn as_array(&self) -> [Joules; 5] {
+        [self.sensor, self.motion, self.detect, self.nn, self.radio]
+    }
+
+    /// Total energy across all blocks.
+    pub fn total(&self) -> Joules {
+        self.sensor + self.motion + self.detect + self.nn + self.radio
+    }
+}
+
 /// Per-frame outcome.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FrameOutcome {
@@ -136,6 +172,8 @@ pub struct FrameOutcome {
     pub authenticated: bool,
     /// Total energy drawn for this frame.
     pub energy: Joules,
+    /// The same energy itemized by block, in execution order.
+    pub blocks: BlockEnergies,
 }
 
 /// Aggregate results of running a pipeline over a frame stream.
@@ -332,7 +370,13 @@ impl FaPipeline {
 
         for frame in frames {
             let img = &frame.image;
-            let energy_before = e_sensor + e_motion + e_detect + e_nn + e_radio;
+            let before = BlockEnergies {
+                sensor: e_sensor,
+                motion: e_motion,
+                detect: e_detect,
+                nn: e_nn,
+                radio: e_radio,
+            };
             let windows_before = windows_scored;
             let scanned_before = scanned_frames;
             e_sensor += self.sensor.capture_energy();
@@ -414,13 +458,23 @@ impl FaPipeline {
 
             let truth_positive = frame.truth.identity == Some(0) && frame.truth.face_box.is_some();
             confusion.record(authenticated, truth_positive);
-            let energy_after = e_sensor + e_motion + e_detect + e_nn + e_radio;
+            let blocks = BlockEnergies {
+                sensor: e_sensor - before.sensor,
+                motion: e_motion - before.motion,
+                detect: e_detect - before.detect,
+                nn: e_nn - before.nn,
+                radio: e_radio - before.radio,
+            };
+            // summed the same way as before the per-block itemization so
+            // fault-free traces stay bit-identical
+            let energy = (e_sensor + e_motion + e_detect + e_nn + e_radio) - before.total();
             outcomes.push(FrameOutcome {
                 motion,
                 scanned: scanned_frames > scanned_before,
                 windows_scored: windows_scored - windows_before,
                 authenticated,
-                energy: energy_after - energy_before,
+                energy,
+                blocks,
             });
 
             // event accounting: a run of positive frames is one walk-through

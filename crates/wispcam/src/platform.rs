@@ -64,6 +64,12 @@ impl WispCamPlatform {
         &self.capacitor
     }
 
+    /// Mutable capacitor access (used by the degraded runtime, which
+    /// drives the charge/draw loop itself at block granularity).
+    pub fn capacitor_mut(&mut self) -> &mut Capacitor {
+        &mut self.capacitor
+    }
+
     /// The steady-state frame rate a per-frame cost can sustain on the
     /// current harvest power (ignoring capacitor granularity).
     ///

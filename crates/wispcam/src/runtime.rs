@@ -1,0 +1,361 @@
+//! Degradation-aware platform simulation: frame processing across RF
+//! brownouts, with checkpoint/resume at block granularity.
+//!
+//! The ideal-world loop in [`platform`](crate::platform) charges a
+//! capacitor from a steady carrier and draws whole frames. Real
+//! deployments lose the carrier — a person blocks the beam, the reader
+//! duty-cycles — and a frame interrupted mid-pipeline loses power with
+//! work half done. What happens next is a policy choice:
+//!
+//! * [`RecoveryPolicy::RestartFrame`] — volatile state only: every
+//!   joule spent on the interrupted frame is wasted and the frame
+//!   restarts from the sensor once power returns;
+//! * [`RecoveryPolicy::Checkpoint`] — completed blocks are persisted
+//!   (WISPCam's FRAM makes this nearly free, modelled as a small
+//!   per-save energy cost), so the frame resumes at the block where it
+//!   stalled.
+//!
+//! The block granularity comes from
+//! [`BlockEnergies::as_array`](crate::pipeline::BlockEnergies::as_array):
+//! sensor → motion → detect → NN → radio, the pipeline's execution
+//! order.
+
+use crate::pipeline::FrameOutcome;
+use crate::platform::WispCamPlatform;
+use incam_core::units::{Fps, Joules, Seconds};
+use incam_faults::BrownoutTrace;
+
+/// What the camera does with a frame interrupted by power loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Progress is volatile: the frame restarts from the first block and
+    /// the energy already spent on it is wasted.
+    RestartFrame,
+    /// Every block's output is written through to non-volatile storage
+    /// as it completes (each write costs
+    /// [`DegradedSimConfig::checkpoint_cost`]), so an interrupted frame
+    /// resumes at the stalled block with no work lost.
+    Checkpoint,
+}
+
+impl RecoveryPolicy {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::RestartFrame => "restart",
+            RecoveryPolicy::Checkpoint => "checkpoint",
+        }
+    }
+}
+
+/// Configuration of a degraded simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradedSimConfig {
+    /// Capture attempts per second (one frame attempt per period).
+    pub target_fps: Fps,
+    /// Recovery policy across power loss.
+    pub policy: RecoveryPolicy,
+    /// Energy to persist one block's output (FRAM write). Only drawn
+    /// under [`RecoveryPolicy::Checkpoint`], once per completed block —
+    /// write-through checkpointing's standing overhead.
+    pub checkpoint_cost: Joules,
+    /// Hard cap on simulated periods (the run ends early once every
+    /// frame in the trace has been processed).
+    pub max_periods: usize,
+}
+
+impl DegradedSimConfig {
+    /// `target_fps` frame attempts per second, 10 nJ checkpoint writes
+    /// (an FRAM write-through of one block's compact output), and a
+    /// period budget of four times the frame count (passed to
+    /// [`simulate_degraded`] via `max_periods`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_fps` is not positive and finite.
+    pub fn at_fps(target_fps: f64, policy: RecoveryPolicy, frames: usize) -> Self {
+        assert!(
+            target_fps.is_finite() && target_fps > 0.0,
+            "target_fps must be positive and finite, got {target_fps}"
+        );
+        Self {
+            target_fps: Fps::new(target_fps),
+            policy,
+            checkpoint_cost: Joules::from_nano(10.0),
+            max_periods: frames.saturating_mul(4).max(1),
+        }
+    }
+
+    /// The WISPCam baseline cadence: one frame attempt per second (see
+    /// [`DegradedSimConfig::at_fps`]).
+    pub fn at_one_fps(policy: RecoveryPolicy, frames: usize) -> Self {
+        Self::at_fps(1.0, policy, frames)
+    }
+}
+
+/// Outcome of a degraded platform simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradedReport {
+    /// Periods actually simulated.
+    pub periods: usize,
+    /// Frames in the input trace.
+    pub frames_total: usize,
+    /// Frames fully processed (all blocks ran to completion).
+    pub frames_completed: usize,
+    /// Periods with the RF carrier degraded below full power.
+    pub outage_periods: usize,
+    /// Periods where the active frame stalled mid-pipeline for lack of
+    /// stored energy.
+    pub stalled_periods: usize,
+    /// Frame restarts forced by stalls under
+    /// [`RecoveryPolicy::RestartFrame`].
+    pub restarts: usize,
+    /// Checkpoint saves performed under [`RecoveryPolicy::Checkpoint`].
+    pub checkpoint_saves: usize,
+    /// Energy thrown away re-executing blocks after restarts.
+    pub wasted: Joules,
+    /// Total energy harvested.
+    pub harvested: Joules,
+    /// Total energy drawn from the capacitor (useful + wasted +
+    /// checkpoint writes).
+    pub consumed: Joules,
+    /// Achieved frame rate over the simulated wall-clock.
+    pub achieved_fps: Fps,
+}
+
+impl DegradedReport {
+    /// Fraction of input frames completed.
+    pub fn completion_rate(&self) -> f64 {
+        if self.frames_total == 0 {
+            return 1.0;
+        }
+        self.frames_completed as f64 / self.frames_total as f64
+    }
+
+    /// Fraction of consumed energy that produced completed work.
+    pub fn energy_efficiency(&self) -> f64 {
+        if self.consumed.joules() <= 0.0 {
+            return 1.0;
+        }
+        1.0 - self.wasted.joules() / self.consumed.joules()
+    }
+}
+
+/// Replays a per-frame energy trace against a browning-out carrier.
+///
+/// Each period the platform harvests at the trace's power factor, then
+/// works on the current frame block by block, drawing each block's
+/// energy from the capacitor. A block the store cannot fund stalls the
+/// frame for the rest of the period; the recovery policy decides how
+/// much progress survives to the next one. The run ends when every
+/// frame has completed or `config.max_periods` elapses.
+///
+/// Fully deterministic: the only randomness is inside `brownouts`,
+/// which was sampled from a seed up front.
+///
+/// # Panics
+///
+/// Panics if `frames` or `brownouts` is empty, or `target_fps` is not
+/// positive.
+pub fn simulate_degraded(
+    platform: &mut WispCamPlatform,
+    frames: &[FrameOutcome],
+    brownouts: &BrownoutTrace,
+    config: &DegradedSimConfig,
+) -> DegradedReport {
+    assert!(!frames.is_empty(), "need at least one frame");
+    assert!(!brownouts.is_empty(), "need a non-empty brownout trace");
+    assert!(config.target_fps.fps() > 0.0, "frame rate must be positive");
+    let period = Seconds::new(1.0 / config.target_fps.fps());
+
+    let mut completed = 0usize;
+    let mut outage_periods = 0usize;
+    let mut stalled_periods = 0usize;
+    let mut restarts = 0usize;
+    let mut checkpoint_saves = 0usize;
+    let mut wasted = Joules::ZERO;
+    let mut harvested = Joules::ZERO;
+    let mut consumed = Joules::ZERO;
+
+    let mut frame_idx = 0usize;
+    // blocks of the active frame already paid for (survives periods only
+    // under Checkpoint)
+    let mut done_blocks = 0usize;
+    let mut spent_on_frame = Joules::ZERO;
+    let mut periods = 0usize;
+
+    while frame_idx < frames.len() && periods < config.max_periods {
+        let factor = brownouts.power_factor(periods as u64);
+        if factor < 1.0 {
+            outage_periods += 1;
+        }
+        let e = platform.harvester().harvest_during(period, factor);
+        harvested += platform.capacitor_mut().charge(e);
+
+        let blocks = frames[frame_idx].blocks.as_array();
+        let mut stalled = false;
+        while done_blocks < blocks.len() {
+            let cost = blocks[done_blocks].max(Joules::ZERO);
+            // under Checkpoint the block's output is persisted as part of
+            // the block itself — the write is funded or the block stalls
+            let save = match config.policy {
+                RecoveryPolicy::Checkpoint if cost.joules() > 0.0 => config.checkpoint_cost,
+                _ => Joules::ZERO,
+            };
+            if cost.joules() > 0.0 && !platform.capacitor_mut().try_draw(cost + save) {
+                stalled = true;
+                break;
+            }
+            consumed += cost + save;
+            spent_on_frame += cost;
+            checkpoint_saves += usize::from(save.joules() > 0.0);
+            done_blocks += 1;
+        }
+
+        if stalled {
+            stalled_periods += 1;
+            if config.policy == RecoveryPolicy::RestartFrame {
+                wasted += spent_on_frame;
+                restarts += usize::from(done_blocks > 0);
+                done_blocks = 0;
+                spent_on_frame = Joules::ZERO;
+            }
+        } else {
+            completed += 1;
+            frame_idx += 1;
+            done_blocks = 0;
+            spent_on_frame = Joules::ZERO;
+        }
+        periods += 1;
+    }
+
+    let elapsed = period * periods as f64;
+    DegradedReport {
+        periods,
+        frames_total: frames.len(),
+        frames_completed: completed,
+        outage_periods,
+        stalled_periods,
+        restarts,
+        checkpoint_saves,
+        wasted,
+        harvested,
+        consumed,
+        achieved_fps: if elapsed.secs() > 0.0 {
+            Fps::new(completed as f64 / elapsed.secs())
+        } else {
+            Fps::ZERO
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::BlockEnergies;
+    use incam_faults::BrownoutModel;
+
+    /// A synthetic frame whose five blocks each cost `per_block`.
+    fn frame(per_block: Joules) -> FrameOutcome {
+        let blocks = BlockEnergies {
+            sensor: per_block,
+            motion: per_block,
+            detect: per_block,
+            nn: per_block,
+            radio: per_block,
+        };
+        FrameOutcome {
+            motion: true,
+            scanned: true,
+            windows_scored: 1,
+            authenticated: false,
+            energy: blocks.total(),
+            blocks,
+        }
+    }
+
+    #[test]
+    fn steady_power_completes_everything() {
+        let mut p = WispCamPlatform::wispcam_default();
+        // 5 x 20 uJ = 100 uJ/frame on ~400 uW: trivially sustainable
+        let frames = vec![frame(Joules::from_micro(20.0)); 50];
+        let trace = BrownoutTrace::steady(256);
+        let cfg = DegradedSimConfig::at_one_fps(RecoveryPolicy::RestartFrame, frames.len());
+        let r = simulate_degraded(&mut p, &frames, &trace, &cfg);
+        assert_eq!(r.frames_completed, 50);
+        assert_eq!(r.restarts, 0);
+        assert_eq!(r.stalled_periods, 0);
+        assert_eq!(r.wasted, Joules::ZERO);
+        assert_eq!(r.periods, 50);
+    }
+
+    #[test]
+    fn checkpoint_beats_restart_under_brownouts() {
+        // frames expensive enough that an outage interrupts them
+        let frames = vec![frame(Joules::from_micro(400.0)); 40];
+        let trace = BrownoutModel::new(0.25, 3.0).trace(2017, 4096);
+        let run = |policy| {
+            let mut p = WispCamPlatform::wispcam_default();
+            let cfg = DegradedSimConfig::at_one_fps(policy, frames.len());
+            simulate_degraded(&mut p, &frames, &trace, &cfg)
+        };
+        let restart = run(RecoveryPolicy::RestartFrame);
+        let checkpoint = run(RecoveryPolicy::Checkpoint);
+        assert!(restart.stalled_periods > 0, "scenario too easy to stall");
+        assert!(
+            checkpoint.frames_completed >= restart.frames_completed,
+            "checkpoint {} vs restart {}",
+            checkpoint.frames_completed,
+            restart.frames_completed
+        );
+        assert!(
+            checkpoint.wasted <= restart.wasted,
+            "checkpoint wasted {} vs restart wasted {}",
+            checkpoint.wasted.human(),
+            restart.wasted.human()
+        );
+        assert!(checkpoint.checkpoint_saves > 0);
+        assert_eq!(restart.checkpoint_saves, 0);
+    }
+
+    #[test]
+    fn restart_wastes_partial_frame_energy() {
+        let frames = vec![frame(Joules::from_micro(500.0)); 20];
+        let trace = BrownoutModel::new(0.3, 4.0).trace(7, 4096);
+        let mut p = WispCamPlatform::wispcam_default();
+        let cfg = DegradedSimConfig::at_one_fps(RecoveryPolicy::RestartFrame, frames.len());
+        let r = simulate_degraded(&mut p, &frames, &trace, &cfg);
+        if r.restarts > 0 {
+            assert!(r.wasted.joules() > 0.0);
+            assert!(r.energy_efficiency() < 1.0);
+        }
+        // conservation: can't draw more than harvested (store starts empty)
+        assert!(r.consumed.joules() <= r.harvested.joules() + 1e-12);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_trace() {
+        let frames = vec![frame(Joules::from_micro(300.0)); 30];
+        let trace = BrownoutModel::new(0.2, 3.0).trace(99, 2048);
+        let run = || {
+            let mut p = WispCamPlatform::wispcam_default();
+            let cfg = DegradedSimConfig::at_one_fps(RecoveryPolicy::Checkpoint, frames.len());
+            simulate_degraded(&mut p, &frames, &trace, &cfg)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn period_budget_caps_the_run() {
+        let frames = vec![frame(Joules::from_milli(50.0)); 10]; // infeasible
+        let trace = BrownoutTrace::steady(64);
+        let mut p = WispCamPlatform::wispcam_default();
+        let cfg = DegradedSimConfig {
+            max_periods: 25,
+            ..DegradedSimConfig::at_one_fps(RecoveryPolicy::Checkpoint, frames.len())
+        };
+        let r = simulate_degraded(&mut p, &frames, &trace, &cfg);
+        assert_eq!(r.periods, 25);
+        assert!(r.frames_completed < 10);
+    }
+}

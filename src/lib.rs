@@ -14,7 +14,8 @@
 //!   space stereo ([`vr`], built on [`bilateral`], [`fpga`]).
 //!
 //! The analytical framework shared by both lives in [`core`]; the image
-//! substrate and synthetic workloads in [`imaging`].
+//! substrate and synthetic workloads in [`imaging`]; deterministic fault
+//! injection (bursty links, RF brownouts, compute faults) in [`faults`].
 //!
 //! # Quick start
 //!
@@ -42,6 +43,7 @@
 
 pub use incam_bilateral as bilateral;
 pub use incam_core as core;
+pub use incam_faults as faults;
 pub use incam_fpga as fpga;
 pub use incam_imaging as imaging;
 pub use incam_nn as nn;
