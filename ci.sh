@@ -23,8 +23,14 @@ INCAM_THREADS=4 cargo test -q --offline --workspace
 step "fmt --check"
 cargo fmt --all --check
 
+step "incam-lint (determinism & hermeticity static analysis)"
+cargo run --release --offline -p incam-lint
+
 step "clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+step "doc (no-deps, deny rustdoc warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 
 step "determinism smoke (harvest study, seed 2017, twice)"
 tmpdir=$(mktemp -d)

@@ -1,0 +1,410 @@
+//! A minimal, total Rust lexer.
+//!
+//! Partitions input into coarse tokens — comments, string-like literals,
+//! identifiers, numbers, punctuation, whitespace — with 1-based
+//! line/column positions. Totality is the design constraint: the lexer
+//! must never panic and must cover every byte of any input (unterminated
+//! literals, stray quotes, invalid syntax included), because it runs over
+//! unvetted fixture files and, via the fuzz property in
+//! `tests/lexer_prop.rs`, over random byte soup.
+//!
+//! The token classes are deliberately coarse. Rules only need to know
+//! three things about a source position: is it a comment (pragmas live
+//! there, code patterns must not match there), is it a string-like
+//! literal (rule names quoted in messages must not match), or is it code
+//! (identifier/punctuation sequences the rules search for).
+
+/// Coarse lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace.
+    Whitespace,
+    /// `// ...` to end of line, doc comments (`///`, `//!`) included.
+    LineComment,
+    /// `/* ... */`, nested, possibly unterminated at EOF.
+    BlockComment,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`, `'x'`.
+    Str,
+    /// An identifier or keyword, including raw identifiers (`r#match`).
+    Ident,
+    /// A lifetime such as `'a`.
+    Lifetime,
+    /// A numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token: a half-open byte span of the source plus the 1-based
+/// line/column of its first character (columns count `char`s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the source it was lexed from).
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+struct Cursor<'s> {
+    src: &'s str,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor<'_> {
+    fn rest(&self) -> &str {
+        &self.src[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.rest().chars().nth(n)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, f: impl Fn(char) -> bool) {
+        while matches!(self.peek(), Some(c) if f(c)) {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into a token stream that exactly partitions it: token
+/// spans are adjacent, start at byte 0, and end at `src.len()`. Never
+/// panics, for any input.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src,
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let kind = if c == '/' && cur.peek_at(1) == Some('/') {
+            cur.bump();
+            cur.bump();
+            cur.eat_while(|c| c != '\n');
+            TokenKind::LineComment
+        } else if c == '/' && cur.peek_at(1) == Some('*') {
+            eat_block_comment(&mut cur);
+            TokenKind::BlockComment
+        } else if c == '"' {
+            eat_string(&mut cur);
+            TokenKind::Str
+        } else if c == '\'' {
+            char_or_lifetime(&mut cur)
+        } else if is_ident_start(c) {
+            ident_or_prefixed_literal(&mut cur)
+        } else if c.is_ascii_digit() {
+            eat_number(&mut cur);
+            TokenKind::Number
+        } else if c.is_whitespace() {
+            cur.eat_while(char::is_whitespace);
+            TokenKind::Whitespace
+        } else {
+            cur.bump();
+            TokenKind::Punct
+        };
+        debug_assert!(cur.pos > start, "lexer must always make progress");
+        tokens.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+/// `/* ... */` with nesting; an unterminated comment runs to EOF.
+fn eat_block_comment(cur: &mut Cursor) {
+    cur.bump();
+    cur.bump();
+    let mut depth = 1u32;
+    loop {
+        if cur.peek() == Some('*') && cur.peek_at(1) == Some('/') {
+            cur.bump();
+            cur.bump();
+            depth -= 1;
+            if depth == 0 {
+                return;
+            }
+        } else if cur.peek() == Some('/') && cur.peek_at(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            depth += 1;
+        } else if cur.bump().is_none() {
+            return;
+        }
+    }
+}
+
+/// `"..."` with backslash escapes; unterminated runs to EOF.
+fn eat_string(cur: &mut Cursor) {
+    cur.bump();
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// `r"..."` / `r#"..."#` with `hashes` closing hashes required;
+/// unterminated runs to EOF. The cursor sits on the opening quote.
+fn eat_raw_string(cur: &mut Cursor, hashes: usize) {
+    cur.bump();
+    while let Some(c) = cur.bump() {
+        if c == '"' {
+            let mut n = 0;
+            while n < hashes && cur.peek() == Some('#') {
+                cur.bump();
+                n += 1;
+            }
+            if n == hashes {
+                return;
+            }
+        }
+    }
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime) from `'\n'`
+/// (escaped char literal). The cursor sits on the opening quote.
+fn char_or_lifetime(cur: &mut Cursor) -> TokenKind {
+    cur.bump();
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal; escapes like '\u{1F600}' span several
+            // characters, so consume to the closing quote (or EOF).
+            cur.bump();
+            cur.bump();
+            while let Some(c) = cur.bump() {
+                if c == '\'' {
+                    break;
+                }
+            }
+            TokenKind::Str
+        }
+        Some(c) if is_ident_continue(c) => {
+            if cur.peek_at(1) == Some('\'') {
+                cur.bump();
+                cur.bump();
+                TokenKind::Str
+            } else {
+                cur.eat_while(is_ident_continue);
+                TokenKind::Lifetime
+            }
+        }
+        Some(_) => {
+            // 'x' for non-identifier x, e.g. '(' — or a stray quote.
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            TokenKind::Str
+        }
+        None => TokenKind::Str,
+    }
+}
+
+/// An identifier, unless it is one of the literal prefixes (`r`, `b`,
+/// `br`, `c`, `cr`) immediately followed by a (raw) string — or `r#`
+/// introducing a raw identifier.
+fn ident_or_prefixed_literal(cur: &mut Cursor) -> TokenKind {
+    let start = cur.pos;
+    cur.eat_while(is_ident_continue);
+    let ident = &cur.src[start..cur.pos];
+    let raw_capable = matches!(ident, "r" | "br" | "cr");
+    let str_capable = matches!(ident, "b" | "c" | "br" | "cr");
+    match cur.peek() {
+        Some('"') if raw_capable || str_capable => {
+            if raw_capable {
+                eat_raw_string(cur, 0);
+            } else {
+                eat_string(cur);
+            }
+            TokenKind::Str
+        }
+        Some('\'') if ident == "b" => char_or_lifetime(cur),
+        Some('#') if raw_capable => {
+            let mut hashes = 0;
+            while cur.peek_at(hashes) == Some('#') {
+                hashes += 1;
+            }
+            if cur.peek_at(hashes) == Some('"') {
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                eat_raw_string(cur, hashes);
+                TokenKind::Str
+            } else if ident == "r" && matches!(cur.peek_at(1), Some(c) if is_ident_start(c)) {
+                // Raw identifier: r#match
+                cur.bump();
+                cur.eat_while(is_ident_continue);
+                TokenKind::Ident
+            } else {
+                TokenKind::Ident
+            }
+        }
+        _ => TokenKind::Ident,
+    }
+}
+
+/// A numeric literal: digits, `_` separators, base prefixes and type
+/// suffixes (all ident-continue characters), plus a decimal point when
+/// followed by a digit — so `1..2` lexes as number, punct, punct, number.
+fn eat_number(cur: &mut Cursor) {
+    cur.eat_while(is_ident_continue);
+    if cur.peek() == Some('.') && matches!(cur.peek_at(1), Some(c) if c.is_ascii_digit()) {
+        cur.bump();
+        cur.eat_while(is_ident_continue);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src))).collect()
+    }
+
+    #[test]
+    fn partitions_simple_source() {
+        let src = "fn main() {}\n";
+        let toks = lex(src);
+        assert_eq!(toks.first().map(|t| t.start), Some(0));
+        assert_eq!(toks.last().map(|t| t.end), Some(src.len()));
+        for w in toks.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let src = "// std::thread\nlet s = \"Instant::now\"; /* HashMap */";
+        let idents: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(idents, ["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let x = r##"quote " and "# inside"## + 1;"####;
+        let strs: Vec<_> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.starts_with("r##\""));
+        assert!(strs[0].1.ends_with("\"##"));
+    }
+
+    #[test]
+    fn raw_identifier_is_ident() {
+        let src = "let r#match = 1;";
+        assert!(kinds(src).contains(&(TokenKind::Ident, "r#match")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_strings() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let v = kinds(src);
+        assert!(v.contains(&(TokenKind::Lifetime, "'a")));
+        assert!(v.contains(&(TokenKind::Str, "'x'")));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let src = r"let nl = '\n'; let u = '\u{41}';";
+        let strs: Vec<_> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(strs, [r"'\n'", r"'\u{41}'"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still */ fn";
+        let v = kinds(src);
+        assert_eq!(v[0].0, TokenKind::BlockComment);
+        assert_eq!(v[0].1, "/* outer /* inner */ still */");
+    }
+
+    #[test]
+    fn unterminated_literals_reach_eof() {
+        for src in ["\"never closed", "r#\"still open", "/* forever", "'"] {
+            let toks = lex(src);
+            assert_eq!(toks.last().map(|t| t.end), Some(src.len()), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn line_col_tracking() {
+        let src = "ab\ncd ef\n  gh";
+        let pos: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.line, t.col))
+            .collect();
+        assert_eq!(pos, [(1, 1), (2, 1), (2, 4), (3, 3)]);
+    }
+
+    #[test]
+    fn ranges_do_not_swallow_dots() {
+        let src = "for i in 0..10 { let x = 1.5; }";
+        let nums: Vec<_> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(nums, ["0", "10", "1.5"]);
+    }
+}

@@ -1,0 +1,147 @@
+//! # incam-lint — determinism & hermeticity static analysis
+//!
+//! The workspace's load-bearing invariant — byte-identical reports
+//! across seeds and thread counts, offline zero-registry builds — is
+//! enforced at runtime by the ci.sh diff gates (threads 1 vs 4,
+//! double-run smoke). This crate enforces it at the *source* level: a
+//! lightweight Rust lexer ([`lexer`]) feeds a rule engine ([`rules`],
+//! [`manifest`]) that walks every workspace `.rs` file and `Cargo.toml`
+//! and reports hazards before they ever reach a runtime diff.
+//!
+//! The rules:
+//!
+//! | rule | hazard |
+//! |------|--------|
+//! | `wall-clock` | `Instant`/`SystemTime` outside the bench harness |
+//! | `unordered-iteration` | `HashMap`/`HashSet` in non-test code |
+//! | `raw-thread` | `std::thread` outside incam-parallel |
+//! | `env-read` | `std::env` outside the allowlisted `INCAM_*` sites |
+//! | `registry-dep` | non-`path` dependencies in any `Cargo.toml` |
+//! | `crate-hygiene` | crate roots missing `#![forbid(unsafe_code)]` or a `missing_docs` lint |
+//! | `pragma` | malformed / reasonless suppression pragmas |
+//!
+//! Suppression is per line, and the reason is mandatory (see [`pragma`]):
+//!
+//! ```text
+//! let t = Instant::now(); // incam-lint: allow(wall-clock) — measuring the harness itself
+//! ```
+//!
+//! Diagnostics print as `file:line:col: [rule-id] message`, and the CLI
+//! (`cargo run -p incam-lint`) exits nonzero when any are emitted, which
+//! is how ci.sh consumes it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod manifest;
+pub mod pragma;
+pub mod rules;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use manifest::check_manifest;
+pub use rules::check_rust_source;
+
+/// One finding: `path:line:col: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+    /// Rule id, e.g. `wall-clock`.
+    pub rule: &'static str,
+    /// Human-readable explanation of the hazard.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Result of a whole-workspace pass.
+#[derive(Debug)]
+pub struct Report {
+    /// All findings, sorted by (path, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many files were scanned (`.rs` + `Cargo.toml`).
+    pub files_scanned: usize,
+}
+
+/// Lints every `.rs` and `Cargo.toml` under `root`, skipping `target/`,
+/// dot-directories, and this crate's own bad-source fixtures.
+///
+/// File order and diagnostic order are deterministic (sorted), so the
+/// output is byte-stable across platforms and runs.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let files = collect_files(root)?;
+    let files_scanned = files.len();
+    let mut diagnostics = Vec::new();
+    for path in files {
+        let rel = relpath(root, &path);
+        let bytes = fs::read(&path)?;
+        let src = String::from_utf8_lossy(&bytes);
+        if rel.ends_with("Cargo.toml") {
+            diagnostics.extend(check_manifest(&rel, &src));
+        } else {
+            diagnostics.extend(check_rust_source(&rel, &src));
+        }
+    }
+    diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(Report {
+        diagnostics,
+        files_scanned,
+    })
+}
+
+/// Directories never descended into: build output, VCS/CI metadata
+/// (dot-dirs), and the lint crate's intentionally-bad fixtures.
+fn skip_dir(rel: &str, name: &str) -> bool {
+    name.starts_with('.') || name == "target" || rel == "crates/lint/tests/fixtures"
+}
+
+fn relpath(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Collects lintable files depth-first with sorted directory entries;
+/// the final list is fully sorted for deterministic diagnostics.
+fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = fs::read_dir(&dir)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(|e| e.file_name());
+        for entry in entries {
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let file_type = entry.file_type()?;
+            if file_type.is_dir() {
+                if !skip_dir(&relpath(root, &path), &name) {
+                    stack.push(path);
+                }
+            } else if file_type.is_file() && (name == "Cargo.toml" || name.ends_with(".rs")) {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}

@@ -1,0 +1,41 @@
+//! CLI for the determinism & hermeticity pass.
+//!
+//! `cargo run -p incam-lint [root]` lints the workspace rooted at `root`
+//! (default: this repository), printing one `file:line:col: [rule-id]
+//! message` line per finding. Exit status: 0 clean, 1 violations, 2 I/O
+//! error — so ci.sh can gate on it directly.
+
+use std::path::{Path, PathBuf};
+
+fn main() {
+    // incam-lint: allow(env-read) — CLI argument parsing, not ambient configuration
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
+    match incam_lint::lint_workspace(&root) {
+        Ok(report) => {
+            for diag in &report.diagnostics {
+                println!("{diag}");
+            }
+            if report.diagnostics.is_empty() {
+                println!(
+                    "incam-lint: clean ({} files scanned under {})",
+                    report.files_scanned,
+                    root.display()
+                );
+            } else {
+                eprintln!(
+                    "incam-lint: {} violation(s) in {} files scanned",
+                    report.diagnostics.len(),
+                    report.files_scanned
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(err) => {
+            eprintln!("incam-lint: error walking {}: {err}", root.display());
+            std::process::exit(2);
+        }
+    }
+}

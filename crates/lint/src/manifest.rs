@@ -1,0 +1,192 @@
+//! The `registry-dep` rule over `Cargo.toml` manifests.
+//!
+//! Hermetic builds are a hard invariant of this workspace: every cargo
+//! invocation runs `--offline`, and even an *optional* registry
+//! dependency enters lock resolution and breaks it (see
+//! `crates/core/Cargo.toml` for the scar tissue). This pass turns that
+//! implicit contract into an explicit gate: every entry of a
+//! `[dependencies]`-like section must be a `path = …` dependency or a
+//! `workspace = true` reference to one.
+//!
+//! The scanner is deliberately line-oriented — the workspace's manifests
+//! are flat and hand-written, and a full TOML parser would be a
+//! dependency of its own. Multi-line inline tables are out of scope;
+//! `[dependencies.name]` table sections are handled.
+
+use crate::pragma::{self, Pragma};
+use crate::rules::{self, suppress};
+use crate::Diagnostic;
+
+/// What the scanner is inside of, line by line.
+enum Section {
+    /// Anything that is not a dependency section.
+    Other,
+    /// `[dependencies]` / `[dev-dependencies]` / `[build-dependencies]`,
+    /// optionally prefixed (`[workspace.dependencies]`,
+    /// `[target.….dependencies]`).
+    Deps,
+    /// A `[dependencies.<name>]` table; violation decided at its end.
+    DepTable {
+        name: String,
+        line: u32,
+        has_path: bool,
+    },
+}
+
+/// Runs the `registry-dep` rule (plus pragma parsing for `#` comments)
+/// over one manifest.
+pub fn check_manifest(relpath: &str, src: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut pragmas = Vec::new();
+    let mut section = Section::Other;
+
+    for (i, raw) in src.lines().enumerate() {
+        let lineno = i as u32 + 1;
+        let (code, comment) = split_comment(raw);
+        if let Some(body) = comment {
+            match pragma::parse_pragma(body) {
+                Ok(None) => {}
+                Ok(Some(rule)) => pragmas.push(Pragma { line: lineno, rule }),
+                Err(e) => diags.push(Diagnostic {
+                    path: relpath.to_string(),
+                    line: lineno,
+                    col: col_of(raw, raw.len() - body.len() - 1),
+                    rule: rules::PRAGMA,
+                    message: e.message(),
+                }),
+            }
+        }
+        let trimmed = code.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+
+        if trimmed.starts_with('[') {
+            flush_table(relpath, &mut section, &mut diags);
+            let name = trimmed.trim_start_matches('[').trim_end_matches(']').trim();
+            section = classify_section(name);
+            if let Section::DepTable { line, .. } = &mut section {
+                *line = lineno;
+            }
+            continue;
+        }
+
+        match &mut section {
+            Section::Other => {}
+            Section::Deps => {
+                let Some(eq) = trimmed.find('=') else {
+                    continue;
+                };
+                let key = trimmed[..eq].trim();
+                let value = trimmed[eq + 1..].trim();
+                let ok = key.ends_with(".workspace")
+                    || value.contains("workspace = true")
+                    || value.contains("path =")
+                    || value.contains("path=");
+                if !ok {
+                    let name = key.split('.').next().unwrap_or(key);
+                    diags.push(registry_diag(
+                        relpath,
+                        lineno,
+                        col_of(raw, raw.len() - raw.trim_start().len()),
+                        name,
+                    ));
+                }
+            }
+            Section::DepTable { has_path, .. } => {
+                let is_path_key = trimmed
+                    .strip_prefix("path")
+                    .is_some_and(|r| r.trim_start().starts_with('='));
+                let is_workspace_true = trimmed
+                    .strip_prefix("workspace")
+                    .and_then(|r| r.trim_start().strip_prefix('='))
+                    .is_some_and(|r| r.trim() == "true");
+                if is_path_key || is_workspace_true {
+                    *has_path = true;
+                }
+            }
+        }
+    }
+    flush_table(relpath, &mut section, &mut diags);
+    suppress(diags, &pragmas)
+}
+
+fn registry_diag(relpath: &str, line: u32, col: u32, name: &str) -> Diagnostic {
+    Diagnostic {
+        path: relpath.to_string(),
+        line,
+        col,
+        rule: rules::REGISTRY_DEP,
+        message: format!(
+            "dependency `{name}` must use `path = …` or `workspace = true`; registry/git \
+             sources break the hermetic offline build"
+        ),
+    }
+}
+
+/// Closes a pending `[dependencies.<name>]` table, flagging it if no
+/// `path`/`workspace` key was seen.
+fn flush_table(relpath: &str, section: &mut Section, diags: &mut Vec<Diagnostic>) {
+    if let Section::DepTable {
+        name,
+        line,
+        has_path: false,
+    } = section
+    {
+        diags.push(registry_diag(relpath, *line, 1, name));
+    }
+    *section = Section::Other;
+}
+
+/// Classifies a `[section]` header by its dotted path: a last segment of
+/// `dependencies`/`dev-dependencies`/`build-dependencies` is a flat dep
+/// section; those as second-to-last segment make a per-dep table.
+fn classify_section(name: &str) -> Section {
+    // DepTable.line is a placeholder here; the caller stamps the header
+    // line number in.
+    let segments: Vec<&str> = name.split('.').collect();
+    let is_dep = |s: &str| {
+        matches!(
+            s,
+            "dependencies" | "dev-dependencies" | "build-dependencies"
+        )
+    };
+    match segments.as_slice() {
+        [.., last] if is_dep(last) => Section::Deps,
+        [.., parent, last] if is_dep(parent) => Section::DepTable {
+            name: (*last).trim_matches('"').to_string(),
+            line: 0,
+            has_path: false,
+        },
+        _ => Section::Other,
+    }
+}
+
+/// Splits a TOML line at the first `#` outside quoted strings. Returns
+/// the code part and, when present, the comment body after `#`.
+fn split_comment(line: &str) -> (&str, Option<&str>) {
+    let mut in_double = false;
+    let mut in_single = false;
+    let mut escaped = false;
+    for (ix, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_double => escaped = true,
+            '"' if !in_single => in_double = !in_double,
+            '\'' if !in_double => in_single = !in_single,
+            '#' if !in_double && !in_single => {
+                return (&line[..ix], Some(&line[ix + 1..]));
+            }
+            _ => {}
+        }
+    }
+    (line, None)
+}
+
+/// 1-based character column of byte offset `byte` in `line`.
+fn col_of(line: &str, byte: usize) -> u32 {
+    line[..byte.min(line.len())].chars().count() as u32 + 1
+}

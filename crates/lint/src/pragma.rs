@@ -1,0 +1,136 @@
+//! The per-line escape hatch: `incam-lint: allow(<rule>) — <reason>`.
+//!
+//! A pragma lives in a plain comment (`//` in Rust, `#` in TOML) and
+//! suppresses one rule on the pragma's own line and on the line directly
+//! below it — covering both trailing-comment style and comment-above
+//! style. The reason is mandatory: an allow without a written
+//! justification is itself a violation (rule id `pragma`), so every
+//! suppression in the tree documents why the hazard is acceptable.
+//!
+//! Doc comments (`///`, `//!`) are never parsed for pragmas, so
+//! documentation may quote the syntax freely.
+
+use crate::rules;
+
+/// A parsed, valid pragma: `rule` is suppressed on `line` and `line + 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// 1-based line the pragma comment starts on.
+    pub line: u32,
+    /// The rule id inside `allow(...)`.
+    pub rule: &'static str,
+}
+
+/// Why a comment that mentions `incam-lint:` failed to parse as a pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PragmaError {
+    /// No `allow(<rule>)` clause after the `incam-lint:` marker.
+    Malformed,
+    /// The rule id is not one incam-lint knows.
+    UnknownRule(String),
+    /// No `— <reason>` (or `-- <reason>`) after the allow clause.
+    MissingReason,
+}
+
+impl PragmaError {
+    /// The diagnostic message for this error.
+    pub fn message(&self) -> String {
+        match self {
+            PragmaError::Malformed | PragmaError::MissingReason => format!(
+                "pragma must be `incam-lint: allow(<rule>) — <reason>` with a non-empty reason \
+                 (rules: {})",
+                rules::ALLOWABLE_RULES.join(", ")
+            ),
+            PragmaError::UnknownRule(r) => format!(
+                "unknown rule `{r}` in pragma (rules: {})",
+                rules::ALLOWABLE_RULES.join(", ")
+            ),
+        }
+    }
+}
+
+/// Parses the body of one comment (text after the `//` or `#` marker).
+///
+/// Returns `Ok(None)` when the comment is not a pragma at all,
+/// `Ok(Some(rule))` for a valid pragma, and an error when the comment
+/// clearly intends to be a pragma but is malformed, names an unknown
+/// rule, or omits the mandatory reason.
+pub fn parse_pragma(body: &str) -> Result<Option<&'static str>, PragmaError> {
+    let Some(ix) = body.find("incam-lint:") else {
+        return Ok(None);
+    };
+    let rest = body[ix + "incam-lint:".len()..].trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Err(PragmaError::Malformed);
+    };
+    let Some(close) = rest.find(')') else {
+        return Err(PragmaError::Malformed);
+    };
+    let rule = rest[..close].trim();
+    let Some(rule) = rules::ALLOWABLE_RULES.iter().find(|r| **r == rule) else {
+        return Err(PragmaError::UnknownRule(rule.to_string()));
+    };
+    let after = rest[close + 1..].trim_start();
+    let reason = after
+        .strip_prefix('—')
+        .or_else(|| after.strip_prefix("--"))
+        .map(str::trim);
+    match reason {
+        Some(r) if !r.is_empty() => Ok(Some(rule)),
+        _ => Err(PragmaError::MissingReason),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinary_comments_are_not_pragmas() {
+        assert_eq!(parse_pragma(" just a note about timing"), Ok(None));
+    }
+
+    #[test]
+    fn valid_pragma_em_dash() {
+        assert_eq!(
+            parse_pragma(" incam-lint: allow(wall-clock) — bench harness measures real time"),
+            Ok(Some("wall-clock"))
+        );
+    }
+
+    #[test]
+    fn valid_pragma_double_dash() {
+        assert_eq!(
+            parse_pragma(" incam-lint: allow(env-read) -- CLI arg parsing"),
+            Ok(Some("env-read"))
+        );
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        assert_eq!(
+            parse_pragma(" incam-lint: allow(wall-clock)"),
+            Err(PragmaError::MissingReason)
+        );
+        assert_eq!(
+            parse_pragma(" incam-lint: allow(wall-clock) — "),
+            Err(PragmaError::MissingReason)
+        );
+    }
+
+    #[test]
+    fn unknown_rule_is_reported() {
+        assert_eq!(
+            parse_pragma(" incam-lint: allow(no-such-rule) — whatever"),
+            Err(PragmaError::UnknownRule("no-such-rule".to_string()))
+        );
+    }
+
+    #[test]
+    fn malformed_pragma_is_reported() {
+        assert_eq!(
+            parse_pragma(" incam-lint: disable everything"),
+            Err(PragmaError::Malformed)
+        );
+    }
+}

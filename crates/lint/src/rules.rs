@@ -1,0 +1,338 @@
+//! The determinism & hermeticity rules over lexed Rust sources.
+//!
+//! Every rule works on the token stream from [`crate::lexer`], so code
+//! inside comments and string literals never matches, and every
+//! diagnostic carries the exact line/column of the offending token.
+//! Detection is lexical by design: the rules name *hazards* (a wall-clock
+//! symbol, an unordered container, a raw thread spawn) that a reviewer
+//! then either removes or justifies with a pragma — they are not a type
+//! checker, and a determined author can evade them; CI review is the
+//! backstop for that.
+
+use crate::lexer::{self, Token, TokenKind};
+use crate::pragma::{self, Pragma};
+use crate::Diagnostic;
+
+/// `Instant`/`SystemTime` — wall-clock reads outside the bench harness.
+pub const WALL_CLOCK: &str = "wall-clock";
+/// `HashMap`/`HashSet` in non-test code — unstable iteration order.
+pub const UNORDERED_ITERATION: &str = "unordered-iteration";
+/// `std::thread` outside the deterministic worker pool.
+pub const RAW_THREAD: &str = "raw-thread";
+/// `std::env` outside the allowlisted `INCAM_*` configuration sites.
+pub const ENV_READ: &str = "env-read";
+/// Non-`path` dependencies in a `Cargo.toml`.
+pub const REGISTRY_DEP: &str = "registry-dep";
+/// Crate roots missing `#![forbid(unsafe_code)]` / a `missing_docs` lint.
+pub const CRATE_HYGIENE: &str = "crate-hygiene";
+/// Meta-rule: malformed pragmas, unknown rule ids, missing reasons.
+pub const PRAGMA: &str = "pragma";
+
+/// Rules a pragma may suppress ([`PRAGMA`] itself is not suppressible).
+pub const ALLOWABLE_RULES: [&str; 6] = [
+    WALL_CLOCK,
+    UNORDERED_ITERATION,
+    RAW_THREAD,
+    ENV_READ,
+    REGISTRY_DEP,
+    CRATE_HYGIENE,
+];
+
+/// The one file allowed to read real time: the bench harness itself.
+const WALL_CLOCK_ALLOWED: &[&str] = &["crates/rng/src/bench.rs"];
+
+/// The one crate allowed to spawn OS threads: the deterministic pool.
+const RAW_THREAD_ALLOWED: &[&str] = &["crates/parallel/src/lib.rs"];
+
+/// Allowlisted `std::env` sites: the `INCAM_*` knobs documented in
+/// README ("Hermetic builds" / "Parallel execution") plus the repro
+/// binary's CLI argument parsing.
+const ENV_READ_ALLOWED: &[&str] = &[
+    "crates/rng/src/bench.rs",       // INCAM_BENCH_DIR, INCAM_BENCH_SAMPLES
+    "crates/rng/src/prop.rs",        // INCAM_PROPTEST_SEED, INCAM_PROPTEST_CASES
+    "crates/parallel/src/lib.rs",    // INCAM_THREADS
+    "crates/bench/src/bin/repro.rs", // std::env::args CLI parsing
+];
+
+/// Runs every Rust-source rule over `src`, applying pragma suppression.
+///
+/// `relpath` is the workspace-relative path with `/` separators; the
+/// allowlists and the test/bench-directory exemptions key off it, and it
+/// prefixes every diagnostic.
+pub fn check_rust_source(relpath: &str, src: &str) -> Vec<Diagnostic> {
+    let tokens = lexer::lex(src);
+    let mut diags = Vec::new();
+    let pragmas = collect_pragmas(relpath, src, &tokens, &mut diags);
+    let sig: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .collect();
+
+    let diag = |rule: &'static str, tok: &Token, message: String| Diagnostic {
+        path: relpath.to_string(),
+        line: tok.line,
+        col: tok.col,
+        rule,
+        message,
+    };
+
+    if !WALL_CLOCK_ALLOWED.contains(&relpath) {
+        for tok in idents(&sig, src, &["Instant", "SystemTime"]) {
+            diags.push(diag(
+                WALL_CLOCK,
+                tok,
+                format!(
+                    "`{}` is a wall-clock read; model time through the deterministic cost \
+                     framework (only the bench harness measures real time)",
+                    tok.text(src)
+                ),
+            ));
+        }
+    }
+
+    if !in_test_tree(relpath) {
+        let test_spans = cfg_test_line_spans(&sig, src);
+        for tok in idents(&sig, src, &["HashMap", "HashSet"]) {
+            if test_spans
+                .iter()
+                .any(|(a, b)| (*a..=*b).contains(&tok.line))
+            {
+                continue;
+            }
+            diags.push(diag(
+                UNORDERED_ITERATION,
+                tok,
+                format!(
+                    "`{}` iterates in arbitrary order; use Vec or BTreeMap/BTreeSet so \
+                     report-visible state is byte-stable",
+                    tok.text(src)
+                ),
+            ));
+        }
+    }
+
+    if !RAW_THREAD_ALLOWED.contains(&relpath) {
+        for tok in path_pattern(&sig, src, "std", "thread") {
+            diags.push(diag(
+                RAW_THREAD,
+                tok,
+                "`std::thread` outside incam-parallel; spawn work through the deterministic \
+                 worker pool (incam_parallel::par_*)"
+                    .to_string(),
+            ));
+        }
+    }
+
+    if !ENV_READ_ALLOWED.contains(&relpath) {
+        for tok in path_pattern(&sig, src, "std", "env") {
+            diags.push(diag(
+                ENV_READ,
+                tok,
+                "`std::env` outside the allowlisted INCAM_* sites; thread configuration \
+                 through explicit parameters"
+                    .to_string(),
+            ));
+        }
+    }
+
+    if relpath.ends_with("src/lib.rs") {
+        check_crate_hygiene(relpath, src, &sig, &mut diags);
+    }
+
+    suppress(diags, &pragmas)
+}
+
+/// True for sources under a `tests/` or `benches/` directory, where the
+/// unordered-iteration rule does not apply (test scaffolding never
+/// reaches a report).
+fn in_test_tree(relpath: &str) -> bool {
+    relpath.split('/').any(|c| c == "tests" || c == "benches")
+}
+
+/// Extracts pragmas from plain `//` comments (doc comments excluded);
+/// malformed ones become [`PRAGMA`] diagnostics.
+fn collect_pragmas(
+    relpath: &str,
+    src: &str,
+    tokens: &[Token],
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<Pragma> {
+    let mut pragmas = Vec::new();
+    for tok in tokens {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        let text = tok.text(src);
+        if text.starts_with("///") || text.starts_with("//!") {
+            continue;
+        }
+        match pragma::parse_pragma(&text[2..]) {
+            Ok(None) => {}
+            Ok(Some(rule)) => pragmas.push(Pragma {
+                line: tok.line,
+                rule,
+            }),
+            Err(e) => diags.push(Diagnostic {
+                path: relpath.to_string(),
+                line: tok.line,
+                col: tok.col,
+                rule: PRAGMA,
+                message: e.message(),
+            }),
+        }
+    }
+    pragmas
+}
+
+/// Drops diagnostics whose rule is allowed by a pragma on the same line
+/// or the line directly above, then sorts for deterministic output.
+pub fn suppress(diags: Vec<Diagnostic>, pragmas: &[Pragma]) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = diags
+        .into_iter()
+        .filter(|d| {
+            !pragmas
+                .iter()
+                .any(|p| p.rule == d.rule && (d.line == p.line || d.line == p.line + 1))
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        (&a.path, a.line, a.col, a.rule, &a.message)
+            .cmp(&(&b.path, b.line, b.col, b.rule, &b.message))
+    });
+    out
+}
+
+/// Significant tokens that are identifiers with text in `names`.
+fn idents<'t>(sig: &[&'t Token], src: &str, names: &[&str]) -> Vec<&'t Token> {
+    sig.iter()
+        .filter(|t| t.kind == TokenKind::Ident && names.contains(&t.text(src)))
+        .copied()
+        .collect()
+}
+
+/// Occurrences of the two-segment path `first::second` in significant
+/// tokens, returned at the position of `first`.
+fn path_pattern<'t>(sig: &[&'t Token], src: &str, first: &str, second: &str) -> Vec<&'t Token> {
+    let mut out = Vec::new();
+    for w in sig.windows(4) {
+        if w[0].kind == TokenKind::Ident
+            && w[0].text(src) == first
+            && is_punct(w[1], src, ':')
+            && is_punct(w[2], src, ':')
+            && w[3].kind == TokenKind::Ident
+            && w[3].text(src) == second
+        {
+            out.push(w[0]);
+        }
+    }
+    out
+}
+
+fn is_punct(tok: &Token, src: &str, c: char) -> bool {
+    tok.kind == TokenKind::Punct && tok.text(src).starts_with(c)
+}
+
+fn is_ident(tok: &Token, src: &str, name: &str) -> bool {
+    tok.kind == TokenKind::Ident && tok.text(src) == name
+}
+
+/// Inclusive line ranges of `#[cfg(test)]`-gated items (the attribute
+/// line through the closing brace of the item body). Items gated but
+/// braceless (`mod tests;`) contribute no range.
+fn cfg_test_line_spans(sig: &[&Token], src: &str) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i + 4 < sig.len() {
+        let is_cfg_attr = is_punct(sig[i], src, '#')
+            && is_punct(sig[i + 1], src, '[')
+            && is_ident(sig[i + 2], src, "cfg")
+            && is_punct(sig[i + 3], src, '(');
+        if !is_cfg_attr {
+            i += 1;
+            continue;
+        }
+        // Scan the balanced (...) group looking for a `test` token.
+        let mut j = i + 4;
+        let mut depth = 1u32;
+        let mut saw_test = false;
+        while j < sig.len() && depth > 0 {
+            if is_punct(sig[j], src, '(') {
+                depth += 1;
+            } else if is_punct(sig[j], src, ')') {
+                depth -= 1;
+            } else if is_ident(sig[j], src, "test") {
+                saw_test = true;
+            }
+            j += 1;
+        }
+        // Expect the closing `]`, then the gated item's body brace.
+        if !saw_test || j >= sig.len() || !is_punct(sig[j], src, ']') {
+            i = j;
+            continue;
+        }
+        let mut k = j + 1;
+        while k < sig.len() && !is_punct(sig[k], src, '{') && !is_punct(sig[k], src, ';') {
+            k += 1;
+        }
+        if k >= sig.len() || is_punct(sig[k], src, ';') {
+            i = k;
+            continue;
+        }
+        let open = k;
+        let mut braces = 1u32;
+        k += 1;
+        while k < sig.len() && braces > 0 {
+            if is_punct(sig[k], src, '{') {
+                braces += 1;
+            } else if is_punct(sig[k], src, '}') {
+                braces -= 1;
+            }
+            k += 1;
+        }
+        let close_line = sig[(k.max(open + 1) - 1).min(sig.len() - 1)].line;
+        spans.push((sig[i].line, close_line));
+        i = k;
+    }
+    spans
+}
+
+/// `src/lib.rs` roots must carry `#![forbid(unsafe_code)]` and a
+/// `missing_docs` lint (`warn`, `deny`, or `forbid`).
+fn check_crate_hygiene(relpath: &str, src: &str, sig: &[&Token], diags: &mut Vec<Diagnostic>) {
+    let has_attr = |lint: &str, levels: &[&str]| {
+        sig.windows(8).any(|w| {
+            is_punct(w[0], src, '#')
+                && is_punct(w[1], src, '!')
+                && is_punct(w[2], src, '[')
+                && w[3].kind == TokenKind::Ident
+                && levels.contains(&w[3].text(src))
+                && is_punct(w[4], src, '(')
+                && is_ident(w[5], src, lint)
+                && is_punct(w[6], src, ')')
+                && is_punct(w[7], src, ']')
+        })
+    };
+    let mut missing = Vec::new();
+    if !has_attr("unsafe_code", &["forbid"]) {
+        missing.push("crate root missing `#![forbid(unsafe_code)]`".to_string());
+    }
+    if !has_attr("missing_docs", &["warn", "deny", "forbid"]) {
+        missing.push(
+            "crate root missing a `missing_docs` lint (add `#![warn(missing_docs)]`)".to_string(),
+        );
+    }
+    for message in missing {
+        diags.push(Diagnostic {
+            path: relpath.to_string(),
+            line: 1,
+            col: 1,
+            rule: CRATE_HYGIENE,
+            message,
+        });
+    }
+}

@@ -1,0 +1,5 @@
+//! A crate root missing both hygiene attributes.
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,6 @@
+fn thread_count() -> usize {
+    match std::env::var("THREADS") {
+        Ok(v) => v.parse().unwrap_or(1),
+        Err(_) => 1,
+    }
+}

@@ -1,0 +1,9 @@
+fn count() -> usize {
+    let s = std::collections::HashSet::from([1u32]); // incam-lint: allow(unordered-iteration)
+    s.len()
+}
+
+fn other() -> usize {
+    let s = std::collections::HashSet::from([2u32]); // incam-lint: allow(no-such-rule) — typo'd id
+    s.len()
+}

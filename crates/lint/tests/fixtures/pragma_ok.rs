@@ -1,0 +1,8 @@
+// incam-lint: allow(unordered-iteration) — fixture: the map is never iterated
+use std::collections::HashMap;
+
+fn singleton() -> usize {
+    let mut h = HashMap::new(); // incam-lint: allow(unordered-iteration) — len() only
+    h.insert(1u32, 1u32);
+    h.len()
+}

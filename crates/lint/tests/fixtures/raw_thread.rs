@@ -1,0 +1,4 @@
+fn spawn_worker() {
+    let handle = std::thread::spawn(|| 42);
+    let _ = handle.join();
+}

@@ -1,0 +1,22 @@
+use std::collections::HashMap;
+
+fn histogram(xs: &[u32]) -> Vec<(u32, u32)> {
+    let mut h = HashMap::new();
+    for &x in xs {
+        *h.entry(x).or_insert(0u32) += 1;
+    }
+    let mut out: Vec<_> = h.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn hash_collections_are_fine_in_tests() {
+        let s: HashSet<u32> = [1, 2, 3].into_iter().collect();
+        assert_eq!(s.len(), 3);
+    }
+}

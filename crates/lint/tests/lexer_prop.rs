@@ -1,0 +1,83 @@
+//! Fuzz properties for the lexer: on *arbitrary* input — raw byte soup
+//! and Rust-flavored soup biased toward the tricky state machines
+//! (quotes, hashes, comment markers) — the lexer never panics, exactly
+//! partitions the input, and reports positions consistent with a naive
+//! line/column recount.
+
+use incam_lint::lexer::lex;
+use incam_lint::{check_manifest, check_rust_source};
+use incam_rng::prelude::*;
+
+/// Characters chosen to exercise string/comment/raw-string transitions
+/// far more often than uniform bytes would.
+const SOUP: &[char] = &[
+    '"', '\'', '/', '*', '#', '\\', '\n', 'r', 'b', 'c', '_', 'x', '0', '9', '.', ':', '{', '}',
+    '(', ')', '[', ']', ' ', '!', 'é', '∀',
+];
+
+fn soup(indices: &[u8]) -> String {
+    indices
+        .iter()
+        .map(|&b| SOUP[b as usize % SOUP.len()])
+        .collect()
+}
+
+fn assert_partitions(src: &str) {
+    let tokens = lex(src);
+    let mut pos = 0;
+    for t in &tokens {
+        assert_eq!(t.start, pos, "gap or overlap at byte {pos} in {src:?}");
+        assert!(t.end > t.start, "empty token at byte {pos} in {src:?}");
+        pos = t.end;
+    }
+    assert_eq!(pos, src.len(), "lexer did not reach EOF of {src:?}");
+}
+
+fn assert_line_col(src: &str) {
+    for t in lex(src) {
+        let prefix = &src[..t.start];
+        let line = 1 + prefix.matches('\n').count() as u32;
+        let col = 1 + prefix.chars().rev().take_while(|&c| c != '\n').count() as u32;
+        assert_eq!(
+            (t.line, t.col),
+            (line, col),
+            "position drift at byte {} of {src:?}",
+            t.start
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn lexer_partitions_arbitrary_bytes(bytes in prop::collection::vec(0u8..=255, 1..512)) {
+        // Lossy conversion mirrors what the workspace walker does with
+        // unreadable files; the lexer contract is over the &str it gets.
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_partitions(&src);
+    }
+
+    #[test]
+    fn lexer_partitions_rust_soup(indices in prop::collection::vec(0u8..=255, 1..512)) {
+        assert_partitions(&soup(&indices));
+    }
+
+    #[test]
+    fn lexer_line_col_accounting_on_bytes(bytes in prop::collection::vec(0u8..=255, 1..512)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_line_col(&src);
+    }
+
+    #[test]
+    fn lexer_line_col_accounting_on_rust_soup(indices in prop::collection::vec(0u8..=255, 1..512)) {
+        assert_line_col(&soup(&indices));
+    }
+
+    #[test]
+    fn rule_engine_never_panics_on_soup(indices in prop::collection::vec(0u8..=255, 1..512)) {
+        let src = soup(&indices);
+        // Both dispatch targets of the workspace walker, on a path that
+        // also enables the crate-hygiene rule.
+        let _ = check_rust_source("crates/soup/src/lib.rs", &src);
+        let _ = check_manifest("crates/soup/Cargo.toml", &src);
+    }
+}

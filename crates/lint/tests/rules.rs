@@ -1,0 +1,211 @@
+//! Fixture-based tests: each rule fires on its bad-source fixture with
+//! the exact `file:line:col: [rule-id]` diagnostic, pragmas suppress and
+//! demand reasons, and — the point of the whole exercise — the live
+//! workspace is clean.
+
+use incam_lint::{check_manifest, check_rust_source, lint_workspace};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn rust_diags(relpath: &str, fixture_name: &str) -> Vec<String> {
+    check_rust_source(relpath, &fixture(fixture_name))
+        .iter()
+        .map(|d| d.to_string())
+        .collect()
+}
+
+#[test]
+fn wall_clock_fires_outside_the_bench_harness() {
+    let msg = "`Instant` is a wall-clock read; model time through the deterministic cost \
+               framework (only the bench harness measures real time)";
+    assert_eq!(
+        rust_diags("crates/demo/src/timing.rs", "wall_clock.rs"),
+        [
+            format!("crates/demo/src/timing.rs:1:16: [wall-clock] {msg}"),
+            format!("crates/demo/src/timing.rs:4:17: [wall-clock] {msg}"),
+        ]
+    );
+}
+
+#[test]
+fn wall_clock_allows_the_bench_harness() {
+    assert!(rust_diags("crates/rng/src/bench.rs", "wall_clock.rs").is_empty());
+}
+
+#[test]
+fn unordered_iteration_fires_in_non_test_code_only() {
+    let msg = "`HashMap` iterates in arbitrary order; use Vec or BTreeMap/BTreeSet so \
+               report-visible state is byte-stable";
+    // The HashSet inside the fixture's #[cfg(test)] module must not fire.
+    assert_eq!(
+        rust_diags("crates/demo/src/histo.rs", "unordered_iteration.rs"),
+        [
+            format!("crates/demo/src/histo.rs:1:23: [unordered-iteration] {msg}"),
+            format!("crates/demo/src/histo.rs:4:17: [unordered-iteration] {msg}"),
+        ]
+    );
+}
+
+#[test]
+fn unordered_iteration_exempts_test_directories() {
+    assert!(rust_diags("crates/demo/tests/histo.rs", "unordered_iteration.rs").is_empty());
+    assert!(rust_diags("crates/demo/benches/histo.rs", "unordered_iteration.rs").is_empty());
+}
+
+#[test]
+fn raw_thread_fires_outside_incam_parallel() {
+    assert_eq!(
+        rust_diags("crates/demo/src/pool.rs", "raw_thread.rs"),
+        [
+            "crates/demo/src/pool.rs:2:18: [raw-thread] `std::thread` outside incam-parallel; \
+          spawn work through the deterministic worker pool (incam_parallel::par_*)"
+        ]
+    );
+}
+
+#[test]
+fn raw_thread_allows_the_worker_pool() {
+    // crate-hygiene still applies to that path; only raw-thread is waived.
+    assert!(rust_diags("crates/parallel/src/lib.rs", "raw_thread.rs")
+        .iter()
+        .all(|d| !d.contains("[raw-thread]")));
+}
+
+#[test]
+fn env_read_fires_outside_allowlisted_sites() {
+    assert_eq!(
+        rust_diags("crates/demo/src/config.rs", "env_read.rs"),
+        [
+            "crates/demo/src/config.rs:2:11: [env-read] `std::env` outside the allowlisted \
+          INCAM_* sites; thread configuration through explicit parameters"
+        ]
+    );
+}
+
+#[test]
+fn env_read_allows_incam_knob_sites() {
+    // crate-hygiene still applies to lib.rs paths; only env-read is waived.
+    assert!(rust_diags("crates/parallel/src/lib.rs", "env_read.rs")
+        .iter()
+        .all(|d| !d.contains("[env-read]")));
+    assert!(rust_diags("crates/rng/src/prop.rs", "env_read.rs").is_empty());
+}
+
+#[test]
+fn crate_hygiene_fires_on_bare_lib_roots() {
+    assert_eq!(
+        rust_diags("crates/demo/src/lib.rs", "crate_hygiene/src/lib.rs"),
+        [
+            "crates/demo/src/lib.rs:1:1: [crate-hygiene] crate root missing \
+             `#![forbid(unsafe_code)]`",
+            "crates/demo/src/lib.rs:1:1: [crate-hygiene] crate root missing a `missing_docs` \
+             lint (add `#![warn(missing_docs)]`)",
+        ]
+    );
+}
+
+#[test]
+fn crate_hygiene_ignores_non_lib_files() {
+    assert!(rust_diags("crates/demo/src/util.rs", "crate_hygiene/src/lib.rs").is_empty());
+}
+
+#[test]
+fn crate_hygiene_accepts_attributed_roots() {
+    let src = "//! Docs.\n\n#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n\npub fn f() {}\n";
+    assert!(check_rust_source("crates/demo/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn registry_dep_fires_on_non_path_sources() {
+    let msg = "must use `path = …` or `workspace = true`; registry/git sources break the \
+               hermetic offline build";
+    let diags: Vec<String> = check_manifest(
+        "crates/demo/Cargo.toml",
+        &fixture("registry_dep/Cargo.toml"),
+    )
+    .iter()
+    .map(|d| d.to_string())
+    .collect();
+    assert_eq!(
+        diags,
+        [
+            format!("crates/demo/Cargo.toml:7:1: [registry-dep] dependency `serde` {msg}"),
+            format!("crates/demo/Cargo.toml:8:1: [registry-dep] dependency `rand` {msg}"),
+            format!("crates/demo/Cargo.toml:10:1: [registry-dep] dependency `libc` {msg}"),
+            format!("crates/demo/Cargo.toml:15:1: [registry-dep] dependency `criterion` {msg}"),
+        ]
+    );
+}
+
+#[test]
+fn registry_dep_accepts_this_workspace_style() {
+    let src = "[package]\nname = \"x\"\n\n[dependencies]\nincam-core.workspace = true\n\
+               incam-rng = { path = \"../rng\" }\n\n[dependencies.incam-nn]\npath = \"../nn\"\n";
+    assert!(check_manifest("Cargo.toml", src).is_empty());
+}
+
+#[test]
+fn valid_pragmas_suppress_with_reasons() {
+    assert!(rust_diags("crates/demo/src/cache.rs", "pragma_ok.rs").is_empty());
+}
+
+#[test]
+fn pragmas_without_reasons_are_violations_and_do_not_suppress() {
+    let unordered = "[unordered-iteration] `HashSet` iterates in arbitrary order; use Vec or \
+                     BTreeMap/BTreeSet so report-visible state is byte-stable";
+    let rules = "rules: wall-clock, unordered-iteration, raw-thread, env-read, registry-dep, \
+                 crate-hygiene";
+    assert_eq!(
+        rust_diags("crates/demo/src/bad.rs", "pragma_bad.rs"),
+        [
+            format!("crates/demo/src/bad.rs:2:31: {unordered}"),
+            format!(
+                "crates/demo/src/bad.rs:2:54: [pragma] pragma must be `incam-lint: \
+                 allow(<rule>) — <reason>` with a non-empty reason ({rules})"
+            ),
+            format!("crates/demo/src/bad.rs:7:31: {unordered}"),
+            format!(
+                "crates/demo/src/bad.rs:7:54: [pragma] unknown rule `no-such-rule` in \
+                     pragma ({rules})"
+            ),
+        ]
+    );
+}
+
+#[test]
+fn hazards_inside_comments_and_strings_do_not_fire() {
+    let src = "// Instant::now() and std::thread are discussed here\n\
+               const DOC: &str = \"HashMap, SystemTime, std::env\";\n\
+               /* std::thread::spawn */\n";
+    assert!(check_rust_source("crates/demo/src/doc.rs", src).is_empty());
+}
+
+/// The committed tree must be lint-clean: the same invariant
+/// `cargo run -p incam-lint` gates in ci.sh, checked here so plain
+/// `cargo test` catches violations too.
+#[test]
+fn live_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_workspace(&root).expect("walk workspace");
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has lint violations:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+}

@@ -12,7 +12,7 @@
 //! 2. **A property-test harness** ([`prop`], the [`proptest!`] macro):
 //!    case generation from a seeded RNG, shrinking by halving, and
 //!    failure-seed reporting.
-//! 3. **A bench harness** ([`bench`]): warmup, N timed iterations,
+//! 3. **A bench harness** ([`mod@bench`]): warmup, N timed iterations,
 //!    median/MAD statistics, and `BENCH_*.json` output for trajectory
 //!    tracking.
 //!
@@ -35,6 +35,9 @@
 //! let again: f64 = StdRng::seed_from_u64(2017).gen_range(0.0..1.0);
 //! assert_eq!(x, again);
 //! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod bench;
 mod distr;

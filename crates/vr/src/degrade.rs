@@ -6,7 +6,7 @@
 //! stay current), quality (coarser depth), or bandwidth (move the
 //! offload cut). Each [`GracefulPolicy`] makes that choice explicit and
 //! is evaluated by the same deterministic
-//! [`Runtime`](incam_core::runtime::Runtime) executor against the same
+//! [`Runtime`] executor against the same
 //! fault trace, so policies are compared on identical failure
 //! sequences.
 //!
