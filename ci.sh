@@ -50,6 +50,12 @@ for exp in fa-pipeline fig6 chaos; do
     cmp "$tmpdir/${exp}_t1.txt" "$tmpdir/${exp}_t4.txt"
 done
 
+step "examples smoke (quickstart + offload_explorer vs committed transcripts)"
+cargo run --release --offline --example quickstart > "$tmpdir/quickstart.txt"
+cmp "$tmpdir/quickstart.txt" results/examples/quickstart.txt
+cargo run --release --offline --example offload_explorer > "$tmpdir/offload_explorer.txt"
+cmp "$tmpdir/offload_explorer.txt" results/examples/offload_explorer.txt
+
 step "bench harness smoke (2 samples)"
 # INCAM_BENCH_DIR keeps smoke output away from the committed
 # crates/bench/BENCH_parallel.json baseline (default dir is the package).

@@ -3,8 +3,8 @@
 //! ```text
 //! repro --all                 # run every experiment
 //! repro --experiment fig10    # run one (fig4c, nn-topology, pe-geometry,
-//!                             #   bitwidth, sigmoid, fa-pipeline, fig6,
-//!                             #   fig7, fig9, fig10, links, table1)
+//!                             #   bitwidth, sigmoid, fa-pipeline, fa-space,
+//!                             #   fig6, fig7, fig9, fig10, links, table1)
 //! repro --seed 7              # change the workload seed
 //! repro --quick               # reduced workloads (CI-sized)
 //! ```
@@ -30,6 +30,7 @@ const ALL: &[&str] = &[
     "bitwidth",
     "sigmoid",
     "fa-pipeline",
+    "fa-space",
     "fig6",
     "fig7",
     "fig9",
@@ -137,6 +138,16 @@ fn run_experiment(name: &str, opts: &Options) -> (String, String) {
             };
             let results = fa_pipeline::run(seed, frames, effort);
             print!("{}", fa_pipeline::render(&results));
+        }
+        "fa-space" => {
+            banner("FA configuration space — measured bindings and the sub-mW sweep (SIII)");
+            let (frames, effort) = if opts.quick {
+                (120, TrainEffort::Quick)
+            } else {
+                (400, TrainEffort::Full)
+            };
+            let result = fa_pipeline::space_run(seed, frames, effort);
+            print!("{}", fa_pipeline::render_space(&result));
         }
         "fig6" => {
             banner("Fig. 6 — the bilateral filter is edge-aware");

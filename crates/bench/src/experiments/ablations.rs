@@ -7,6 +7,7 @@ use incam_bilateral::grid::GridParams;
 use incam_bilateral::stereo::{
     bssa_depth, normalize_disparity, BssaConfig, MatchParams, SolverParams,
 };
+use incam_core::explore::pareto_frontier;
 use incam_core::report::{sig3, Table};
 use incam_imaging::motion::MotionDetector;
 use incam_imaging::noise::add_gaussian_noise;
@@ -25,6 +26,9 @@ use incam_snnap::config::SnnapConfig;
 use incam_snnap::sweep::{geometry_sweep, optimal_geometry};
 use incam_viola::eval::DetectionCounts;
 use incam_viola::scan::{scan, ScanParams, StepSize};
+use incam_vr::analysis::VrModel;
+use incam_vr::configs::PipelineConfig;
+use incam_vr::network::standard_links;
 
 /// Detection-grouping ablation: the `min_neighbors` false-positive
 /// suppressor trades recall for precision.
@@ -230,6 +234,41 @@ pub fn trainers(seed: u64) -> String {
     table.render()
 }
 
+/// Bandwidth sensitivity of the configuration space: how the VR Pareto
+/// frontier (total FPS vs. upload bytes) shifts as the uplink scales
+/// from Wi-Fi-class to 400 GbE.
+pub fn frontier_vs_bandwidth() -> String {
+    let model = VrModel::paper_default();
+    let space = model.binding_space();
+    let mut table = Table::new(&[
+        "link",
+        "frontier size",
+        "frontier configs",
+        "best total FPS",
+    ]);
+    for link in standard_links() {
+        let analyses: Vec<_> = space
+            .explore_where(&link, PipelineConfig::paper_coupling)
+            .collect();
+        let frontier = pareto_frontier(analyses);
+        let labels: Vec<String> = frontier
+            .iter()
+            .map(|a| PipelineConfig::from_configuration(&a.config).label())
+            .collect();
+        let best = frontier
+            .iter()
+            .map(|a| a.total().fps())
+            .fold(0.0f64, f64::max);
+        table.row_owned(vec![
+            link.name().to_string(),
+            frontier.len().to_string(),
+            labels.join(" "),
+            sig3(best),
+        ]);
+    }
+    table.render()
+}
+
 /// Runs all ablations.
 pub fn run(seed: u64) -> String {
     format!(
@@ -237,11 +276,13 @@ pub fn run(seed: u64) -> String {
          -- bilateral solver (iterations x lambda) --\n{}\n\
          -- accelerator scheduling overheads --\n{}\n\
          -- motion-gate threshold --\n{}\n\
-         -- trainer comparison (SGD vs FANN-style iRPROP-) --\n{}",
+         -- trainer comparison (SGD vs FANN-style iRPROP-) --\n{}\n\
+         -- VR Pareto frontier vs uplink bandwidth --\n{}",
         min_neighbors(seed),
         solver(seed),
         snnap_overheads(),
         motion_threshold(seed),
         trainers(seed),
+        frontier_vs_bandwidth(),
     )
 }

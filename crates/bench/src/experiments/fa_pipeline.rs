@@ -2,11 +2,15 @@
 //! on the real-world-style synthetic video, with energy, power,
 //! harvested-energy feasibility and accuracy.
 
-use incam_core::report::Table;
+use incam_core::explore::{pareto_frontier, PipelineSpace};
+use incam_core::report::{sig3, Table};
 use incam_core::units::Fps;
 use incam_wispcam::mcu::McuModel;
 use incam_wispcam::pipeline::{FaPipelineConfig, RunSummary, Substrate, TransmitPolicy};
 use incam_wispcam::platform::WispCamPlatform;
+use incam_wispcam::radio::BackscatterRadio;
+use incam_wispcam::sensor::ImageSensor;
+use incam_wispcam::space::{fa_binding_space, submw_sweep, FaBlockCosts, FaSpacePoint};
 use incam_wispcam::workload::{TrainEffort, Workload};
 
 /// One evaluated configuration.
@@ -92,5 +96,93 @@ pub fn render(results: &[FaConfigResult]) -> String {
     if let Some(full) = results.get(4) {
         out.push_str(&format!("{}\n", full.summary.energy));
     }
+    out
+}
+
+/// The `fa-space` experiment: the FA pipeline as a configuration space.
+pub struct FaSpaceResult {
+    /// The binding space built from measured block costs.
+    pub space: PipelineSpace,
+    /// Every distinct configuration's sub-mW sweep point.
+    pub sweep: Vec<FaSpacePoint>,
+    /// The capture rate the sweep was evaluated at.
+    pub capture_rate: Fps,
+}
+
+/// Measures per-block costs by tracing the full pipeline on both
+/// substrates over the same workload, then sweeps the resulting binding
+/// space (MCU vs. per-block ASIC × offload cut) over the backscatter
+/// uplink.
+pub fn space_run(seed: u64, frames: usize, effort: TrainEffort) -> FaSpaceResult {
+    let workload = Workload::generate(seed, frames, effort);
+    let (_, accel_trace) = workload
+        .pipeline(FaPipelineConfig::full_accelerated())
+        .run_trace(&workload.frames);
+    let (_, mcu_trace) = workload
+        .pipeline(
+            FaPipelineConfig::full_accelerated()
+                .on_substrate(Substrate::Mcu(McuModel::cortex_m_class())),
+        )
+        .run_trace(&workload.frames);
+    let costs = FaBlockCosts::from_traces(&accel_trace, &mcu_trace);
+    let capture_rate = Fps::new(1.0);
+    let space = fa_binding_space(
+        &costs,
+        &ImageSensor::wispcam_default(),
+        &McuModel::cortex_m_class(),
+        capture_rate,
+    );
+    let sweep = submw_sweep(&space, &BackscatterRadio::wispcam_default(), capture_rate);
+    FaSpaceResult {
+        space,
+        sweep,
+        capture_rate,
+    }
+}
+
+/// Renders the sub-mW sweep plus its Pareto frontier.
+pub fn render_space(result: &FaSpaceResult) -> String {
+    let mut table = Table::new(&[
+        "configuration",
+        "upload (B/frame)",
+        "comm FPS",
+        "total FPS",
+        "energy/frame",
+        "avg power @1FPS",
+        "sub-mW?",
+    ]);
+    for point in &result.sweep {
+        table.row_owned(vec![
+            point.analysis.label.clone(),
+            format!("{:.0}", point.analysis.upload.bytes()),
+            sig3(point.analysis.communication.fps()),
+            sig3(point.analysis.total().fps()),
+            point.analysis.energy.human(),
+            point.average_power.human(),
+            if point.sub_milliwatt() { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    let mut out = format!(
+        "binding space: {} full / {} distinct configurations (3 blocks x {{ASIC, MCU}} x 4 cuts)\n\n{}",
+        result.space.cardinality(),
+        result.space.distinct_cardinality(),
+        table.render()
+    );
+    let frontier = pareto_frontier(result.sweep.iter().map(|p| p.analysis.clone()).collect());
+    out.push_str("\n-- Pareto frontier (total FPS / in-camera energy / upload) --\n");
+    for analysis in &frontier {
+        out.push_str(&format!(
+            "  {:<24} total {} FPS, {}, {:.0} B up\n",
+            analysis.label,
+            sig3(analysis.total().fps()),
+            analysis.energy.human(),
+            analysis.upload.bytes()
+        ));
+    }
+    out.push_str(&format!(
+        "{} of {} configurations survive\n",
+        frontier.len(),
+        result.sweep.len()
+    ));
     out
 }

@@ -1,7 +1,12 @@
 //! Fig. 4c — impact of the Viola-Jones scan parameters (scale factor,
 //! static step size, adaptive step size) on relative detection accuracy.
 
+use incam_core::block::{Backend, BlockSpec, DataTransform};
+use incam_core::explore::{Binding, BlockSpace, PipelineSpace};
+use incam_core::link::Link;
+use incam_core::pipeline::Source;
 use incam_core::report::{sig3, Table};
+use incam_core::units::{Bytes, BytesPerSec, Fps, Joules};
 use incam_imaging::draw::blit;
 use incam_imaging::faces::{render_face, Identity, Nuisance};
 use incam_imaging::image::GrayImage;
@@ -179,6 +184,105 @@ pub fn run(seed: u64) -> Fig4cResult {
     }
 }
 
+/// Nominal in-camera scan throughput (windows/s) used to turn a panel's
+/// measured windows/frame into a candidate-binding frame rate.
+pub const SCAN_WINDOW_RATE: f64 = 100_000.0;
+
+/// Nominal per-window scan energy (nJ) for the candidate bindings.
+pub const SCAN_WINDOW_ENERGY_NJ: f64 = 120.0;
+
+/// Minimum relative F1 (vs. the panel's best) a scan binding must keep
+/// to stay in the explored space.
+pub const ACCURACY_FLOOR: f64 = 0.9;
+
+/// The scale-factor panel recast as a configuration space: each swept
+/// scale factor is one candidate binding of a single FD block, with
+/// throughput and energy following the measured windows/frame; the cut
+/// decides raw-frame offload vs. shipping only the detections.
+pub fn scan_binding_space(points: &[SweepPoint]) -> PipelineSpace {
+    let bindings = points
+        .iter()
+        .map(|p| {
+            Binding::new(
+                Backend::Mcu,
+                Fps::new(SCAN_WINDOW_RATE / p.windows_per_frame),
+            )
+            .with_energy_per_frame(Joules::from_nano(
+                SCAN_WINDOW_ENERGY_NJ * p.windows_per_frame,
+            ))
+        })
+        .collect();
+    PipelineSpace::new(Source::new(
+        "S",
+        Bytes::new((128 * 96) as f64),
+        Fps::new(30.0),
+    ))
+    .with_block(BlockSpace::new(
+        BlockSpec::core("FD", DataTransform::Fixed(Bytes::new(64.0))),
+        bindings,
+    ))
+}
+
+/// Explores [`scan_binding_space`] over a Wi-Fi-class uplink, pruning
+/// in-camera bindings below [`ACCURACY_FLOOR`] relative F1 — the scan
+/// parameter sweep and the offload decision driven through one engine.
+pub fn render_explore(result: &Fig4cResult) -> String {
+    let points = &result.scale_factor;
+    let f1: Vec<f64> = points.iter().map(|p| p.counts.f1()).collect();
+    let rf1 = relative_to_best(&f1);
+    let space = scan_binding_space(points);
+    let link = Link::new("wifi-class", BytesPerSec::from_bits_per_sec(2.0e6), 0.7);
+    let keep = |c: &incam_core::explore::Configuration| {
+        c.cut() == 0 || rf1[c.bindings()[0]] >= ACCURACY_FLOOR
+    };
+
+    let mut table = Table::new(&[
+        "configuration",
+        "rel F1 %",
+        "windows/frame",
+        "compute FPS",
+        "comm FPS",
+        "total FPS",
+        "admissible?",
+    ]);
+    for analysis in space.explore(&link) {
+        let (desc, rel, windows) = if analysis.config.cut() == 0 {
+            (
+                "raw offload (cloud scan)".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            )
+        } else {
+            let p = &points[analysis.config.bindings()[0]];
+            (
+                format!("in-camera scan, scale {}", sig3(p.parameter)),
+                format!("{:.1}", 100.0 * rf1[analysis.config.bindings()[0]]),
+                format!("{:.0}", p.windows_per_frame),
+            )
+        };
+        table.row_owned(vec![
+            desc,
+            rel,
+            windows,
+            sig3(analysis.compute.fps()),
+            sig3(analysis.communication.fps()),
+            sig3(analysis.total().fps()),
+            if keep(&analysis.config) { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    let best = space
+        .best_where(&link, keep)
+        .expect("the raw-offload configuration is always admissible");
+    format!(
+        "-- configuration space (scale-factor bindings x offload cut, {} uplink) --\n{}\
+         best admissible configuration: {} at {} FPS\n",
+        link.name(),
+        table.render(),
+        best.label,
+        sig3(best.total().fps())
+    )
+}
+
 /// Renders the result as the figure's three panels, with accuracy
 /// normalized to each panel's best configuration.
 pub fn render(result: &Fig4cResult) -> String {
@@ -214,5 +318,6 @@ pub fn render(result: &Fig4cResult) -> String {
         }
         out.push_str(&format!("-- {title} --\n{}\n", table.render()));
     }
+    out.push_str(&render_explore(result));
     out
 }

@@ -13,6 +13,7 @@ use incam_fpga::report::table1;
 use incam_rng::rngs::StdRng;
 use incam_rng::SeedableRng;
 use incam_vr::analysis::{fig9, VrModel};
+use incam_vr::configs::PipelineConfig;
 use incam_vr::network::{link_sweep, standard_links};
 
 /// Fig. 6 — the edge-aware-filter demonstration, as a table of noise
@@ -123,7 +124,37 @@ pub fn render_fig10(model: &VrModel) -> String {
         "\nsensitivity: at 400GbE the raw 16-camera stream uploads at {} FPS\n",
         sig3(fps400.fps())
     ));
+    out.push_str(&format!("\n{}", render_fig10_frontier(model, &link)));
     out
+}
+
+/// The Pareto frontier of the VR configuration space over a link: the
+/// nine Fig. 10 configurations reduced to the ones not dominated on
+/// total FPS and upload bytes (the VR rig is wall-powered, so the energy
+/// objective is identically zero and drops out).
+pub fn render_fig10_frontier(model: &VrModel, link: &Link) -> String {
+    let space = model.binding_space();
+    let analyses: Vec<_> = space
+        .explore_where(link, PipelineConfig::paper_coupling)
+        .collect();
+    let total = analyses.len();
+    let frontier = incam_core::explore::pareto_frontier(analyses);
+    let mut table = Table::new(&["config", "total FPS", "upload (MB/frame)", "binding"]);
+    for analysis in &frontier {
+        let config = PipelineConfig::from_configuration(&analysis.config);
+        table.row_owned(vec![
+            config.label(),
+            sig3(analysis.total().fps()),
+            format!("{:.1}", analysis.upload.mib()),
+            analysis.constraint().to_string(),
+        ]);
+    }
+    format!(
+        "-- Pareto frontier over {} (total FPS vs upload) --\n{}{} of {total} configurations survive\n",
+        link.name(),
+        table.render(),
+        frontier.len()
+    )
 }
 
 /// The link sweep behind the paper's closing network-bandwidth argument.

@@ -78,6 +78,54 @@ fn harvest_distance_study_is_bit_stable() {
     assert_eq!(harvest_table(), harvest_table());
 }
 
+mod fig10_golden {
+    //! Pins the paper's Fig. 10 nine-configuration table as produced by
+    //! `core::explore` alone: the VR binding space enumerated under the
+    //! paper's coupling predicate on the 25 GbE uplink, with no
+    //! VR-crate analysis code in the loop beyond the space definition.
+
+    use incam_core::link::Link;
+    use incam_core::units::Fps;
+    use incam_vr::analysis::VrModel;
+    use incam_vr::configs::PipelineConfig;
+
+    /// The figure's total-FPS column, in figure order (S~, SB1~, SB1B2~,
+    /// then cut 3 and cut 4 with depth on CPU/GPU/FPGA).
+    const GOLDEN_TOTALS: [f64; 9] = [15.8, 15.8, 3.95, 0.09, 5.27, 5.27, 0.09, 11.2, 31.6];
+
+    #[test]
+    fn fig10_reproduced_through_the_explorer_alone() {
+        let model = VrModel::paper_default();
+        let space = model.binding_space();
+        let link = Link::ethernet_25g();
+        let rows: Vec<_> = space
+            .explore_where(&link, PipelineConfig::paper_coupling)
+            .collect();
+        assert_eq!(rows.len(), 9, "Fig. 10 has nine configurations");
+
+        for (row, golden) in rows.iter().zip(GOLDEN_TOTALS) {
+            let got = row.total().fps();
+            assert!(
+                (got - golden).abs() / golden < 0.02,
+                "{}: total {got} FPS drifted from golden {golden}",
+                PipelineConfig::from_configuration(&row.config)
+            );
+            // total = min(compute, communication), per the paper's model
+            let expected = row.compute.fps().min(row.communication.fps());
+            assert!((got - expected).abs() < 1e-9);
+        }
+
+        // the 30 FPS verdict: exactly one configuration is real-time,
+        // the fully in-camera pipeline with depth + stitching on FPGAs
+        let real_time: Vec<String> = rows
+            .iter()
+            .filter(|r| r.meets(Fps::new(30.0)))
+            .map(|r| PipelineConfig::from_configuration(&r.config).label())
+            .collect();
+        assert_eq!(real_time, ["SB1B2B3FB4F~"]);
+    }
+}
+
 mod chaos_golden {
     //! Pins the canonical chaos scenario (ISSUE: 5 % bursty loss on the
     //! VR uplink, WISPCam at 2 m under the canonical RF fade) to exact

@@ -66,6 +66,31 @@ pub enum Backend {
     Cloud,
 }
 
+impl Backend {
+    /// One-letter tag used in configuration labels (Fig. 10's `B3(F)`
+    /// style). Every variant has a letter so labels never silently drop
+    /// a binding; `~` marks cloud execution, matching the offloaded-
+    /// remainder suffix used in VR configuration labels.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use incam_core::block::Backend;
+    /// assert_eq!(Backend::Fpga.letter(), 'F');
+    /// assert_eq!(Backend::Asic.letter(), 'A');
+    /// ```
+    pub fn letter(self) -> char {
+        match self {
+            Backend::Asic => 'A',
+            Backend::Fpga => 'F',
+            Backend::Gpu => 'G',
+            Backend::Cpu => 'C',
+            Backend::Mcu => 'M',
+            Backend::Cloud => '~',
+        }
+    }
+}
+
 impl fmt::Display for Backend {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -217,5 +242,23 @@ mod tests {
     fn backend_display() {
         assert_eq!(Backend::Fpga.to_string(), "FPGA");
         assert_eq!(Backend::Cloud.to_string(), "cloud");
+    }
+
+    #[test]
+    fn backend_letters_are_distinct() {
+        let all = [
+            Backend::Asic,
+            Backend::Fpga,
+            Backend::Gpu,
+            Backend::Cpu,
+            Backend::Mcu,
+            Backend::Cloud,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.letter(), b.letter(), "{a} and {b} share a letter");
+            }
+        }
+        assert_eq!(Backend::Mcu.letter(), 'M');
     }
 }

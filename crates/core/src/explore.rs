@@ -1,0 +1,688 @@
+//! Configuration-space exploration: enumerate every way of binding and
+//! cutting a pipeline, and rank the results on the paper's objectives.
+//!
+//! The paper's Fig. 10 is not a single pipeline — it is a *search over
+//! nine configurations*: each block may run on one of several candidate
+//! backends, and the pipeline may hand off to the cloud at any cut
+//! point. This module makes that search a first-class object:
+//!
+//! * a [`Binding`] is one candidate way to execute a block (backend +
+//!   sustained throughput + per-frame energy + an optional output-size
+//!   override for bindings that emit coarser data);
+//! * a [`BlockSpace`] is a block together with its candidate bindings;
+//! * a [`PipelineSpace`] is a source plus an ordered sequence of block
+//!   spaces — the whole configuration space;
+//! * a [`Configuration`] is one point in that space: a binding choice
+//!   per block plus an offload cut;
+//! * [`PipelineSpace::configurations`] enumerates the space lazily
+//!   (compose with `Iterator::filter` for predicate pruning), and
+//!   [`pareto_frontier`] keeps the configurations that are not dominated
+//!   on the three paper objectives — total FPS, in-camera energy per
+//!   frame, and uploaded bytes per frame.
+//!
+//! Two enumeration granularities exist because bindings of blocks *after*
+//! the cut never execute in camera: the full product
+//! ([`PipelineSpace::cardinality`] points) and the *distinct* space
+//! ([`PipelineSpace::distinct_configurations`]), which keeps one
+//! canonical representative per observable configuration. The paper's
+//! nine Fig. 10 configurations are exactly the distinct space of the VR
+//! pipeline with the depth block's three backends coupled to stitching.
+//!
+//! # Examples
+//!
+//! ```
+//! use incam_core::block::{Backend, BlockSpec, DataTransform};
+//! use incam_core::explore::{Binding, BlockSpace, PipelineSpace};
+//! use incam_core::link::Link;
+//! use incam_core::pipeline::Source;
+//! use incam_core::units::{Bytes, BytesPerSec, Fps};
+//!
+//! // One block, two candidate backends: a slow CPU and a fast ASIC.
+//! let space = PipelineSpace::new(Source::new("s", Bytes::new(1000.0), Fps::new(100.0)))
+//!     .with_block(BlockSpace::new(
+//!         BlockSpec::core("reduce", DataTransform::Scale(0.25)),
+//!         vec![
+//!             Binding::new(Backend::Cpu, Fps::new(5.0)),
+//!             Binding::new(Backend::Asic, Fps::new(200.0)),
+//!         ],
+//!     ));
+//! assert_eq!(space.cardinality(), 4); // 2 bindings x 2 cuts
+//!
+//! let link = Link::new("l", BytesPerSec::new(10_000.0), 1.0);
+//! let best = space.best(&link).unwrap();
+//! assert_eq!(best.config.cut(), 1); // reduce in camera...
+//! assert_eq!(best.backends(&space), vec![Backend::Asic]); // ...on the ASIC
+//! ```
+
+use crate::block::{Backend, BlockSpec, DataTransform};
+use crate::link::Link;
+use crate::offload::{analyze_cut, Constraint};
+use crate::pipeline::{Pipeline, Source, Stage};
+use crate::units::{Bytes, Fps, Joules};
+
+/// One candidate way to execute a block: a backend with concrete costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binding {
+    backend: Backend,
+    throughput: Fps,
+    energy_per_frame: Joules,
+    output: Option<DataTransform>,
+}
+
+impl Binding {
+    /// A binding of the block to `backend` at the given sustained
+    /// throughput, with zero per-frame energy and the block's own data
+    /// transform.
+    pub fn new(backend: Backend, throughput: Fps) -> Self {
+        Self {
+            backend,
+            throughput,
+            energy_per_frame: Joules::ZERO,
+            output: None,
+        }
+    }
+
+    /// Sets the per-frame processing energy of this binding.
+    #[must_use]
+    pub fn with_energy_per_frame(mut self, energy: Joules) -> Self {
+        self.energy_per_frame = energy;
+        self
+    }
+
+    /// Overrides the block's output-size transform for this binding —
+    /// e.g. a coarse-grid depth solver that emits a quarter-size
+    /// disparity map.
+    #[must_use]
+    pub fn with_output(mut self, output: DataTransform) -> Self {
+        self.output = Some(output);
+        self
+    }
+
+    /// The backend this binding executes on.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Sustained throughput of this binding.
+    pub fn throughput(&self) -> Fps {
+        self.throughput
+    }
+
+    /// Per-frame processing energy of this binding.
+    pub fn energy_per_frame(&self) -> Joules {
+        self.energy_per_frame
+    }
+
+    /// The output-size override, if any.
+    pub fn output(&self) -> Option<DataTransform> {
+        self.output
+    }
+}
+
+/// A block together with its candidate bindings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSpace {
+    spec: BlockSpec,
+    bindings: Vec<Binding>,
+}
+
+impl BlockSpace {
+    /// Creates a block space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bindings` is empty — a block with no way to execute it
+    /// is not explorable.
+    pub fn new(spec: BlockSpec, bindings: Vec<Binding>) -> Self {
+        assert!(
+            !bindings.is_empty(),
+            "block {:?} needs at least one candidate binding",
+            spec.name()
+        );
+        Self { spec, bindings }
+    }
+
+    /// The underlying block description.
+    pub fn spec(&self) -> &BlockSpec {
+        &self.spec
+    }
+
+    /// The candidate bindings, in declaration order.
+    pub fn bindings(&self) -> &[Binding] {
+        &self.bindings
+    }
+
+    /// Materializes the stage for binding `choice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choice` is out of range.
+    pub fn stage(&self, choice: usize) -> Stage {
+        let binding = &self.bindings[choice];
+        let spec = match binding.output {
+            Some(transform) => BlockSpec::new(self.spec.name(), self.spec.kind(), transform),
+            None => self.spec.clone(),
+        };
+        Stage::new(spec, binding.backend, binding.throughput)
+            .with_energy_per_frame(binding.energy_per_frame)
+    }
+}
+
+/// One point in a configuration space: a binding choice per block plus an
+/// offload cut.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Configuration {
+    bindings: Vec<usize>,
+    cut: usize,
+}
+
+impl Configuration {
+    /// Creates a configuration from explicit binding indices and a cut.
+    pub fn new(bindings: Vec<usize>, cut: usize) -> Self {
+        Self { bindings, cut }
+    }
+
+    /// Binding index per block, in pipeline order.
+    pub fn bindings(&self) -> &[usize] {
+        &self.bindings
+    }
+
+    /// Number of blocks executed in camera before offload.
+    pub fn cut(&self) -> usize {
+        self.cut
+    }
+
+    /// `true` when every binding choice past the cut is the default
+    /// (index 0). Bindings past the cut never execute, so the canonical
+    /// representatives enumerate the *distinct* configuration space.
+    pub fn is_canonical(&self) -> bool {
+        self.bindings.iter().skip(self.cut).all(|&b| b == 0)
+    }
+}
+
+/// Cost analysis of one configuration over one link: the Fig. 10 row for
+/// that configuration, extended with the energy objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigAnalysis {
+    /// The analyzed configuration.
+    pub config: Configuration,
+    /// Human-readable label of the in-camera prefix, e.g. `S+B3(F)`.
+    pub label: String,
+    /// Pipelined in-camera compute throughput.
+    pub compute: Fps,
+    /// Uplink throughput for the cut's output data.
+    pub communication: Fps,
+    /// Data uploaded per frame at the cut.
+    pub upload: Bytes,
+    /// In-camera energy per frame through the cut (including capture).
+    pub energy: Joules,
+}
+
+impl ConfigAnalysis {
+    /// Sustained end-to-end frame rate: the binding constraint of
+    /// compute and communication.
+    pub fn total(&self) -> Fps {
+        self.compute.min(self.communication)
+    }
+
+    /// Whether both computation and communication meet a target rate.
+    pub fn meets(&self, target: Fps) -> bool {
+        self.total() >= target
+    }
+
+    /// Which of the two rate costs binds.
+    pub fn constraint(&self) -> Constraint {
+        if self.compute <= self.communication {
+            Constraint::Computation
+        } else {
+            Constraint::Communication
+        }
+    }
+
+    /// The backend of each in-camera block (up to the cut), resolved
+    /// against the space that produced this analysis.
+    pub fn backends(&self, space: &PipelineSpace) -> Vec<Backend> {
+        self.config
+            .bindings
+            .iter()
+            .zip(space.blocks())
+            .take(self.config.cut)
+            .map(|(&b, block)| block.bindings()[b].backend())
+            .collect()
+    }
+
+    /// `true` if `self` is at least as good as `other` on all three
+    /// objectives (total FPS up, energy down, upload down) and strictly
+    /// better on at least one.
+    pub fn dominates(&self, other: &Self) -> bool {
+        let fps = (self.total().fps(), other.total().fps());
+        let energy = (self.energy.joules(), other.energy.joules());
+        let upload = (self.upload.bytes(), other.upload.bytes());
+        let no_worse = fps.0 >= fps.1 && energy.0 <= energy.1 && upload.0 <= upload.1;
+        let better = fps.0 > fps.1 || energy.0 < energy.1 || upload.0 < upload.1;
+        no_worse && better
+    }
+}
+
+/// A source plus an ordered sequence of block spaces: the full
+/// configuration space a camera system can be built from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineSpace {
+    source: Source,
+    blocks: Vec<BlockSpace>,
+}
+
+impl PipelineSpace {
+    /// Creates a space with only a source.
+    pub fn new(source: Source) -> Self {
+        Self {
+            source,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Appends a block space, consuming and returning the space
+    /// (builder style).
+    #[must_use]
+    pub fn with_block(mut self, block: BlockSpace) -> Self {
+        self.blocks.push(block);
+        self
+    }
+
+    /// Appends a block space in place.
+    pub fn push(&mut self, block: BlockSpace) {
+        self.blocks.push(block);
+    }
+
+    /// The space's source.
+    pub fn source(&self) -> &Source {
+        &self.source
+    }
+
+    /// The block spaces, in pipeline order.
+    pub fn blocks(&self) -> &[BlockSpace] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` if the space has no blocks beyond the source.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Size of the full configuration space: the product of per-block
+    /// binding counts times the number of cut positions (`len + 1`).
+    pub fn cardinality(&self) -> u128 {
+        let product: u128 = self
+            .blocks
+            .iter()
+            .map(|b| b.bindings().len() as u128)
+            .product();
+        product * (self.blocks.len() as u128 + 1)
+    }
+
+    /// Size of the *distinct* configuration space: for each cut, only
+    /// bindings of blocks before the cut are observable, so the count is
+    /// the sum over cuts of the prefix binding products.
+    pub fn distinct_cardinality(&self) -> u128 {
+        let mut total = 1u128; // cut 0: the raw-sensor configuration
+        let mut prefix = 1u128;
+        for block in &self.blocks {
+            prefix *= block.bindings().len() as u128;
+            total += prefix;
+        }
+        total
+    }
+
+    /// Lazily enumerates every configuration in the full space, cut-major
+    /// (all binding vectors at cut 0, then cut 1, …); within a cut the
+    /// binding vector increments odometer-style with the *last* block
+    /// fastest. Compose with [`Iterator::filter`] for predicate pruning.
+    pub fn configurations(&self) -> Configurations<'_> {
+        Configurations {
+            space: self,
+            next: Some(Configuration::new(vec![0; self.blocks.len()], 0)),
+        }
+    }
+
+    /// Enumerates only the canonical representative of each distinct
+    /// configuration (see [`Configuration::is_canonical`]), in the same
+    /// cut-major order.
+    pub fn distinct_configurations(&self) -> impl Iterator<Item = Configuration> + '_ {
+        self.configurations().filter(Configuration::is_canonical)
+    }
+
+    /// Materializes the concrete [`Pipeline`] of a configuration (all
+    /// blocks bound, including those past the cut).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's shape does not match the space.
+    pub fn realize(&self, config: &Configuration) -> Pipeline {
+        assert_eq!(
+            config.bindings.len(),
+            self.blocks.len(),
+            "configuration has {} binding choices for a {}-block space",
+            config.bindings.len(),
+            self.blocks.len()
+        );
+        assert!(
+            config.cut <= self.blocks.len(),
+            "cut {} out of range for a {}-block space",
+            config.cut,
+            self.blocks.len()
+        );
+        let mut pipeline = Pipeline::new(self.source.clone());
+        for (block, &choice) in self.blocks.iter().zip(&config.bindings) {
+            pipeline.push(block.stage(choice));
+        }
+        pipeline
+    }
+
+    /// Analyzes one configuration over a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's shape does not match the space.
+    pub fn evaluate(&self, config: &Configuration, link: &Link) -> ConfigAnalysis {
+        let pipeline = self.realize(config);
+        let cut = analyze_cut(&pipeline, link, config.cut);
+        ConfigAnalysis {
+            config: config.clone(),
+            label: cut.label,
+            compute: cut.compute,
+            communication: cut.communication,
+            upload: cut.upload_size,
+            energy: pipeline.energy_per_frame_through(config.cut),
+        }
+    }
+
+    /// Evaluates every *distinct* configuration over a link, in
+    /// enumeration order.
+    pub fn explore<'a>(&'a self, link: &'a Link) -> impl Iterator<Item = ConfigAnalysis> + 'a {
+        self.distinct_configurations()
+            .map(move |c| self.evaluate(&c, link))
+    }
+
+    /// Evaluates the distinct configurations that satisfy `keep` — the
+    /// pruned search the per-app paper sets are views of (e.g. "the
+    /// stitching backend must match the depth backend").
+    pub fn explore_where<'a, F>(
+        &'a self,
+        link: &'a Link,
+        mut keep: F,
+    ) -> impl Iterator<Item = ConfigAnalysis> + 'a
+    where
+        F: FnMut(&Configuration) -> bool + 'a,
+    {
+        self.distinct_configurations()
+            .filter(move |c| keep(c))
+            .map(move |c| self.evaluate(&c, link))
+    }
+
+    /// The configuration with the highest end-to-end frame rate over
+    /// `link`. Ties resolve to the earliest configuration in enumeration
+    /// order — the earliest cut, then the lowest binding indices — i.e.
+    /// the least in-camera work. Returns `None` only for a space that
+    /// somehow enumerates nothing (never: cut 0 always exists).
+    pub fn best(&self, link: &Link) -> Option<ConfigAnalysis> {
+        self.best_where(link, |_| true)
+    }
+
+    /// Like [`PipelineSpace::best`], restricted to configurations
+    /// satisfying `keep`.
+    pub fn best_where<F>(&self, link: &Link, keep: F) -> Option<ConfigAnalysis>
+    where
+        F: FnMut(&Configuration) -> bool,
+    {
+        let mut best: Option<ConfigAnalysis> = None;
+        for analysis in self.explore_where(link, keep) {
+            let better = match &best {
+                Some(b) => analysis.total().fps() > b.total().fps(),
+                None => true,
+            };
+            if better {
+                best = Some(analysis);
+            }
+        }
+        best
+    }
+
+    /// The Pareto frontier of the distinct space over `link`: every
+    /// configuration not dominated on (total FPS, in-camera energy,
+    /// upload bytes) by another distinct configuration.
+    pub fn pareto_frontier(&self, link: &Link) -> Vec<ConfigAnalysis> {
+        pareto_frontier(self.explore(link).collect())
+    }
+}
+
+/// Lazy cut-major enumeration of a [`PipelineSpace`] (see
+/// [`PipelineSpace::configurations`]).
+#[derive(Debug, Clone)]
+pub struct Configurations<'a> {
+    space: &'a PipelineSpace,
+    next: Option<Configuration>,
+}
+
+impl Iterator for Configurations<'_> {
+    type Item = Configuration;
+
+    fn next(&mut self) -> Option<Configuration> {
+        let current = self.next.take()?;
+        // advance the odometer: last block fastest, then the cut
+        let mut succ = current.clone();
+        let mut advanced = false;
+        for i in (0..succ.bindings.len()).rev() {
+            if succ.bindings[i] + 1 < self.space.blocks[i].bindings().len() {
+                succ.bindings[i] += 1;
+                succ.bindings[i + 1..].fill(0);
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            succ.bindings.fill(0);
+            succ.cut += 1;
+            advanced = succ.cut <= self.space.blocks.len();
+        }
+        self.next = advanced.then_some(succ);
+        Some(current)
+    }
+}
+
+/// Filters `analyses` down to the Pareto frontier over the three paper
+/// objectives: total FPS (maximize), in-camera energy per frame
+/// (minimize), and uploaded bytes per frame (minimize). Input order is
+/// preserved; of mutually equal configurations the earliest survives.
+pub fn pareto_frontier(analyses: Vec<ConfigAnalysis>) -> Vec<ConfigAnalysis> {
+    let mut frontier: Vec<ConfigAnalysis> = Vec::new();
+    for candidate in analyses {
+        if frontier.iter().any(|kept| {
+            kept.dominates(&candidate)
+                || (kept.total() == candidate.total()
+                    && kept.energy == candidate.energy
+                    && kept.upload == candidate.upload)
+        }) {
+            continue;
+        }
+        frontier.retain(|kept| !candidate.dominates(kept));
+        frontier.push(candidate);
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::BytesPerSec;
+
+    /// Sensor at 100 FPS / 1000 B; B1 identity on CPU or a 2x-coarser
+    /// ASIC; B2 reduces 4x on CPU or GPU.
+    fn sample_space() -> PipelineSpace {
+        PipelineSpace::new(Source::new("s", Bytes::new(1000.0), Fps::new(100.0)))
+            .with_block(BlockSpace::new(
+                BlockSpec::core("b1", DataTransform::Identity),
+                vec![
+                    Binding::new(Backend::Cpu, Fps::new(50.0))
+                        .with_energy_per_frame(Joules::from_micro(4.0)),
+                    Binding::new(Backend::Asic, Fps::new(400.0))
+                        .with_energy_per_frame(Joules::from_micro(1.0))
+                        .with_output(DataTransform::Scale(0.5)),
+                ],
+            ))
+            .with_block(BlockSpace::new(
+                BlockSpec::core("b2", DataTransform::Scale(0.25)),
+                vec![
+                    Binding::new(Backend::Cpu, Fps::new(20.0))
+                        .with_energy_per_frame(Joules::from_micro(8.0)),
+                    Binding::new(Backend::Gpu, Fps::new(120.0))
+                        .with_energy_per_frame(Joules::from_micro(16.0)),
+                ],
+            ))
+    }
+
+    fn link() -> Link {
+        // raw sensor frame uploads at 10 FPS
+        Link::new("l", BytesPerSec::new(10_000.0), 1.0)
+    }
+
+    #[test]
+    fn cardinalities() {
+        let space = sample_space();
+        assert_eq!(space.cardinality(), 2 * 2 * 3);
+        // cut 0: 1, cut 1: 2, cut 2: 4
+        assert_eq!(space.distinct_cardinality(), 7);
+        assert_eq!(space.configurations().count(), 12);
+        assert_eq!(space.distinct_configurations().count(), 7);
+        let empty = PipelineSpace::new(Source::new("s", Bytes::new(1.0), Fps::new(1.0)));
+        assert_eq!(empty.cardinality(), 1);
+        assert_eq!(empty.distinct_cardinality(), 1);
+        assert_eq!(empty.configurations().count(), 1);
+    }
+
+    #[test]
+    fn enumeration_is_cut_major_and_odometer_ordered() {
+        let space = sample_space();
+        let configs: Vec<Configuration> = space.configurations().collect();
+        assert_eq!(configs[0], Configuration::new(vec![0, 0], 0));
+        assert_eq!(configs[1], Configuration::new(vec![0, 1], 0));
+        assert_eq!(configs[2], Configuration::new(vec![1, 0], 0));
+        assert_eq!(configs[3], Configuration::new(vec![1, 1], 0));
+        assert_eq!(configs[4], Configuration::new(vec![0, 0], 1));
+        assert_eq!(configs[11], Configuration::new(vec![1, 1], 2));
+        // cuts never decrease
+        for pair in configs.windows(2) {
+            assert!(pair[0].cut() <= pair[1].cut());
+        }
+    }
+
+    #[test]
+    fn realize_applies_bindings_and_overrides() {
+        let space = sample_space();
+        let p = space.realize(&Configuration::new(vec![1, 0], 2));
+        assert_eq!(p.stages()[0].backend(), Backend::Asic);
+        // the ASIC binding's output override halves the data
+        assert_eq!(p.data_after(1), Bytes::new(500.0));
+        assert_eq!(p.data_after(2), Bytes::new(125.0));
+        let q = space.realize(&Configuration::new(vec![0, 0], 2));
+        assert_eq!(q.data_after(1), Bytes::new(1000.0));
+    }
+
+    #[test]
+    fn evaluate_matches_hand_computation() {
+        let space = sample_space();
+        let a = space.evaluate(&Configuration::new(vec![0, 1], 2), &link());
+        // compute: min(100 sensor, 50 b1-cpu, 120 b2-gpu)
+        assert_eq!(a.compute, Fps::new(50.0));
+        // upload: 1000 * 1.0 * 0.25 = 250 B -> 40 FPS
+        assert!((a.communication.fps() - 40.0).abs() < 1e-9);
+        assert_eq!(a.total(), Fps::new(40.0));
+        // energy: 4 uJ (b1 cpu) + 16 uJ (b2 gpu)
+        assert!((a.energy.micros() - 20.0).abs() < 1e-12);
+        assert_eq!(a.constraint(), Constraint::Communication);
+        assert_eq!(a.backends(&space), vec![Backend::Cpu, Backend::Gpu]);
+    }
+
+    #[test]
+    fn best_resolves_ties_to_earliest() {
+        // two bindings with identical costs: cut 1 ties with itself
+        // across binding choices, and the identity block makes cut 0 and
+        // cut 1 upload the same bytes
+        let space = PipelineSpace::new(Source::new("s", Bytes::new(1000.0), Fps::new(100.0)))
+            .with_block(BlockSpace::new(
+                BlockSpec::core("b", DataTransform::Identity),
+                vec![
+                    Binding::new(Backend::Cpu, Fps::new(200.0)),
+                    Binding::new(Backend::Gpu, Fps::new(200.0)),
+                ],
+            ));
+        let best = space.best(&link()).unwrap();
+        // cut 0 and cut 1 both total 10 FPS; the earliest (cut 0) wins
+        assert_eq!(best.config.cut(), 0);
+        assert_eq!(best.config.bindings(), &[0]);
+    }
+
+    #[test]
+    fn explore_where_prunes() {
+        let space = sample_space();
+        let all: Vec<_> = space.explore(&link()).collect();
+        assert_eq!(all.len(), 7);
+        let gpu_only: Vec<_> = space
+            .explore_where(&link(), |c| c.cut() < 2 || c.bindings()[1] == 1)
+            .collect();
+        assert_eq!(gpu_only.len(), 5);
+    }
+
+    #[test]
+    fn pareto_frontier_is_nondominated_and_complete() {
+        let space = sample_space();
+        let frontier = space.pareto_frontier(&link());
+        assert!(!frontier.is_empty());
+        for (i, a) in frontier.iter().enumerate() {
+            for (j, b) in frontier.iter().enumerate() {
+                if i != j {
+                    assert!(!a.dominates(b), "{} dominates {}", a.label, b.label);
+                }
+            }
+        }
+        // every non-frontier configuration is dominated by (or equal to)
+        // some frontier member
+        for analysis in space.explore(&link()) {
+            let on_frontier = frontier.iter().any(|f| f.config == analysis.config);
+            if !on_frontier {
+                assert!(
+                    frontier.iter().any(|f| f.dominates(&analysis)
+                        || (f.total() == analysis.total()
+                            && f.energy == analysis.energy
+                            && f.upload == analysis.upload)),
+                    "{} unaccounted for",
+                    analysis.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement() {
+        let space = sample_space();
+        let a = space.evaluate(&Configuration::new(vec![0, 0], 0), &link());
+        assert!(!a.dominates(&a.clone()));
+    }
+
+    #[test]
+    #[should_panic(expected = "binding choices")]
+    fn shape_mismatch_panics() {
+        let space = sample_space();
+        let _ = space.realize(&Configuration::new(vec![0], 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate binding")]
+    fn empty_bindings_panic() {
+        let _ = BlockSpace::new(BlockSpec::core("b", DataTransform::Identity), vec![]);
+    }
+}

@@ -47,6 +47,7 @@
 
 pub mod block;
 pub mod energy;
+pub mod explore;
 pub mod link;
 pub mod offload;
 pub mod pipeline;
@@ -56,6 +57,9 @@ pub mod units;
 
 pub use block::{Backend, BlockKind, BlockSpec, DataTransform};
 pub use energy::EnergyBreakdown;
+pub use explore::{
+    pareto_frontier, Binding, BlockSpace, ConfigAnalysis, Configuration, PipelineSpace,
+};
 pub use link::{Link, LinkError};
 pub use offload::{analyze_cut, analyze_cuts, best_cut, Constraint, CutAnalysis};
 pub use pipeline::{Pipeline, Source, Stage};

@@ -142,25 +142,32 @@ pub fn analyze_cut(pipeline: &Pipeline, link: &Link, k: usize) -> CutAnalysis {
 }
 
 /// Returns the cut that maximizes the end-to-end frame rate, together with
-/// its analysis. Ties resolve to the earliest cut (least in-camera work).
+/// its analysis. Ties resolve to the earliest cut (least in-camera work):
+/// a strictly-greater total is required to displace the incumbent.
 pub fn best_cut(pipeline: &Pipeline, link: &Link) -> CutAnalysis {
     analyze_cuts(pipeline, link)
         .into_iter()
-        .max_by(|a, b| a.total().fps().total_cmp(&b.total().fps()))
+        .reduce(|best, candidate| {
+            if candidate.total().fps() > best.total().fps() {
+                candidate
+            } else {
+                best
+            }
+        })
         .expect("a pipeline always has at least the raw-sensor cut")
 }
 
-fn cut_label(pipeline: &Pipeline, k: usize) -> String {
+/// Human-readable label for the in-camera prefix of cut `k`, e.g.
+/// `S+B1(C)+B2(C)+B3(F)`. Every backend tags its stage with
+/// [`crate::block::Backend::letter`].
+pub fn cut_label(pipeline: &Pipeline, k: usize) -> String {
     let mut label = String::from("S");
     for stage in pipeline.stages().iter().take(k) {
         label.push('+');
         label.push_str(stage.spec().name());
-        match stage.backend() {
-            crate::block::Backend::Cpu => label.push_str("(C)"),
-            crate::block::Backend::Gpu => label.push_str("(G)"),
-            crate::block::Backend::Fpga => label.push_str("(F)"),
-            _ => {}
-        }
+        label.push('(');
+        label.push(stage.backend().letter());
+        label.push(')');
     }
     label
 }
@@ -243,6 +250,40 @@ mod tests {
         let cut4 = analyze_cut(&p, &link, 4);
         // data after B4: 1000 * 4 * 0.75 / 6 = 500 B => comm = 31.6 FPS
         assert!((cut4.communication.fps() - 31.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn best_cut_ties_resolve_to_earliest() {
+        // An identity block leaves the upload size unchanged, so cuts 0
+        // and 1 have identical communication FPS; with compute far above
+        // the link both cuts' totals tie *exactly* and the doc promises
+        // the earliest (least in-camera work) wins.
+        let p =
+            Pipeline::new(Source::new("S", Bytes::new(1000.0), Fps::new(100.0))).then(Stage::new(
+                BlockSpec::core("B1", DataTransform::Identity),
+                Backend::Cpu,
+                Fps::new(174.0),
+            ));
+        let link = Link::new("L", BytesPerSec::new(10_000.0), 1.0);
+        let cuts = analyze_cuts(&p, &link);
+        assert_eq!(cuts[0].total(), cuts[1].total(), "cuts must tie exactly");
+        assert_eq!(best_cut(&p, &link).cut, 0);
+    }
+
+    #[test]
+    fn cut_label_tags_every_backend() {
+        let p = Pipeline::new(Source::new("S", Bytes::new(1000.0), Fps::new(100.0)))
+            .then(Stage::new(
+                BlockSpec::optional("MD", DataTransform::Scale(0.1)),
+                Backend::Asic,
+                Fps::new(1000.0),
+            ))
+            .then(Stage::new(
+                BlockSpec::core("NN", DataTransform::Fixed(Bytes::new(1.0))),
+                Backend::Mcu,
+                Fps::new(2.0),
+            ));
+        assert_eq!(cut_label(&p, 2), "S+MD(A)+NN(M)");
     }
 
     #[test]

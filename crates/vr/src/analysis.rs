@@ -8,9 +8,10 @@ use crate::blocks::{align, preprocess, stitch};
 use crate::configs::PipelineConfig;
 use crate::rig::CameraRig;
 use incam_core::block::{Backend, BlockSpec, DataTransform};
+use incam_core::explore::{Binding, BlockSpace, ConfigAnalysis, PipelineSpace};
 use incam_core::link::Link;
 use incam_core::offload::Constraint;
-use incam_core::pipeline::{Pipeline, Source, Stage};
+use incam_core::pipeline::{Pipeline, Source};
 use incam_core::units::{Bytes, Fps, Seconds};
 
 /// Per-block data-size ratios relative to the raw sensor stream.
@@ -88,77 +89,93 @@ impl VrModel {
         }
     }
 
-    /// Builds the `incam-core` pipeline for a given depth backend.
+    /// The VR configuration space: B1/B2 each have their single calibrated
+    /// CPU binding, B3 declares one binding per [`DepthBackend`] (in
+    /// [`DepthBackend::ALL`] order, so binding indices equal
+    /// [`DepthBackend::index`]), and B4 declares the same three backends at
+    /// the calibrated stitching rate. The paper's Fig. 10 is this space's
+    /// distinct enumeration under [`PipelineConfig::paper_coupling`].
+    pub fn binding_space(&self) -> PipelineSpace {
+        self.binding_space_custom(&self.workload, DATA_RATIOS[2])
+    }
+
+    /// Like [`VrModel::binding_space`] but with an explicit depth workload
+    /// and B3 output ratio — the hook graceful-degradation policies use to
+    /// swap in a coarser bilateral-grid solve (faster B3, smaller
+    /// disparity output) without touching the calibrated defaults.
+    pub fn binding_space_custom(
+        &self,
+        workload: &DepthWorkload,
+        b3_output_ratio: f64,
+    ) -> PipelineSpace {
+        assert!(
+            b3_output_ratio > 0.0 && b3_output_ratio.is_finite(),
+            "B3 output ratio must be positive and finite"
+        );
+        let cal = &self.calibration;
+        PipelineSpace::new(Source::new("S", self.rig.rig_frame_bytes(), cal.sensor_fps))
+            .with_block(BlockSpace::new(
+                BlockSpec::core("B1", DataTransform::Scale(DATA_RATIOS[0])),
+                vec![Binding::new(Backend::Cpu, cal.b1_stage_fps)],
+            ))
+            .with_block(BlockSpace::new(
+                BlockSpec::core("B2", DataTransform::Scale(DATA_RATIOS[1])),
+                vec![Binding::new(Backend::Cpu, cal.b2_stage_fps)],
+            ))
+            .with_block(BlockSpace::new(
+                BlockSpec::core("B3", DataTransform::Scale(b3_output_ratio / DATA_RATIOS[1])),
+                DepthBackend::ALL
+                    .iter()
+                    .map(|&b| Binding::new(b.core(), cal.depth_fps(&self.rig, workload, b)))
+                    .collect(),
+            ))
+            .with_block(BlockSpace::new(
+                BlockSpec::core("B4", DataTransform::Scale(DATA_RATIOS[3] / b3_output_ratio)),
+                DepthBackend::ALL
+                    .iter()
+                    .map(|&b| Binding::new(b.core(), cal.b4_stage_fps))
+                    .collect(),
+            ))
+    }
+
+    /// Builds the `incam-core` pipeline for a given depth backend — the
+    /// full-cut realization of [`VrModel::binding_space`] with B3 and B4
+    /// bound to `depth_backend`.
     pub fn pipeline(&self, depth_backend: DepthBackend) -> Pipeline {
         self.pipeline_custom(depth_backend, &self.workload, DATA_RATIOS[2])
     }
 
-    /// Like [`VrModel::pipeline`] but with an explicit depth workload and
-    /// B3 output ratio — the hook graceful-degradation policies use to
-    /// swap in a coarser bilateral-grid solve (faster B3, smaller
-    /// disparity output) without touching the calibrated defaults.
+    /// Like [`VrModel::pipeline`] but over
+    /// [`VrModel::binding_space_custom`].
     pub fn pipeline_custom(
         &self,
         depth_backend: DepthBackend,
         workload: &DepthWorkload,
         b3_output_ratio: f64,
     ) -> Pipeline {
-        assert!(
-            b3_output_ratio > 0.0 && b3_output_ratio.is_finite(),
-            "B3 output ratio must be positive and finite"
-        );
-        let cal = &self.calibration;
-        let depth_fps = cal.depth_fps(&self.rig, workload, depth_backend);
-        let core_backend = match depth_backend {
-            DepthBackend::Cpu => Backend::Cpu,
-            DepthBackend::Gpu => Backend::Gpu,
-            DepthBackend::Fpga => Backend::Fpga,
-        };
-        Pipeline::new(Source::new("S", self.rig.rig_frame_bytes(), cal.sensor_fps))
-            .then(Stage::new(
-                BlockSpec::core("B1", DataTransform::Scale(DATA_RATIOS[0])),
-                Backend::Cpu,
-                cal.b1_stage_fps,
-            ))
-            .then(Stage::new(
-                BlockSpec::core("B2", DataTransform::Scale(DATA_RATIOS[1])),
-                Backend::Cpu,
-                cal.b2_stage_fps,
-            ))
-            .then(Stage::new(
-                BlockSpec::core("B3", DataTransform::Scale(b3_output_ratio / DATA_RATIOS[1])),
-                core_backend,
-                depth_fps,
-            ))
-            .then(Stage::new(
-                BlockSpec::core("B4", DataTransform::Scale(DATA_RATIOS[3] / b3_output_ratio)),
-                core_backend,
-                cal.b4_stage_fps,
-            ))
+        let space = self.binding_space_custom(workload, b3_output_ratio);
+        space.realize(&PipelineConfig::at_cut(4, depth_backend).to_configuration())
     }
 
-    /// One Fig. 10 row.
+    /// One Fig. 10 row, evaluated through the configuration space.
     pub fn evaluate_config(&self, config: &PipelineConfig, link: &Link) -> Fig10Row {
         config.validate();
-        let backend = config.depth_backend.unwrap_or(DepthBackend::Cpu);
-        let pipeline = self.pipeline(backend);
-        let cut = incam_core::offload::analyze_cut(&pipeline, link, config.blocks);
-        Fig10Row {
-            label: config.label(),
-            description: config.description(),
-            compute: cut.compute,
-            communication: cut.communication,
-            total: cut.total(),
-            upload_size: cut.upload_size,
-            binding: cut.binding(),
-        }
+        let space = self.binding_space();
+        let analysis = space.evaluate(&config.to_configuration(), link);
+        Fig10Row::from_analysis(config, &analysis)
     }
 
-    /// The full Fig. 10 table over the paper's nine configurations.
+    /// The full Fig. 10 table: the distinct configuration space pruned by
+    /// the paper's B3/B4 backend coupling, in enumeration order — which
+    /// is exactly the figure's nine-configuration order.
     pub fn fig10(&self, link: &Link) -> Vec<Fig10Row> {
-        PipelineConfig::paper_set()
-            .iter()
-            .map(|c| self.evaluate_config(c, link))
+        let space = self.binding_space();
+        space
+            .explore_where(link, PipelineConfig::paper_coupling)
+            .map(|analysis| {
+                let config = PipelineConfig::from_configuration(&analysis.config);
+                Fig10Row::from_analysis(&config, &analysis)
+            })
             .collect()
     }
 
@@ -190,6 +207,20 @@ pub struct Fig10Row {
 }
 
 impl Fig10Row {
+    /// Builds a row from a configuration-space analysis, labeled in the
+    /// figure's style.
+    pub fn from_analysis(config: &PipelineConfig, analysis: &ConfigAnalysis) -> Self {
+        Fig10Row {
+            label: config.label(),
+            description: config.description(),
+            compute: analysis.compute,
+            communication: analysis.communication,
+            total: analysis.total(),
+            upload_size: analysis.upload,
+            binding: analysis.constraint(),
+        }
+    }
+
     /// Whether the configuration sustains the 30 FPS real-time target.
     pub fn real_time(&self) -> bool {
         self.total.fps() >= 30.0

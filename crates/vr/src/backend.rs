@@ -39,6 +39,26 @@ impl DepthBackend {
             DepthBackend::Fpga => 'F',
         }
     }
+
+    /// Position of this backend in [`DepthBackend::ALL`] — the binding
+    /// index B3 and B4 use in the configuration space (see
+    /// [`crate::analysis::VrModel::binding_space`]).
+    pub fn index(self) -> usize {
+        match self {
+            DepthBackend::Cpu => 0,
+            DepthBackend::Gpu => 1,
+            DepthBackend::Fpga => 2,
+        }
+    }
+
+    /// The `incam-core` backend this depth backend executes on.
+    pub fn core(self) -> incam_core::block::Backend {
+        match self {
+            DepthBackend::Cpu => incam_core::block::Backend::Cpu,
+            DepthBackend::Gpu => incam_core::block::Backend::Gpu,
+            DepthBackend::Fpga => incam_core::block::Backend::Fpga,
+        }
+    }
 }
 
 impl fmt::Display for DepthBackend {
@@ -178,5 +198,13 @@ mod tests {
     fn backend_labels() {
         assert_eq!(DepthBackend::Fpga.letter(), 'F');
         assert_eq!(DepthBackend::Gpu.to_string(), "GPU");
+    }
+
+    #[test]
+    fn index_agrees_with_all_order() {
+        for (i, backend) in DepthBackend::ALL.iter().enumerate() {
+            assert_eq!(backend.index(), i);
+        }
+        assert_eq!(DepthBackend::Gpu.core(), incam_core::block::Backend::Gpu);
     }
 }

@@ -4,9 +4,21 @@
 //! offloads the rest: the raw sensor stream (`S~`), sensor + B1, … up to
 //! the full pipeline, with the depth block on each of the three backends
 //! once it is included.
+//!
+//! [`PipelineConfig`] is a thin, VR-flavored view over
+//! [`incam_core::explore`]'s general [`Configuration`]: the paper set is
+//! the distinct enumeration of the VR binding space pruned by
+//! [`PipelineConfig::paper_coupling`], and
+//! [`PipelineConfig::to_configuration`] /
+//! [`PipelineConfig::from_configuration`] convert between the two
+//! representations.
 
 use crate::backend::DepthBackend;
 use core::fmt;
+use incam_core::block::{BlockSpec, DataTransform};
+use incam_core::explore::{Binding, BlockSpace, Configuration, PipelineSpace};
+use incam_core::pipeline::Source;
+use incam_core::units::{Bytes, Fps};
 
 /// One Fig. 10 configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -18,35 +30,82 @@ pub struct PipelineConfig {
 }
 
 impl PipelineConfig {
-    /// The paper's nine configurations, in figure order.
+    /// The *shape* of the VR configuration space: four blocks with the
+    /// paper's binding multiplicities (B1, B2 fixed to the CPU engines;
+    /// B3 and B4 one binding per [`DepthBackend`]), with placeholder
+    /// costs. Enumeration-only uses — the paper set, cardinality
+    /// checks — need the shape, not the calibrated numbers (those live in
+    /// `VrModel::binding_space`).
+    pub fn shape_space() -> PipelineSpace {
+        let depth_bindings = || {
+            DepthBackend::ALL
+                .iter()
+                .map(|&b| Binding::new(b.core(), Fps::new(1.0)))
+                .collect()
+        };
+        PipelineSpace::new(Source::new("S", Bytes::new(1.0), Fps::new(1.0)))
+            .with_block(BlockSpace::new(
+                BlockSpec::core("B1", DataTransform::Identity),
+                vec![Binding::new(incam_core::block::Backend::Cpu, Fps::new(1.0))],
+            ))
+            .with_block(BlockSpace::new(
+                BlockSpec::core("B2", DataTransform::Identity),
+                vec![Binding::new(incam_core::block::Backend::Cpu, Fps::new(1.0))],
+            ))
+            .with_block(BlockSpace::new(
+                BlockSpec::core("B3", DataTransform::Identity),
+                depth_bindings(),
+            ))
+            .with_block(BlockSpace::new(
+                BlockSpec::core("B4", DataTransform::Identity),
+                depth_bindings(),
+            ))
+    }
+
+    /// The paper's pruning predicate: stitching runs on the same device
+    /// as depth estimation, so when both are in-camera (cut 4) their
+    /// binding indices must agree. Blocks past the cut execute in the
+    /// cloud and are unconstrained.
+    pub fn paper_coupling(config: &Configuration) -> bool {
+        config.cut() < 4 || config.bindings()[2] == config.bindings()[3]
+    }
+
+    /// The paper's nine configurations, in figure order: the distinct
+    /// enumeration of the VR space under [`PipelineConfig::paper_coupling`]
+    /// (cut-major, binding indices in [`DepthBackend::ALL`] order —
+    /// exactly how Fig. 10 arranges its bars).
     pub fn paper_set() -> Vec<PipelineConfig> {
-        let mut set = vec![
-            PipelineConfig {
-                blocks: 0,
-                depth_backend: None,
-            },
-            PipelineConfig {
-                blocks: 1,
-                depth_backend: None,
-            },
-            PipelineConfig {
-                blocks: 2,
-                depth_backend: None,
-            },
-        ];
-        for backend in DepthBackend::ALL {
-            set.push(PipelineConfig {
-                blocks: 3,
-                depth_backend: Some(backend),
-            });
+        Self::shape_space()
+            .distinct_configurations()
+            .filter(Self::paper_coupling)
+            .map(|c| Self::from_configuration(&c))
+            .collect()
+    }
+
+    /// The explorer [`Configuration`] this view denotes: B1/B2 at their
+    /// only binding, B3 and B4 at the depth backend's index (0 = CPU when
+    /// no backend is attached — bindings at or past the cut never
+    /// execute in camera).
+    pub fn to_configuration(&self) -> Configuration {
+        let idx = self.depth_backend.map_or(0, DepthBackend::index);
+        Configuration::new(vec![0, 0, idx, idx], self.blocks)
+    }
+
+    /// Reads a VR view out of an explorer configuration over the
+    /// four-block space: the cut becomes the block count, and B3's
+    /// binding index names the depth backend when B3 is in-camera.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not have four binding choices or
+    /// its cut exceeds 4.
+    pub fn from_configuration(config: &Configuration) -> PipelineConfig {
+        assert_eq!(config.bindings().len(), 4, "the VR space has four blocks");
+        assert!(config.cut() <= 4, "at most four blocks");
+        PipelineConfig {
+            blocks: config.cut(),
+            depth_backend: (config.cut() >= 3).then(|| DepthBackend::ALL[config.bindings()[2]]),
         }
-        for backend in DepthBackend::ALL {
-            set.push(PipelineConfig {
-                blocks: 4,
-                depth_backend: Some(backend),
-            });
-        }
-        set
     }
 
     /// The configuration processing `cut` blocks in-camera, attaching
@@ -167,6 +226,32 @@ mod tests {
             PipelineConfig::at_cut(4, DepthBackend::Fpga).label(),
             "SB1B2B3FB4F~"
         );
+    }
+
+    #[test]
+    fn paper_set_is_a_view_over_the_shape_space() {
+        let space = PipelineConfig::shape_space();
+        // 1 x 1 x 3 x 3 bindings, 5 cuts
+        assert_eq!(space.cardinality(), 45);
+        // cuts 0-2: one config each; cut 3: three; cut 4: nine
+        assert_eq!(space.distinct_cardinality(), 15);
+        // the coupling predicate cuts the nine down to three
+        assert_eq!(PipelineConfig::paper_set().len(), 9);
+    }
+
+    #[test]
+    fn configuration_round_trip() {
+        for config in PipelineConfig::paper_set() {
+            let through = PipelineConfig::from_configuration(&config.to_configuration());
+            assert_eq!(config, through);
+            assert!(PipelineConfig::paper_coupling(&config.to_configuration()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "four blocks")]
+    fn from_configuration_rejects_wrong_shape() {
+        let _ = PipelineConfig::from_configuration(&Configuration::new(vec![0, 0], 1));
     }
 
     #[test]

@@ -30,7 +30,6 @@ use crate::analysis::{VrModel, DATA_RATIOS};
 use crate::backend::DepthBackend;
 use crate::configs::PipelineConfig;
 use incam_core::link::Link;
-use incam_core::offload::best_cut;
 use incam_core::runtime::{DegradationReport, RetryPolicy, Runtime};
 use incam_faults::{ChaosOracle, ComputeFaultModel, LinkTrace};
 
@@ -146,10 +145,20 @@ pub fn run_policy(
             )
         }
         GracefulPolicy::AdaptiveCut => {
-            let pipeline = model.pipeline(backend);
+            // Re-search the configuration space against the *observed*
+            // goodput, holding the depth/stitching bindings at the
+            // configured backend so only the cut moves (the hardware is
+            // already committed; the offload point is not). Ties resolve
+            // to the earliest cut — least in-camera work.
             let degraded = link.degraded(scenario.observed_goodput());
-            let cut = best_cut(&pipeline, &degraded).cut;
-            (pipeline, cut, scenario.retry)
+            let idx = backend.index();
+            let best = model
+                .binding_space()
+                .best_where(&degraded, |c| {
+                    c.bindings().iter().take(c.cut()).skip(2).all(|&b| b == idx)
+                })
+                .expect("the VR space always has the raw-sensor configuration");
+            (model.pipeline(backend), best.config.cut(), scenario.retry)
         }
     };
 

@@ -40,6 +40,7 @@ pub mod platform;
 pub mod radio;
 pub mod runtime;
 pub mod sensor;
+pub mod space;
 pub mod workload;
 
 pub use capacitor::Capacitor;
@@ -53,4 +54,5 @@ pub use platform::{SimulationReport, WispCamPlatform};
 pub use radio::BackscatterRadio;
 pub use runtime::{simulate_degraded, DegradedReport, DegradedSimConfig, RecoveryPolicy};
 pub use sensor::ImageSensor;
+pub use space::{fa_binding_space, submw_sweep, FaBlockCosts, FaSpacePoint};
 pub use workload::{TrainEffort, Workload};

@@ -1,11 +1,13 @@
-//! Offload explorer: sweep uplink bandwidth and accelerator provisioning
-//! to map where the compute/communication crossover falls for the VR
-//! system — the design-space walk behind the paper's closing argument.
+//! Offload explorer: enumerate the VR configuration space, then sweep
+//! uplink bandwidth and accelerator provisioning to map where the
+//! compute/communication crossover falls — the design-space walk behind
+//! the paper's closing argument, driven through `core::explore`.
 //!
 //! ```text
 //! cargo run --release --example offload_explorer
 //! ```
 
+use incam::core::explore::pareto_frontier;
 use incam::core::link::Link;
 use incam::core::report::{sig3, Table};
 use incam::core::units::BytesPerSec;
@@ -18,6 +20,39 @@ use incam::vr::configs::PipelineConfig;
 
 fn main() {
     let mut model = VrModel::paper_default();
+
+    // ---- sweep 0: the whole configuration space on the paper's uplink ---
+    let space = model.binding_space();
+    let link25 = Link::ethernet_25g();
+    println!(
+        "VR configuration space: {} full / {} distinct configurations, {} under the paper's coupling\n",
+        space.cardinality(),
+        space.distinct_cardinality(),
+        space
+            .explore_where(&link25, PipelineConfig::paper_coupling)
+            .count()
+    );
+    let best = space
+        .best_where(&link25, PipelineConfig::paper_coupling)
+        .expect("the VR space is non-empty");
+    println!(
+        "best configuration on 25GbE: {} at {} FPS",
+        PipelineConfig::from_configuration(&best.config),
+        sig3(best.total().fps())
+    );
+    println!("Pareto frontier (total FPS vs upload):");
+    let analyses: Vec<_> = space
+        .explore_where(&link25, PipelineConfig::paper_coupling)
+        .collect();
+    for a in pareto_frontier(analyses) {
+        println!(
+            "  {:<14} {} FPS, {:.1} MB up",
+            PipelineConfig::from_configuration(&a.config).label(),
+            sig3(a.total().fps()),
+            a.upload.mib()
+        );
+    }
+    println!();
 
     // ---- sweep 1: how fast must the uplink be before raw offload wins? --
     println!("uplink sweep (full-FPGA pipeline vs. raw offload):\n");

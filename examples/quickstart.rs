@@ -1,11 +1,14 @@
 //! Quickstart: build an in-camera pipeline, analyze every offload cut,
-//! and find the configuration that meets a real-time target.
+//! find the configuration that meets a real-time target, then widen the
+//! search to a full configuration space with candidate bindings per
+//! block.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use incam::core::block::{Backend, BlockSpec, DataTransform};
+use incam::core::explore::{pareto_frontier, Binding, BlockSpace, PipelineSpace};
 use incam::core::link::Link;
 use incam::core::offload::{analyze_cuts, best_cut};
 use incam::core::pipeline::{Pipeline, Source, Stage};
@@ -71,4 +74,48 @@ fn main() {
         target.fps(),
         if best.meets(target) { "yes" } else { "no" }
     );
+
+    // ---- the same pipeline as a configuration space ---------------------
+    // Each block now declares *candidate* bindings — alternative backends
+    // with their own throughput — and exploration enumerates every
+    // (binding, cut) combination through one engine.
+    let space = PipelineSpace::new(Source::new("sensor", Bytes::from_mib(8.0), Fps::new(120.0)))
+        .with_block(BlockSpace::new(
+            BlockSpec::core("denoise", DataTransform::Identity),
+            vec![Binding::new(Backend::Asic, Fps::new(240.0))],
+        ))
+        .with_block(BlockSpace::new(
+            BlockSpec::core("enhance", DataTransform::Scale(4.0)),
+            vec![
+                Binding::new(Backend::Fpga, Fps::new(90.0)),
+                Binding::new(Backend::Gpu, Fps::new(150.0)),
+            ],
+        ))
+        .with_block(BlockSpace::new(
+            BlockSpec::core("analyze", DataTransform::Fixed(Bytes::from_kib(64.0))),
+            vec![
+                Binding::new(Backend::Fpga, Fps::new(45.0)),
+                Binding::new(Backend::Cpu, Fps::new(20.0)),
+            ],
+        ));
+    println!(
+        "\nConfiguration space: {} full / {} distinct configurations",
+        space.cardinality(),
+        space.distinct_cardinality()
+    );
+    let best = space.best(&link).expect("the space is non-empty");
+    println!(
+        "best configuration: {} at {} FPS",
+        best.label,
+        sig3(best.total().fps())
+    );
+    println!("Pareto frontier (total FPS / energy / upload):");
+    for a in pareto_frontier(space.explore(&link).collect()) {
+        println!(
+            "  {:<40} {} FPS, {} up",
+            a.label,
+            sig3(a.total().fps()),
+            a.upload.human()
+        );
+    }
 }

@@ -3,10 +3,11 @@
 
 use incam::bilateral::grid::{BilateralGrid, GridParams};
 use incam::core::block::{Backend, BlockSpec, DataTransform};
+use incam::core::explore::{pareto_frontier, Binding, BlockSpace, PipelineSpace};
 use incam::core::link::Link;
 use incam::core::offload::{analyze_cuts, best_cut};
 use incam::core::pipeline::{Pipeline, Source, Stage};
-use incam::core::units::{Bytes, BytesPerSec, Fps};
+use incam::core::units::{Bytes, BytesPerSec, Fps, Joules};
 use incam::imaging::image::{GrayImage, Image};
 use incam::imaging::integral::IntegralImage;
 use incam::nn::quant::QFormat;
@@ -34,7 +35,67 @@ fn arbitrary_pipeline() -> impl Strategy<Value = Pipeline> {
         })
 }
 
+fn arbitrary_space() -> impl Strategy<Value = PipelineSpace> {
+    let binding = (1.0f64..500.0, 0.0f64..10.0).prop_map(|(fps, uj)| {
+        Binding::new(Backend::Cpu, Fps::new(fps)).with_energy_per_frame(Joules::from_micro(uj))
+    });
+    let block =
+        (0.1f64..8.0, prop::collection::vec(binding, 1..4)).prop_map(|(scale, bindings)| {
+            BlockSpace::new(BlockSpec::core("b", DataTransform::Scale(scale)), bindings)
+        });
+    (
+        1.0f64..1e8,
+        1.0f64..200.0,
+        prop::collection::vec(block, 0..4),
+    )
+        .prop_map(|(bytes, cap, blocks)| {
+            let mut space = PipelineSpace::new(Source::new("s", Bytes::new(bytes), Fps::new(cap)));
+            for b in blocks {
+                space.push(b);
+            }
+            space
+        })
+}
+
 proptest! {
+    /// Enumeration yields exactly the advertised cardinalities: the
+    /// product of per-block binding counts times cut positions for the
+    /// full space, and the prefix-product sum for the distinct view.
+    #[test]
+    fn enumeration_cardinality_matches_product(space in arbitrary_space()) {
+        let product: u128 = space
+            .blocks()
+            .iter()
+            .map(|b| b.bindings().len() as u128)
+            .product();
+        let expected = product * (space.len() as u128 + 1);
+        prop_assert_eq!(space.cardinality(), expected);
+        prop_assert_eq!(space.configurations().count() as u128, expected);
+        prop_assert_eq!(
+            space.distinct_configurations().count() as u128,
+            space.distinct_cardinality()
+        );
+    }
+
+    /// No configuration the Pareto frontier returns is dominated on all
+    /// three objectives (total FPS, in-camera energy, upload bytes) by
+    /// any explored configuration.
+    #[test]
+    fn pareto_frontier_is_nondominated(
+        space in arbitrary_space(),
+        gbps in 0.01f64..100.0,
+    ) {
+        let link = Link::new("l", BytesPerSec::from_gbps(gbps), 0.9);
+        let all: Vec<_> = space.explore(&link).collect();
+        let frontier = pareto_frontier(all.clone());
+        prop_assert!(!frontier.is_empty());
+        for kept in &frontier {
+            for candidate in &all {
+                prop_assert!(!candidate.dominates(kept));
+            }
+        }
+    }
+
     /// Pipelined throughput never increases as more stages are included.
     #[test]
     fn compute_fps_monotone_nonincreasing(p in arbitrary_pipeline()) {
