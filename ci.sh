@@ -9,7 +9,58 @@ cd "$(dirname "$0")"
 
 export CARGO_NET_OFFLINE=true
 
-step() { printf '\n==> %s\n' "$*"; }
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+# Per-step wall-clock bookkeeping: step() closes the previous step and
+# opens the next; timing_summary() prints the table at the end.
+STEP_NAMES=()
+STEP_SECS=()
+CURRENT_STEP=""
+STEP_START=0
+
+finish_step() {
+    if [[ -n "$CURRENT_STEP" ]]; then
+        STEP_NAMES+=("$CURRENT_STEP")
+        STEP_SECS+=($(( $(date +%s) - STEP_START )))
+        CURRENT_STEP=""
+    fi
+}
+
+step() {
+    finish_step
+    CURRENT_STEP="$*"
+    STEP_START=$(date +%s)
+    printf '\n==> %s\n' "$*"
+}
+
+timing_summary() {
+    finish_step
+    printf '\n==> per-step elapsed seconds\n'
+    local i
+    for i in "${!STEP_NAMES[@]}"; do
+        printf '%6ss  %s\n' "${STEP_SECS[$i]}" "${STEP_NAMES[$i]}"
+    done
+}
+
+# repro_diff <experiment> [extra repro args...]
+#
+# The determinism gate for one repro experiment: runs it twice at
+# INCAM_THREADS=1 and once at INCAM_THREADS=4 (seed 2017, the committed
+# default), then byte-compares the three outputs — run-to-run and
+# thread-count determinism in one shot.
+repro_diff() {
+    local exp="$1"; shift
+    local base="$tmpdir/repro_${exp}"
+    INCAM_THREADS=1 cargo run --release --offline -p incam-bench --bin repro -- \
+        --experiment "$exp" --seed 2017 "$@" > "${base}_t1a.txt"
+    INCAM_THREADS=1 cargo run --release --offline -p incam-bench --bin repro -- \
+        --experiment "$exp" --seed 2017 "$@" > "${base}_t1b.txt"
+    INCAM_THREADS=4 cargo run --release --offline -p incam-bench --bin repro -- \
+        --experiment "$exp" --seed 2017 "$@" > "${base}_t4.txt"
+    cmp "${base}_t1a.txt" "${base}_t1b.txt"
+    cmp "${base}_t1a.txt" "${base}_t4.txt"
+}
 
 step "build (release, offline)"
 cargo build --release --offline --workspace
@@ -32,23 +83,16 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 step "doc (no-deps, deny rustdoc warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 
-step "determinism smoke (harvest study, seed 2017, twice)"
-tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT
-cargo run --release --offline -p incam-bench --bin repro -- \
-    --experiment harvest --seed 2017 > "$tmpdir/a.txt"
-cargo run --release --offline -p incam-bench --bin repro -- \
-    --experiment harvest --seed 2017 > "$tmpdir/b.txt"
-cmp "$tmpdir/a.txt" "$tmpdir/b.txt"
+step "determinism smoke (harvest study, run-to-run and threads 1 vs 4)"
+repro_diff harvest
 
 step "parallel determinism (FA + VR + chaos reports, threads 1 vs 4)"
 for exp in fa-pipeline fig6 chaos; do
-    INCAM_THREADS=1 cargo run --release --offline -p incam-bench --bin repro -- \
-        --experiment "$exp" --seed 2017 --quick > "$tmpdir/${exp}_t1.txt"
-    INCAM_THREADS=4 cargo run --release --offline -p incam-bench --bin repro -- \
-        --experiment "$exp" --seed 2017 --quick > "$tmpdir/${exp}_t4.txt"
-    cmp "$tmpdir/${exp}_t1.txt" "$tmpdir/${exp}_t4.txt"
+    repro_diff "$exp" --quick
 done
+
+step "fleet determinism (discrete-event simulator, threads 1 vs 4)"
+repro_diff fleet --quick
 
 step "examples smoke (quickstart + offload_explorer vs committed transcripts)"
 cargo run --release --offline --example quickstart > "$tmpdir/quickstart.txt"
@@ -56,9 +100,13 @@ cmp "$tmpdir/quickstart.txt" results/examples/quickstart.txt
 cargo run --release --offline --example offload_explorer > "$tmpdir/offload_explorer.txt"
 cmp "$tmpdir/offload_explorer.txt" results/examples/offload_explorer.txt
 
+step "BENCH_*.json schema check (committed trajectory files)"
+cargo test -q --offline -p incam-bench --test benchjson
+
 step "bench harness smoke (2 samples)"
 # INCAM_BENCH_DIR keeps smoke output away from the committed
-# crates/bench/BENCH_parallel.json baseline (default dir is the package).
+# BENCH_*.json baselines (default dir is the package).
 INCAM_BENCH_SAMPLES=2 INCAM_BENCH_DIR="$tmpdir" cargo bench --offline -p incam-bench -- fa_pipeline
 
+timing_summary
 printf '\nAll gates passed.\n'

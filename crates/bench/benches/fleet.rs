@@ -1,0 +1,49 @@
+//! Cameras-vs-wall-clock scaling for the `incam-fleet` discrete-event
+//! simulator: the canonical WISPCam deployment swept from 1k to 100k
+//! cameras on a fixed 2 s horizon.
+//!
+//! Methodology: every sweep point runs the *same* simulation the
+//! `repro --experiment fleet` golden pins (shared spectrum, ingest
+//! tier, trace pool, per-camera re-search), only the camera count
+//! varies. Because each camera caps at one in-flight frame, the event
+//! count — and so the wall clock — should grow roughly linearly with
+//! the fleet; a super-linear bend in `BENCH_fleet.json` means the event
+//! queue, the spectrum reservation, or the ingest tier picked up a
+//! hidden per-camera cost. The horizon is shorter than the canonical
+//! 10 s so the 100k point stays CI-sized; scaling in cameras is
+//! unaffected by the horizon choice.
+//!
+//! Results land in `BENCH_fleet.json` (see `INCAM_BENCH_DIR`).
+
+use incam_bench::experiments::fleet::wispcam_fleet;
+use incam_core::units::Seconds;
+use incam_rng::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Fleet sizes swept (1k → 100k cameras).
+const FLEETS: [u64; 4] = [1_000, 5_000, 20_000, 100_000];
+
+/// Bench horizon: long enough for contention and re-selection to kick
+/// in, short enough that the 100k point stays CI-sized.
+const HORIZON_SECS: f64 = 2.0;
+
+/// Wall clock of one full simulation per fleet size.
+fn bench_fleet_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_scaling");
+    group.sample_size(10);
+    for cameras in FLEETS {
+        group.bench_with_input(
+            BenchmarkId::new("wispcam_cameras", cameras),
+            &cameras,
+            |b, &cameras| {
+                b.iter(|| {
+                    wispcam_fleet(black_box(2017), cameras, Seconds::new(HORIZON_SECS)).digest()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(fleet, bench_fleet_scaling);
+criterion_main!(fleet);

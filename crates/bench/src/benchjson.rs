@@ -1,0 +1,406 @@
+//! Schema validation for the committed `BENCH_*.json` trajectory files.
+//!
+//! The bench harness (`incam_rng::bench`) hand-writes its JSON, and
+//! nothing in the hermetic workspace round-trips it — so a malformed
+//! escape, a negative median, or a silently renamed key would sit in
+//! the repo unnoticed until an external consumer chokes on it. This
+//! module is the in-tree consumer: a minimal recursive-descent JSON
+//! parser (the workspace has no serde) plus a validator for the bench
+//! schema. The `benchjson` integration test runs it over every
+//! committed `BENCH_*.json`, and `ci.sh` runs that test before the
+//! bench smoke so a schema regression fails fast.
+//!
+//! Required shape:
+//!
+//! ```json
+//! {
+//!   "harness": "incam-rng/bench",
+//!   "target": "<bench target>",
+//!   "results": [
+//!     {"group": "...", "name": "...", "median_ns": 1.0,
+//!      "mad_ns": 0.0, "samples": 30, "iters_per_sample": 1}
+//!   ]
+//! }
+//! ```
+//!
+//! `median_ns`/`mad_ns` must be finite and non-negative; `samples` and
+//! `iters_per_sample` must be positive integers.
+
+use std::fmt;
+
+/// A parsed JSON value (just enough of the data model for the bench
+/// schema; no number bignums, no \u surrogate pairs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as f64).
+    Number(f64),
+    /// A string literal.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in source order (no hashing, so iteration is stable).
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up `key` in an object; `None` for missing keys or
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Number(_) => "number",
+            Json::String(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
+        }
+    }
+}
+
+/// A parse or validation failure, with enough context to locate it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaError(String);
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Parses a JSON document, requiring it to be fully consumed.
+pub fn parse(src: &str) -> Result<Json, SchemaError> {
+    let bytes = src.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(SchemaError(format!("trailing bytes at offset {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, SchemaError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(SchemaError("unexpected end of input".to_string())),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::String),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: Json,
+) -> Result<Json, SchemaError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(SchemaError(format!("expected `{word}` at offset {}", *pos)))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, SchemaError> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii digits");
+    text.parse::<f64>()
+        .map(Json::Number)
+        .map_err(|_| SchemaError(format!("bad number `{text}` at offset {start}")))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, SchemaError> {
+    let start = *pos;
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = bytes
+                    .get(*pos)
+                    .ok_or_else(|| SchemaError("unterminated escape".to_string()))?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    other => {
+                        return Err(SchemaError(format!(
+                            "unsupported escape `\\{}` at offset {}",
+                            *other as char, *pos
+                        )))
+                    }
+                }
+            }
+            _ => {
+                // Re-slice from the source so multi-byte UTF-8 survives.
+                let ch_start = *pos - 1;
+                let s = std::str::from_utf8(&bytes[ch_start..])
+                    .map_err(|_| SchemaError(format!("invalid UTF-8 at offset {ch_start}")))?;
+                let ch = s.chars().next().expect("non-empty");
+                out.push(ch);
+                *pos = ch_start + ch.len_utf8();
+            }
+        }
+    }
+    Err(SchemaError(format!(
+        "unterminated string starting at offset {start}"
+    )))
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, SchemaError> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(SchemaError(format!("expected `,` or `]` at offset {pos}"))),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, SchemaError> {
+    *pos += 1; // '{'
+    let mut pairs = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(pairs));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(SchemaError(format!("expected object key at offset {pos}")));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(SchemaError(format!("expected `:` at offset {pos}")));
+        }
+        *pos += 1;
+        pairs.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(pairs));
+            }
+            _ => return Err(SchemaError(format!("expected `,` or `}}` at offset {pos}"))),
+        }
+    }
+}
+
+/// One validated benchmark record from a `BENCH_*.json` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark group (e.g. `fleet_scaling`).
+    pub group: String,
+    /// Benchmark name within the group (e.g. `wispcam_cameras/1000`).
+    pub name: String,
+    /// Median per-iteration nanoseconds (finite, non-negative).
+    pub median_ns: f64,
+    /// MAD of per-iteration nanoseconds (finite, non-negative).
+    pub mad_ns: f64,
+    /// Timed samples (positive).
+    pub samples: u64,
+    /// Iterations per sample (positive).
+    pub iters_per_sample: u64,
+}
+
+/// A validated `BENCH_*.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchFile {
+    /// The producing harness (always `incam-rng/bench` in this tree).
+    pub harness: String,
+    /// The bench target the file tracks.
+    pub target: String,
+    /// Every recorded benchmark.
+    pub results: Vec<BenchRecord>,
+}
+
+fn want_string(doc: &Json, key: &str) -> Result<String, SchemaError> {
+    match doc.get(key) {
+        Some(Json::String(s)) if !s.is_empty() => Ok(s.clone()),
+        Some(Json::String(_)) => Err(SchemaError(format!("`{key}` must be non-empty"))),
+        Some(other) => Err(SchemaError(format!(
+            "`{key}` must be a string, got {}",
+            other.type_name()
+        ))),
+        None => Err(SchemaError(format!("missing required key `{key}`"))),
+    }
+}
+
+fn want_non_negative(doc: &Json, key: &str) -> Result<f64, SchemaError> {
+    match doc.get(key) {
+        Some(Json::Number(n)) if n.is_finite() && *n >= 0.0 => Ok(*n),
+        Some(Json::Number(n)) => Err(SchemaError(format!(
+            "`{key}` must be finite and non-negative, got {n}"
+        ))),
+        Some(other) => Err(SchemaError(format!(
+            "`{key}` must be a number, got {}",
+            other.type_name()
+        ))),
+        None => Err(SchemaError(format!("missing required key `{key}`"))),
+    }
+}
+
+fn want_positive_integer(doc: &Json, key: &str) -> Result<u64, SchemaError> {
+    let n = want_non_negative(doc, key)?;
+    if n >= 1.0 && n.fract() == 0.0 {
+        Ok(n as u64)
+    } else {
+        Err(SchemaError(format!(
+            "`{key}` must be a positive integer, got {n}"
+        )))
+    }
+}
+
+/// Parses and schema-checks one `BENCH_*.json` document.
+pub fn validate(src: &str) -> Result<BenchFile, SchemaError> {
+    let doc = parse(src)?;
+    let harness = want_string(&doc, "harness")?;
+    let target = want_string(&doc, "target")?;
+    let rows = match doc.get("results") {
+        Some(Json::Array(rows)) => rows,
+        Some(other) => {
+            return Err(SchemaError(format!(
+                "`results` must be an array, got {}",
+                other.type_name()
+            )))
+        }
+        None => return Err(SchemaError("missing required key `results`".to_string())),
+    };
+    let mut results = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let record = (|| {
+            Ok(BenchRecord {
+                group: want_string(row, "group")?,
+                name: want_string(row, "name")?,
+                median_ns: want_non_negative(row, "median_ns")?,
+                mad_ns: want_non_negative(row, "mad_ns")?,
+                samples: want_positive_integer(row, "samples")?,
+                iters_per_sample: want_positive_integer(row, "iters_per_sample")?,
+            })
+        })()
+        .map_err(|e: SchemaError| SchemaError(format!("results[{i}]: {e}")))?;
+        results.push(record);
+    }
+    Ok(BenchFile {
+        harness,
+        target,
+        results,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{
+  "harness": "incam-rng/bench",
+  "target": "fleet",
+  "results": [
+    {"group": "fleet_scaling", "name": "wispcam_cameras/1000", "median_ns": 1836000.0,
+     "mad_ns": 106396.0, "samples": 10, "iters_per_sample": 5}
+  ]
+}
+"#;
+
+    #[test]
+    fn accepts_the_harness_shape() {
+        let file = validate(GOOD).expect("valid");
+        assert_eq!(file.harness, "incam-rng/bench");
+        assert_eq!(file.target, "fleet");
+        assert_eq!(file.results.len(), 1);
+        assert_eq!(file.results[0].name, "wispcam_cameras/1000");
+        assert_eq!(file.results[0].samples, 10);
+    }
+
+    #[test]
+    fn rejects_missing_and_malformed_keys() {
+        let missing = GOOD.replace("\"median_ns\"", "\"median\"");
+        let err = validate(&missing).unwrap_err().to_string();
+        assert!(err.contains("median_ns"), "{err}");
+
+        let negative = GOOD.replace("1836000.0", "-1.0");
+        let err = validate(&negative).unwrap_err().to_string();
+        assert!(err.contains("non-negative"), "{err}");
+
+        let zero_samples = GOOD.replace("\"samples\": 10", "\"samples\": 0");
+        let err = validate(&zero_samples).unwrap_err().to_string();
+        assert!(err.contains("positive integer"), "{err}");
+
+        let bad_type = GOOD.replace("\"fleet\"", "7");
+        let err = validate(&bad_type).unwrap_err().to_string();
+        assert!(err.contains("`target`"), "{err}");
+    }
+
+    #[test]
+    fn rejects_broken_json() {
+        assert!(validate("{").is_err());
+        assert!(validate("{} trailing").is_err());
+        assert!(validate("{\"a\": 1e}").is_err());
+        assert!(validate("{\"a\": \"unterminated}").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let doc = parse(r#"{"a": ["x\n\"y\"", {"b": null, "c": true}], "d": -2.5e3}"#).unwrap();
+        assert_eq!(
+            doc.get("a").unwrap(),
+            &Json::Array(vec![
+                Json::String("x\n\"y\"".to_string()),
+                Json::Object(vec![
+                    ("b".to_string(), Json::Null),
+                    ("c".to_string(), Json::Bool(true)),
+                ]),
+            ])
+        );
+        assert_eq!(doc.get("d"), Some(&Json::Number(-2500.0)));
+    }
+}

@@ -10,7 +10,7 @@
 //! ```
 
 use incam_bench::experiments::{
-    ablations, chaos, compression, fa_pipeline, fig4c, harvest, nn_studies, vr_studies,
+    ablations, chaos, compression, fa_pipeline, fig4c, fleet, harvest, nn_studies, vr_studies,
 };
 use incam_vr::analysis::VrModel;
 use incam_wispcam::workload::TrainEffort;
@@ -41,6 +41,7 @@ const ALL: &[&str] = &[
     "ablations",
     "harvest",
     "chaos",
+    "fleet",
 ];
 
 fn parse_args() -> Result<Options, String> {
@@ -193,6 +194,10 @@ fn run_experiment(name: &str, opts: &Options) -> (String, String) {
         "chaos" => {
             banner("Chaos study — degradation under link, harvest and compute faults");
             print!("{}", chaos::run(seed, opts.quick));
+        }
+        "fleet" => {
+            banner("Fleet study — contended spectrum, cloud ingest, online cut re-selection");
+            print!("{}", fleet::run(seed, opts.quick));
         }
         _ => unreachable!("validated in parse_args"),
     }

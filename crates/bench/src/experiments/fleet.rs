@@ -1,0 +1,126 @@
+//! Fleet study — the computation-communication tradeoff at deployment
+//! scale.
+//!
+//! Three scenarios, all driven by the deterministic `incam-fleet`
+//! simulator from one seed:
+//!
+//! * a **WISPCam deployment** — the canonical 1k-camera scenario the
+//!   golden test pins: backscatter cameras booting at raw offload
+//!   (cut 0) whose contention forces per-camera re-selection toward the
+//!   one-byte verdict cut;
+//! * a **VR rig farm** — a smaller fleet of 25 GbE rigs whose frames
+//!   are big enough that even a fat spectrum congests;
+//! * a **mixed fleet** — both classes interleaved on the same spectrum
+//!   and ingest tier.
+//!
+//! Every report ends in its FNV digest, so the `repro --experiment
+//! fleet` output is byte-comparable across runs and `INCAM_THREADS`
+//! settings — the CI fleet-determinism gate does exactly that.
+
+use incam_core::fleet::FleetReport;
+use incam_core::units::Seconds;
+use incam_fleet::{FleetConfig, FleetSim};
+use incam_vr::backend::DepthBackend;
+
+/// Cameras in the canonical (golden-pinned) WISPCam deployment.
+pub const CANONICAL_CAMERAS: u64 = 1000;
+
+/// The canonical WISPCam deployment: `cameras` backscatter cameras on
+/// the default shared spectrum and ingest tier.
+pub fn wispcam_fleet(seed: u64, cameras: u64, horizon: Seconds) -> FleetReport {
+    let mut config = FleetConfig::canonical("wispcam deployment", seed, cameras);
+    config.horizon = horizon;
+    FleetSim::new(config, vec![incam_wispcam::fleet_profile()]).run()
+}
+
+/// A VR rig farm: `rigs` rigs with FPGA depth backends sharing a
+/// 16-channel aggregation spectrum.
+pub fn vr_fleet(seed: u64, rigs: u64, horizon: Seconds) -> FleetReport {
+    let mut config = FleetConfig::canonical("vr rig farm", seed, rigs);
+    config.horizon = horizon;
+    config.channels = 16;
+    FleetSim::new(config, vec![incam_vr::fleet_profile(DepthBackend::Fpga)]).run()
+}
+
+/// A mixed fleet: WISPCams and VR rigs interleaved on one spectrum.
+pub fn mixed_fleet(seed: u64, cameras: u64, horizon: Seconds) -> FleetReport {
+    let mut config = FleetConfig::canonical("mixed fleet", seed, cameras);
+    config.horizon = horizon;
+    FleetSim::new(
+        config,
+        vec![
+            incam_wispcam::fleet_profile(),
+            incam_vr::fleet_profile(DepthBackend::Fpga),
+        ],
+    )
+    .run()
+}
+
+/// The canonical 1k-camera report the golden regression pins.
+pub fn canonical_report(seed: u64) -> FleetReport {
+    wispcam_fleet(seed, CANONICAL_CAMERAS, Seconds::new(10.0))
+}
+
+/// Renders the three fleet scenarios behind `results/fleet.txt`.
+pub fn run(seed: u64, quick: bool) -> String {
+    let (wisp, rigs, mixed, horizon) = if quick {
+        (200, 16, 120, Seconds::new(5.0))
+    } else {
+        (CANONICAL_CAMERAS, 48, 600, Seconds::new(10.0))
+    };
+    let mut out = String::new();
+    for report in [
+        wispcam_fleet(seed, wisp, horizon),
+        vr_fleet(seed, rigs, horizon),
+        mixed_fleet(seed, mixed, horizon),
+    ] {
+        out.push_str(&report.render());
+        out.push('\n');
+    }
+    out.push_str(
+        "(each camera re-selects its offload cut online via core::explore as its\n\
+         observed goodput shifts; digests are FNV-1a over every counter, so two\n\
+         runs agree iff the whole simulation agreed)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_render_is_deterministic_and_complete() {
+        let a = run(2017, true);
+        let b = run(2017, true);
+        assert_eq!(a, b);
+        assert!(a.contains("wispcam deployment"));
+        assert!(a.contains("vr rig farm"));
+        assert!(a.contains("mixed fleet"));
+        assert_eq!(a.matches("\ndigest").count(), 3);
+    }
+
+    #[test]
+    fn scenarios_conserve_frames() {
+        let horizon = Seconds::new(3.0);
+        for r in [
+            wispcam_fleet(2017, 60, horizon),
+            vr_fleet(2017, 8, horizon),
+            mixed_fleet(2017, 30, horizon),
+        ] {
+            assert!(r.conserves(), "{}: {r:?}", r.label);
+        }
+    }
+
+    #[test]
+    fn wispcam_contention_forces_verdict_cut() {
+        let r = wispcam_fleet(2017, 300, Seconds::new(10.0));
+        // raw backscatter offload cannot feed 300 cameras through 64
+        // channels; the adapted majority must sit at the verdict cut
+        assert!(
+            r.cut_histogram[3] > r.cameras / 2,
+            "cut histogram: {:?}",
+            r.cut_histogram
+        );
+    }
+}

@@ -8,6 +8,7 @@ pub mod chaos;
 pub mod compression;
 pub mod fa_pipeline;
 pub mod fig4c;
+pub mod fleet;
 pub mod harvest;
 pub mod nn_studies;
 pub mod vr_studies;

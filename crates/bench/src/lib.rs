@@ -3,9 +3,11 @@
 //! One module per paper artifact (figures 4c, 6, 7, 9, 10; Table I; the
 //! §III-A design studies; the end-to-end face-authentication evaluation).
 //! The `repro` binary prints every table; the Criterion benches in
-//! `benches/` measure the underlying Rust kernels.
+//! `benches/` measure the underlying Rust kernels, and [`benchjson`]
+//! schema-checks the `BENCH_*.json` files they emit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod benchjson;
 pub mod experiments;

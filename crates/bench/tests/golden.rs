@@ -126,6 +126,50 @@ mod fig10_golden {
     }
 }
 
+mod fleet_golden {
+    //! Pins the canonical fleet scenario (1000 WISPCams on the default
+    //! shared spectrum and ingest tier for 10 s) to exact counters. The
+    //! discrete-event simulator is a pure function of the seed, so every
+    //! counter is exact — any drift means the event model, the spectrum
+    //! or ingest policy, the trace pool, or the re-search loop changed,
+    //! and the change must be acknowledged here.
+
+    use incam_bench::experiments::fleet;
+
+    use super::REPRO_SEED;
+
+    #[test]
+    fn canonical_fleet_scenario_matches_golden_counters() {
+        let r = fleet::canonical_report(REPRO_SEED);
+        assert_eq!(r.cameras, fleet::CANONICAL_CAMERAS);
+        assert_eq!(r.frames_captured, 10_000);
+        assert_eq!(r.frames_skipped, 8_267);
+        assert_eq!(r.frames_admitted, 1_733);
+        assert_eq!(r.frames_delivered, 733);
+        assert_eq!(r.frames_dropped_link, 0);
+        assert_eq!(r.frames_dropped_ingest, 0);
+        assert_eq!(r.frames_in_flight, 1_000);
+        assert_eq!(r.link_retries, 38);
+        assert_eq!(r.re_searches, 733);
+        assert_eq!(r.cut_changes, 505);
+        assert_eq!(r.ingest_batches, 32);
+        // The headline adaptation: about half the fleet has re-selected
+        // the one-byte verdict cut by the end of the horizon.
+        assert_eq!(r.cut_histogram, vec![495, 0, 0, 505]);
+        assert!(r.conserves());
+        // The digest folds every counter (including the energy bit
+        // patterns), so this single value subsumes the lines above.
+        assert_eq!(r.digest(), 0x8c87_4591_af5b_56c8);
+    }
+
+    #[test]
+    fn canonical_fleet_scenario_is_bit_stable() {
+        let a = fleet::canonical_report(REPRO_SEED).render();
+        let b = fleet::canonical_report(REPRO_SEED).render();
+        assert_eq!(a, b);
+    }
+}
+
 mod chaos_golden {
     //! Pins the canonical chaos scenario (ISSUE: 5 % bursty loss on the
     //! VR uplink, WISPCam at 2 m under the canonical RF fade) to exact

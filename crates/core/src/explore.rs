@@ -458,6 +458,48 @@ impl PipelineSpace {
     pub fn pareto_frontier(&self, link: &Link) -> Vec<ConfigAnalysis> {
         pareto_frontier(self.explore(link).collect())
     }
+
+    /// Online cut re-selection: re-evaluates every cut of a *committed*
+    /// configuration over `link` and returns the analysis with the
+    /// highest end-to-end frame rate. The binding choice per block is
+    /// held at `committed` (the hardware is already built; only the
+    /// offload point can move at runtime), and each candidate is
+    /// canonicalized — bindings past the cut reset to 0 — so the result
+    /// matches the distinct enumeration exactly. Ties resolve to the
+    /// earliest cut: the least in-camera work.
+    ///
+    /// This is the single re-search entry point shared by
+    /// `vr::degrade`'s adaptive-cut policy and the fleet simulator's
+    /// per-camera re-selection; callers typically pass
+    /// [`Link::degraded`] with the *observed* goodput.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `committed` does not have one binding index per block,
+    /// or any index is out of range for its block.
+    pub fn best_cut_held(&self, link: &Link, committed: &[usize]) -> ConfigAnalysis {
+        assert_eq!(
+            committed.len(),
+            self.blocks.len(),
+            "committed has {} binding choices for a {}-block space",
+            committed.len(),
+            self.blocks.len()
+        );
+        let mut best: Option<ConfigAnalysis> = None;
+        for cut in 0..=self.blocks.len() {
+            let mut bindings = committed.to_vec();
+            bindings[cut..].fill(0);
+            let analysis = self.evaluate(&Configuration::new(bindings, cut), link);
+            let better = match &best {
+                Some(b) => analysis.total().fps() > b.total().fps(),
+                None => true,
+            };
+            if better {
+                best = Some(analysis);
+            }
+        }
+        best.expect("cut 0 is always evaluated")
+    }
 }
 
 /// Lazy cut-major enumeration of a [`PipelineSpace`] (see
@@ -671,6 +713,68 @@ mod tests {
         let space = sample_space();
         let a = space.evaluate(&Configuration::new(vec![0, 0], 0), &link());
         assert!(!a.dominates(&a.clone()));
+    }
+
+    #[test]
+    fn best_cut_held_matches_filtered_best() {
+        let space = sample_space();
+        let link = link();
+        // hold both blocks at binding 1 (ASIC b1, GPU b2): best_cut_held
+        // must agree with the equivalent best_where over the distinct
+        // space (bindings in camera pinned to the committed indices)
+        let held = space.best_cut_held(&link, &[1, 1]);
+        let filtered = space
+            .best_where(&link, |c| {
+                c.bindings().iter().take(c.cut()).all(|&b| b == 1)
+            })
+            .unwrap();
+        assert_eq!(held.config, filtered.config);
+        assert_eq!(held.label, filtered.label);
+        assert_eq!(held.compute, filtered.compute);
+    }
+
+    #[test]
+    fn best_cut_held_canonicalizes_and_breaks_ties_early() {
+        // identical bindings at every cut: all cuts tie on an identity
+        // block, so the earliest cut must win and the result must be
+        // canonical (bindings past the cut reset to 0)
+        let space = PipelineSpace::new(Source::new("s", Bytes::new(1000.0), Fps::new(100.0)))
+            .with_block(BlockSpace::new(
+                BlockSpec::core("b", DataTransform::Identity),
+                vec![
+                    Binding::new(Backend::Cpu, Fps::new(200.0)),
+                    Binding::new(Backend::Gpu, Fps::new(200.0)),
+                ],
+            ));
+        let held = space.best_cut_held(&link(), &[1]);
+        assert_eq!(held.config.cut(), 0);
+        assert_eq!(held.config.bindings(), &[0], "canonical past the cut");
+        assert!(held.config.is_canonical());
+    }
+
+    #[test]
+    fn best_cut_held_moves_cut_with_link_quality() {
+        let space = sample_space();
+        // on the nominal link the reducing b2 makes a deep cut pay; on a
+        // heavily degraded link the comparison shifts, but the chosen
+        // analysis is always the max-total one among the held cuts
+        for goodput in [1.0, 0.25, 0.01] {
+            let degraded = link().degraded(goodput);
+            let held = space.best_cut_held(&degraded, &[0, 0]);
+            for cut in 0..=2usize {
+                let mut bindings = vec![0, 0];
+                bindings[cut..].fill(0);
+                let candidate = space.evaluate(&Configuration::new(bindings, cut), &degraded);
+                assert!(held.total().fps() >= candidate.total().fps());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "committed has")]
+    fn best_cut_held_shape_mismatch_panics() {
+        let space = sample_space();
+        let _ = space.best_cut_held(&link(), &[0]);
     }
 
     #[test]

@@ -48,6 +48,7 @@
 pub mod block;
 pub mod energy;
 pub mod explore;
+pub mod fleet;
 pub mod link;
 pub mod offload;
 pub mod pipeline;
@@ -60,6 +61,7 @@ pub use energy::EnergyBreakdown;
 pub use explore::{
     pareto_frontier, Binding, BlockSpace, ConfigAnalysis, Configuration, PipelineSpace,
 };
+pub use fleet::{CameraProfile, FleetReport};
 pub use link::{Link, LinkError};
 pub use offload::{analyze_cut, analyze_cuts, best_cut, Constraint, CutAnalysis};
 pub use pipeline::{Pipeline, Source, Stage};

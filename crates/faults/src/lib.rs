@@ -24,6 +24,10 @@
 //!   `incam_core`'s [`FaultOracle`](incam_core::runtime::FaultOracle)
 //!   trait for the degradation-aware runtime to consult.
 //!
+//! For fleet-scale runs, [`TracePool`] derives per-camera channel views
+//! (a shared trace plus a private phase) from a single fleet seed
+//! without materialising one trace per camera — see [`fleet`].
+//!
 //! # Determinism contract
 //!
 //! Every artifact here is a pure function of its seed and parameters.
@@ -47,9 +51,11 @@
 pub mod brownout;
 pub mod chaos;
 pub mod compute;
+pub mod fleet;
 pub mod gilbert;
 
 pub use brownout::{BrownoutModel, BrownoutTrace};
 pub use chaos::ChaosOracle;
 pub use compute::ComputeFaultModel;
+pub use fleet::{camera_seed, TracePool, TraceView};
 pub use gilbert::{GilbertElliott, LinkSlot, LinkTrace};

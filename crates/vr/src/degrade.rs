@@ -149,15 +149,14 @@ pub fn run_policy(
             // goodput, holding the depth/stitching bindings at the
             // configured backend so only the cut moves (the hardware is
             // already committed; the offload point is not). Ties resolve
-            // to the earliest cut — least in-camera work.
+            // to the earliest cut — least in-camera work. The search
+            // itself is `PipelineSpace::best_cut_held`, the same entry
+            // point the fleet simulator's per-camera re-selection uses.
             let degraded = link.degraded(scenario.observed_goodput());
             let idx = backend.index();
             let best = model
                 .binding_space()
-                .best_where(&degraded, |c| {
-                    c.bindings().iter().take(c.cut()).skip(2).all(|&b| b == idx)
-                })
-                .expect("the VR space always has the raw-sensor configuration");
+                .best_cut_held(&degraded, &[0, 0, idx, idx]);
             (model.pipeline(backend), best.config.cut(), scenario.retry)
         }
     };

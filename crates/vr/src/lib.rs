@@ -36,6 +36,7 @@ pub mod backend;
 pub mod blocks;
 pub mod configs;
 pub mod degrade;
+pub mod fleet;
 pub mod frame;
 pub mod network;
 pub mod projection;
@@ -45,4 +46,5 @@ pub use analysis::{fig9, Fig10Row, Fig9Row, VrModel};
 pub use backend::{BackendCalibration, DepthBackend};
 pub use configs::PipelineConfig;
 pub use degrade::{policy_sweep, run_policy, GracefulPolicy, VrChaosScenario};
+pub use fleet::fleet_profile;
 pub use rig::CameraRig;

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod capacitor;
+pub mod fleet;
 pub mod harvester;
 pub mod mcu;
 pub mod pipeline;
@@ -44,6 +45,7 @@ pub mod space;
 pub mod workload;
 
 pub use capacitor::Capacitor;
+pub use fleet::fleet_profile;
 pub use harvester::RfHarvester;
 pub use mcu::McuModel;
 pub use pipeline::{

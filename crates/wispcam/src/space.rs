@@ -51,6 +51,28 @@ pub struct FaBlockCosts {
 }
 
 impl FaBlockCosts {
+    /// Representative measured means at the paper's design point:
+    /// nanojoule-class ASIC blocks with the MCU orders of magnitude
+    /// above (QQVGA frame differencing, a scanned cascade, a few
+    /// jittered NN inferences per event frame). Use when a canonical
+    /// cost model is needed without replaying a workload — e.g. the
+    /// fleet-profile adapter in [`crate::fleet`].
+    pub fn design_point() -> Self {
+        Self {
+            capture: Joules::from_micro(2.02),
+            accel: [
+                Joules::from_nano(1.0),
+                Joules::from_nano(40.0),
+                Joules::from_nano(60.0),
+            ],
+            mcu: [
+                Joules::from_micro(1.5),
+                Joules::from_micro(30.0),
+                Joules::from_micro(5.0),
+            ],
+        }
+    }
+
     /// Measures mean block costs from two traces of the *same* frame
     /// stream, one recorded under [`crate::pipeline::Substrate::Accelerators`]
     /// and one under [`crate::pipeline::Substrate::Mcu`]. Running the
@@ -194,23 +216,9 @@ mod tests {
     use super::*;
     use crate::pipeline::BlockEnergies;
 
-    /// Plausible measured means: nanojoule-class ASIC blocks, the MCU
-    /// orders of magnitude above (QQVGA frame differencing, a scanned
-    /// cascade, a few jittered NN inferences per event frame).
+    /// The canonical design-point means (shared with the fleet adapter).
     fn sample_costs() -> FaBlockCosts {
-        FaBlockCosts {
-            capture: Joules::from_micro(2.02),
-            accel: [
-                Joules::from_nano(1.0),
-                Joules::from_nano(40.0),
-                Joules::from_nano(60.0),
-            ],
-            mcu: [
-                Joules::from_micro(1.5),
-                Joules::from_micro(30.0),
-                Joules::from_micro(5.0),
-            ],
-        }
+        FaBlockCosts::design_point()
     }
 
     fn sample_space() -> PipelineSpace {

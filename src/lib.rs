@@ -15,7 +15,9 @@
 //!
 //! The analytical framework shared by both lives in [`core`]; the image
 //! substrate and synthetic workloads in [`imaging`]; deterministic fault
-//! injection (bursty links, RF brownouts, compute faults) in [`faults`].
+//! injection (bursty links, RF brownouts, compute faults) in [`faults`];
+//! fleet-scale discrete-event simulation (contended spectrum, cloud
+//! ingest, online cut re-selection) in [`fleet`].
 //!
 //! # Quick start
 //!
@@ -44,6 +46,7 @@
 pub use incam_bilateral as bilateral;
 pub use incam_core as core;
 pub use incam_faults as faults;
+pub use incam_fleet as fleet;
 pub use incam_fpga as fpga;
 pub use incam_imaging as imaging;
 pub use incam_nn as nn;
