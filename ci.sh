@@ -94,6 +94,10 @@ done
 step "fleet determinism (discrete-event simulator, threads 1 vs 4)"
 repro_diff fleet --quick
 
+step "kernels determinism (hot-kernel digests vs reference oracles, threads 1 vs 4)"
+repro_diff kernels --quick
+! grep -q DIVERGED "$tmpdir/repro_kernels_t1a.txt"
+
 step "examples smoke (quickstart + offload_explorer vs committed transcripts)"
 cargo run --release --offline --example quickstart > "$tmpdir/quickstart.txt"
 cmp "$tmpdir/quickstart.txt" results/examples/quickstart.txt

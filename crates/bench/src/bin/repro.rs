@@ -10,7 +10,8 @@
 //! ```
 
 use incam_bench::experiments::{
-    ablations, chaos, compression, fa_pipeline, fig4c, fleet, harvest, nn_studies, vr_studies,
+    ablations, chaos, compression, fa_pipeline, fig4c, fleet, harvest, kernels, nn_studies,
+    vr_studies,
 };
 use incam_vr::analysis::VrModel;
 use incam_wispcam::workload::TrainEffort;
@@ -42,6 +43,7 @@ const ALL: &[&str] = &[
     "harvest",
     "chaos",
     "fleet",
+    "kernels",
 ];
 
 fn parse_args() -> Result<Options, String> {
@@ -198,6 +200,10 @@ fn run_experiment(name: &str, opts: &Options) -> (String, String) {
         "fleet" => {
             banner("Fleet study — contended spectrum, cloud ingest, online cut re-selection");
             print!("{}", fleet::run(seed, opts.quick));
+        }
+        "kernels" => {
+            banner("Kernel digests — hot-kernel fast paths vs reference oracles");
+            print!("{}", kernels::run(seed, opts.quick));
         }
         _ => unreachable!("validated in parse_args"),
     }

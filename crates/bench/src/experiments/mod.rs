@@ -10,5 +10,6 @@ pub mod fa_pipeline;
 pub mod fig4c;
 pub mod fleet;
 pub mod harvest;
+pub mod kernels;
 pub mod nn_studies;
 pub mod vr_studies;

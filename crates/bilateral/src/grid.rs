@@ -124,10 +124,87 @@ impl BilateralGrid {
     /// order*, so the result is byte-identical to the single-threaded
     /// scatter at any thread count (and at any banding).
     ///
+    /// Fast path: the spatial tap cells and weights depend only on the
+    /// pixel column/row, so they are precomputed per coordinate
+    /// (`spatial_taps`); the inner loop only derives the intensity taps
+    /// per pixel and tests band membership once per slab rather than per
+    /// tap. Tap order (`dz, dy, dx`), the `(wx·wy)·wz` association, and
+    /// the zero-weight skips match [`BilateralGrid::splat_reference`]
+    /// exactly, so the accumulators are bit-equal to it.
+    ///
     /// # Panics
     ///
     /// Panics if dimensions disagree.
     pub fn splat(&mut self, guide: &GrayImage, values: &GrayImage, confidence: Option<&GrayImage>) {
+        assert_eq!(guide.dims(), values.dims(), "guide/values must match");
+        if let Some(c) = confidence {
+            assert_eq!(guide.dims(), c.dims(), "guide/confidence must match");
+        }
+        let (gw, gh, gz) = (self.gw, self.gh, self.gz);
+        let params = self.params;
+        let xt = spatial_taps(guide.width(), params.sigma_spatial, gw);
+        let yt = spatial_taps(guide.height(), params.sigma_spatial, gh);
+        incam_parallel::par_bands_mut2(
+            &mut self.values,
+            &mut self.weights,
+            gz,
+            |band, band_values, band_weights| {
+                let base = band.start * gh * gw;
+                for (y, &(cy0, cy1, wy0, wy1)) in yt.iter().enumerate() {
+                    let grow = guide.row(y);
+                    let vrow = values.row(y);
+                    let crow = confidence.map(|c| c.row(y));
+                    for x in 0..guide.width() {
+                        let v = vrow[x];
+                        let conf = crow.map_or(1.0, |r| r[x]);
+                        if conf <= 0.0 {
+                            continue;
+                        }
+                        let fz = grow[x].clamp(0.0, 1.0) / params.sigma_range;
+                        let z0 = fz.floor() as usize;
+                        let tz = fz - z0 as f32;
+                        let (cx0, cx1, wx0, wx1) = xt[x];
+                        for dz in 0..2usize {
+                            let wz = if dz == 0 { 1.0 - tz } else { tz };
+                            let cz = (z0 + dz).min(gz - 1);
+                            if !band.contains(&cz) {
+                                continue;
+                            }
+                            for (cy, wy) in [(cy0, wy0), (cy1, wy1)] {
+                                let rb = (cz * gh + cy) * gw - base;
+                                for (cx, wx) in [(cx0, wx0), (cx1, wx1)] {
+                                    let w = wx * wy * wz;
+                                    if w <= 0.0 {
+                                        continue;
+                                    }
+                                    let tap_w = w * conf;
+                                    if tap_w <= 0.0 {
+                                        continue;
+                                    }
+                                    band_values[rb + cx] += tap_w * v;
+                                    band_weights[rb + cx] += tap_w;
+                                }
+                            }
+                        }
+                    }
+                }
+            },
+        );
+    }
+
+    /// The original per-tap scatter (recomputing coordinates and weights
+    /// for every pixel) — correctness oracle for [`BilateralGrid::splat`]
+    /// and the "before" side of the kernel microbenchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn splat_reference(
+        &mut self,
+        guide: &GrayImage,
+        values: &GrayImage,
+        confidence: Option<&GrayImage>,
+    ) {
         assert_eq!(guide.dims(), values.dims(), "guide/values must match");
         if let Some(c) = confidence {
             assert_eq!(guide.dims(), c.dims(), "guide/confidence must match");
@@ -168,10 +245,33 @@ impl BilateralGrid {
     /// grid axis, to values and weights alike (homogeneous blur). Borders
     /// replicate, which preserves total mass.
     ///
-    /// The scratch buffer is allocated once and ping-ponged across all
-    /// `iterations × 3 axes × {values, weights}` passes; each pass writes
-    /// output rows in parallel.
+    /// The three axis passes of one iteration are fused into a single
+    /// sweep over the grid (`blur_xyz_into`): workers stream their band
+    /// of intensity slabs keeping a rolling ring of the three xy-blurred
+    /// slabs the z-pass needs, so each iteration materializes the grid
+    /// once per array instead of three times. Every element-wise
+    /// `(a + 2b + c)/4` expression is identical to the per-axis
+    /// formulation (kept as [`BilateralGrid::blur_reference`]), so the
+    /// result is byte-identical to it at any thread count.
     pub fn blur(&mut self, iterations: usize) {
+        if iterations == 0 {
+            return;
+        }
+        let dims = (self.gw, self.gh, self.gz);
+        let mut scratch = vec![0.0f32; self.values.len()];
+        for _ in 0..iterations {
+            blur_xyz_into(dims, &self.values, &mut scratch);
+            core::mem::swap(&mut self.values, &mut scratch);
+            blur_xyz_into(dims, &self.weights, &mut scratch);
+            core::mem::swap(&mut self.weights, &mut scratch);
+        }
+    }
+
+    /// The original unfused blur: three full-grid axis passes per
+    /// iteration, ping-ponging one scratch buffer — correctness oracle
+    /// for the fused [`BilateralGrid::blur`] and the "before" side of the
+    /// kernel microbenchmarks.
+    pub fn blur_reference(&mut self, iterations: usize) {
         if iterations == 0 {
             return;
         }
@@ -190,7 +290,48 @@ impl BilateralGrid {
     /// Reads the filtered value at every pixel of `guide` (trilinear
     /// interpolation of `value/weight`). Vertices with no support yield 0.
     /// Pixels are independent gathers, evaluated row-parallel.
+    ///
+    /// Fast path: spatial tap cells/weights are precomputed per pixel
+    /// coordinate (`spatial_taps`); only the intensity taps are derived
+    /// per pixel. Tap order and the `(wx·wy)·wz` association match the
+    /// per-pixel formulation (kept as
+    /// [`BilateralGrid::slice_reference`]), so outputs are bit-equal.
     pub fn slice(&self, guide: &GrayImage) -> GrayImage {
+        let (w, h) = guide.dims();
+        let xt = spatial_taps(w, self.params.sigma_spatial, self.gw);
+        let yt = spatial_taps(h, self.params.sigma_spatial, self.gh);
+        let sigma_range = self.params.sigma_range;
+        let data = incam_parallel::par_map_rows(h, w, |y, dst| {
+            let (cy0, cy1, wy0, wy1) = yt[y];
+            for ((out, &g), &(cx0, cx1, wx0, wx1)) in dst.iter_mut().zip(guide.row(y)).zip(&xt) {
+                let fz = g.clamp(0.0, 1.0) / sigma_range;
+                let z0 = fz.floor() as usize;
+                let tz = fz - z0 as f32;
+                let mut num = 0.0f32;
+                let mut den = 0.0f32;
+                for dz in 0..2usize {
+                    let wz = if dz == 0 { 1.0 - tz } else { tz };
+                    let zb = (z0 + dz).min(self.gz - 1) * self.gh;
+                    for (cy, wy) in [(cy0, wy0), (cy1, wy1)] {
+                        let rb = (zb + cy) * self.gw;
+                        for (cx, wx) in [(cx0, wx0), (cx1, wx1)] {
+                            let tw = wx * wy * wz;
+                            num += tw * self.values[rb + cx];
+                            den += tw * self.weights[rb + cx];
+                        }
+                    }
+                }
+                *out = if den > 1e-8 { num / den } else { 0.0 };
+            }
+        });
+        GrayImage::from_vec(w, h, data)
+    }
+
+    /// The original per-pixel gather (recomputing all eight tap
+    /// coordinates and weights per pixel) — correctness oracle for
+    /// [`BilateralGrid::slice`] and the "before" side of the kernel
+    /// microbenchmarks.
+    pub fn slice_reference(&self, guide: &GrayImage) -> GrayImage {
         GrayImage::from_fn_par(guide.width(), guide.height(), |x, y| {
             self.slice_one(x, y, guide.get(x, y))
         })
@@ -284,6 +425,115 @@ fn splat_taps(
             }
         }
     }
+}
+
+/// Precomputed trilinear tap data along one spatial axis: for each pixel
+/// coordinate, the two (clamped) grid cells it splats into / slices from
+/// and their linear weights `(c0, c1, w0, w1)`. Exactly the per-pixel
+/// computation of [`splat_taps`]/[`BilateralGrid::coords`], hoisted out of
+/// the inner loops — the cells and weights depend only on the coordinate.
+fn spatial_taps(n: usize, sigma: f32, gmax: usize) -> Vec<(usize, usize, f32, f32)> {
+    (0..n)
+        .map(|p| {
+            let f = p as f32 / sigma;
+            let p0 = f.floor() as usize;
+            let t = f - p0 as f32;
+            (p0.min(gmax - 1), (p0 + 1).min(gmax - 1), 1.0 - t, t)
+        })
+        .collect()
+}
+
+/// One `[1, 2, 1]/4` replicate-border blur of a contiguous row: clamped
+/// first/last element around an interior fast path over 3-wide windows.
+/// Element-wise identical to the clamped-index formulation in
+/// [`blur_axis_into`].
+fn blur_row_121(src: &[f32], dst: &mut [f32]) {
+    let n = src.len();
+    if n == 1 {
+        dst[0] = (src[0] + 2.0 * src[0] + src[0]) / 4.0;
+        return;
+    }
+    dst[0] = (src[0] + 2.0 * src[0] + src[1]) / 4.0;
+    for (out, win) in dst[1..n - 1].iter_mut().zip(src.windows(3)) {
+        *out = (win[0] + 2.0 * win[1] + win[2]) / 4.0;
+    }
+    dst[n - 1] = (src[n - 2] + 2.0 * src[n - 1] + src[n - 1]) / 4.0;
+}
+
+/// Blurs one `nx × ny` grid slab along x then y (`src` → `out`, using
+/// `xtmp` as the x-pass intermediate). Each element-wise expression is
+/// identical to the corresponding [`blur_axis_into`] axis pass.
+fn blur_slab_xy(src: &[f32], xtmp: &mut [f32], out: &mut [f32], nx: usize, ny: usize) {
+    for (trow, srow) in xtmp.chunks_mut(nx).zip(src.chunks(nx)) {
+        blur_row_121(srow, trow);
+    }
+    for (y, orow) in out.chunks_mut(nx).enumerate() {
+        let ym = y.saturating_sub(1);
+        let yp = (y + 1).min(ny - 1);
+        let a = &xtmp[ym * nx..ym * nx + nx];
+        let b = &xtmp[y * nx..y * nx + nx];
+        let c = &xtmp[yp * nx..yp * nx + nx];
+        for (((o, &av), &bv), &cv) in orow.iter_mut().zip(a).zip(b).zip(c) {
+            *o = (av + 2.0 * bv + cv) / 4.0;
+        }
+    }
+}
+
+/// One fused x→y→z `[1, 2, 1]/4` blur iteration over the whole grid,
+/// `src` → `dst`. Workers own disjoint bands of intensity slabs and keep a
+/// rolling ring of the three xy-blurred slabs the z-pass of the current
+/// output slab needs (band boundaries recompute at most one halo slab), so
+/// the grid is materialized once instead of once per axis.
+///
+/// Because every element-wise `(a + 2b + c)/4` expression — x pass, y
+/// pass, z pass — is identical to the corresponding [`blur_axis_into`]
+/// pass, the result is byte-identical to running the three axis passes
+/// over the full grid, at any thread count and banding.
+fn blur_xyz_into((nx, ny, nz): (usize, usize, usize), src: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), nx * ny * nz);
+    debug_assert_eq!(dst.len(), src.len());
+    let slab = nx * ny;
+    incam_parallel::par_bands_mut(dst, nz, |zs, band| {
+        // Ring slot `z % 3` holds the xy-blurred slab `z`; the z-pass for
+        // output slab z reads slabs [z-1, z+1] clamped — at most three
+        // consecutive slabs, so slots never collide.
+        let mut ring = vec![0.0f32; 3 * slab];
+        let mut xtmp = vec![0.0f32; slab];
+        let lo = zs.start.saturating_sub(1);
+        let mut top = (zs.start + 1).min(nz - 1);
+        for j in lo..=top {
+            blur_slab_xy(
+                &src[j * slab..(j + 1) * slab],
+                &mut xtmp,
+                &mut ring[(j % 3) * slab..(j % 3 + 1) * slab],
+                nx,
+                ny,
+            );
+        }
+        for (i, oslab) in band.chunks_mut(slab).enumerate() {
+            let z = zs.start + i;
+            let need = (z + 1).min(nz - 1);
+            while top < need {
+                top += 1;
+                blur_slab_xy(
+                    &src[top * slab..(top + 1) * slab],
+                    &mut xtmp,
+                    &mut ring[(top % 3) * slab..(top % 3 + 1) * slab],
+                    nx,
+                    ny,
+                );
+            }
+            let zm = z.saturating_sub(1) % 3;
+            let zc = z % 3;
+            let zp = (z + 1).min(nz - 1) % 3;
+            let a = &ring[zm * slab..zm * slab + slab];
+            let b = &ring[zc * slab..zc * slab + slab];
+            let c = &ring[zp * slab..zp * slab + slab];
+            for (((o, &av), &bv), &cv) in oslab.iter_mut().zip(a).zip(b).zip(c) {
+                *o = (av + 2.0 * bv + cv) / 4.0;
+            }
+        }
+    });
 }
 
 /// One `[1, 2, 1]/4` blur pass along `axis` (0=x, 1=y, 2=intensity) with
@@ -399,5 +649,24 @@ mod tests {
     #[should_panic(expected = "sigma_spatial")]
     fn sub_pixel_cells_rejected() {
         let _ = GridParams::new(0.5, 0.1);
+    }
+
+    #[test]
+    fn fast_paths_match_references_bitwise() {
+        let guide = Image::from_fn(33, 17, |x, y| ((x * 13 + y * 29) % 17) as f32 / 17.0);
+        let values = Image::from_fn(33, 17, |x, y| ((x * 5 + y * 11) % 23) as f32 / 23.0);
+        let conf = Image::from_fn(33, 17, |x, y| ((x + y) % 4) as f32 / 3.0);
+        let p = GridParams::new(3.0, 0.15);
+        let mut fast = BilateralGrid::new(33, 17, p);
+        let mut refr = BilateralGrid::new(33, 17, p);
+        fast.splat(&guide, &values, Some(&conf));
+        refr.splat_reference(&guide, &values, Some(&conf));
+        assert_eq!(fast, refr, "splat fast path diverged");
+        fast.blur(3);
+        refr.blur_reference(3);
+        assert_eq!(fast, refr, "fused blur diverged");
+        let sa = fast.slice(&guide);
+        let sb = refr.slice_reference(&guide);
+        assert_eq!(sa.pixels(), sb.pixels(), "slice fast path diverged");
     }
 }

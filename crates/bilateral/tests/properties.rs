@@ -99,4 +99,48 @@ proptest! {
         prop_assert!(coarse_spatial.vertex_count() <= fine.vertex_count());
         prop_assert!(coarse_range.vertex_count() <= fine.vertex_count());
     }
+
+    /// The tap-table splat, fused xyz blur, and tap-table slice are each
+    /// bit-exact against the original per-tap formulations, across random
+    /// image sizes (including 1×N / N×1), grid resolutions, confidence
+    /// maps, and both pool dispatch paths.
+    #[test]
+    fn grid_fast_paths_bitwise_equal_reference(
+        w in 1usize..40,
+        h in 1usize..40,
+        sigma_s in 1.0f32..9.0,
+        sigma_r in 0.05f32..0.9,
+        iterations in 0usize..4,
+        with_conf in any::<bool>(),
+        seed in 0u64..5000,
+    ) {
+        let guide = Image::from_fn(w, h, move |x, y| {
+            (((x * 13 + y * 7 + seed as usize * 3) % 53) as f32) / 53.0
+        });
+        let values = Image::from_fn(w, h, move |x, y| {
+            (((x * 5 + y * 11 + seed as usize) % 23) as f32) / 23.0
+        });
+        let conf = Image::from_fn(w, h, |x, y| ((x + y) % 4) as f32 / 3.0);
+        let conf = with_conf.then_some(&conf);
+        let p = GridParams::new(sigma_s, sigma_r);
+        for threads in [1usize, 4] {
+            incam_parallel::set_thread_override(Some(threads));
+            let mut fast = BilateralGrid::new(w, h, p);
+            let mut reference = BilateralGrid::new(w, h, p);
+            fast.splat(&guide, &values, conf);
+            reference.splat_reference(&guide, &values, conf);
+            let splat_ok = fast == reference;
+            fast.blur(iterations);
+            reference.blur_reference(iterations);
+            let blur_ok = fast == reference;
+            let sliced = fast.slice(&guide);
+            let sliced_reference = reference.slice_reference(&guide);
+            incam_parallel::set_thread_override(None);
+            prop_assert!(splat_ok, "splat diverged, threads={}", threads);
+            prop_assert!(blur_ok, "blur diverged, threads={}", threads);
+            for (a, b) in sliced.pixels().iter().zip(sliced_reference.pixels()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "threads={}", threads);
+            }
+        }
+    }
 }

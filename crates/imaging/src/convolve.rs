@@ -4,8 +4,73 @@
 //! Both 1-D passes evaluate output rows on the [`incam_parallel`] pool;
 //! each output pixel is a pure function of its coordinates, so results
 //! are byte-identical at any thread count.
+//!
+//! ## Kernel microarchitecture
+//!
+//! Each row is split into a replicate-border **prologue/epilogue** (taps
+//! clamp into the image) and an **interior fast path** that runs over raw
+//! contiguous row slices with no clamping and no per-pixel bounds checks,
+//! so the inner loops autovectorize. The per-pixel floating-point
+//! accumulation order is exactly that of the clamped per-pixel
+//! formulation (kept as [`convolve_h_reference`]/[`convolve_v_reference`]
+//! for tests and benches), so outputs are byte-identical to it.
+//! [`convolve_separable`] additionally fuses the H and V passes through a
+//! rolling ring of H-filtered rows instead of materializing a full
+//! intermediate image per pass.
 
 use crate::image::GrayImage;
+
+/// Convolves one source row into `dst` with replicate borders: clamped
+/// prologue/epilogue around an interior fast path over contiguous
+/// `kernel.len()`-wide windows. Bit-equal to the clamped per-pixel
+/// formulation (same taps, same accumulation order).
+fn convolve_row(src: &[f32], kernel: &[f32], dst: &mut [f32]) {
+    let w = src.len();
+    let k = kernel.len();
+    let r = k / 2;
+    let clamped = |x: usize| {
+        let mut acc = 0.0f32;
+        for (i, &kv) in kernel.iter().enumerate() {
+            let sx = (x + i) as isize - r as isize;
+            acc += kv * src[sx.clamp(0, w as isize - 1) as usize];
+        }
+        acc
+    };
+    if w < k {
+        for (x, out) in dst.iter_mut().enumerate() {
+            *out = clamped(x);
+        }
+        return;
+    }
+    for (x, out) in dst[..r].iter_mut().enumerate() {
+        *out = clamped(x);
+    }
+    for (out, win) in dst[r..w - r].iter_mut().zip(src.windows(k)) {
+        let mut acc = 0.0f32;
+        for (&kv, &sv) in kernel.iter().zip(win) {
+            acc += kv * sv;
+        }
+        *out = acc;
+    }
+    for (x, out) in dst[w - r..].iter_mut().enumerate() {
+        *out = clamped(w - r + x);
+    }
+}
+
+/// Accumulates the vertical taps of output row `y` into `dst` (which must
+/// start zeroed): one contiguous multiply-add sweep per tap row, clamped
+/// in `y` only. Per pixel this performs `acc = 0; acc += k[i]·row_i[x]`
+/// in tap order — the exact op sequence of the clamped formulation.
+fn convolve_col_into(img: &GrayImage, kernel: &[f32], y: usize, dst: &mut [f32]) {
+    let h = img.height() as isize;
+    let r = (kernel.len() / 2) as isize;
+    for (i, &kv) in kernel.iter().enumerate() {
+        let sy = (y as isize + i as isize - r).clamp(0, h - 1) as usize;
+        for (out, &sv) in dst.iter_mut().zip(img.row(sy)) {
+            *out += kv * sv;
+        }
+    }
+}
 
 /// Convolves `img` with a horizontal 1-D `kernel` (replicate border).
 ///
@@ -13,6 +78,77 @@ use crate::image::GrayImage;
 ///
 /// Panics if the kernel is empty or of even length.
 pub fn convolve_h(img: &GrayImage, kernel: &[f32]) -> GrayImage {
+    check_kernel(kernel);
+    let (w, h) = img.dims();
+    let data = incam_parallel::par_map_rows(h, w, |y, dst| convolve_row(img.row(y), kernel, dst));
+    GrayImage::from_vec(w, h, data)
+}
+
+/// Convolves `img` with a vertical 1-D `kernel` (replicate border).
+///
+/// # Panics
+///
+/// Panics if the kernel is empty or of even length.
+pub fn convolve_v(img: &GrayImage, kernel: &[f32]) -> GrayImage {
+    check_kernel(kernel);
+    let (w, h) = img.dims();
+    let data = incam_parallel::par_map_rows(h, w, |y, dst| convolve_col_into(img, kernel, y, dst));
+    GrayImage::from_vec(w, h, data)
+}
+
+/// Separable convolution: horizontal then vertical pass with the same
+/// 1-D kernel.
+///
+/// The two passes are fused: workers stream over their band of output
+/// rows keeping a rolling ring of the `kernel.len()` H-filtered rows the
+/// V-pass needs, so no full intermediate image is materialized (the ring
+/// stays cache-resident; band boundaries recompute at most one ring of
+/// halo rows). Byte-identical to
+/// `convolve_v(&convolve_h(img, kernel), kernel)` at any thread count.
+pub fn convolve_separable(img: &GrayImage, kernel: &[f32]) -> GrayImage {
+    check_kernel(kernel);
+    let (w, h) = img.dims();
+    let k = kernel.len();
+    let r = k / 2;
+    let mut out = vec![0.0f32; w * h];
+    incam_parallel::par_bands_mut(&mut out, h, |rows, band| {
+        // Ring slot `j % k` holds the H-convolved row `j`; the window of
+        // live rows for output row y is [y-r, y+r] clamped, which spans
+        // at most k real rows.
+        let mut ring = vec![0.0f32; k * w];
+        let lo = rows.start.saturating_sub(r);
+        let mut top = (rows.start + r).min(h - 1);
+        for j in lo..=top {
+            convolve_row(img.row(j), kernel, &mut ring[(j % k) * w..(j % k + 1) * w]);
+        }
+        for (i, dst) in band.chunks_mut(w).enumerate() {
+            let y = rows.start + i;
+            let need = (y + r).min(h - 1);
+            while top < need {
+                top += 1;
+                convolve_row(
+                    img.row(top),
+                    kernel,
+                    &mut ring[(top % k) * w..(top % k + 1) * w],
+                );
+            }
+            for (t, &kv) in kernel.iter().enumerate() {
+                let sy = (y + t) as isize - r as isize;
+                let sy = sy.clamp(0, h as isize - 1) as usize % k;
+                for (out, &sv) in dst.iter_mut().zip(&ring[sy * w..(sy + 1) * w]) {
+                    *out += kv * sv;
+                }
+            }
+        }
+    });
+    GrayImage::from_vec(w, h, out)
+}
+
+/// The original clamped per-pixel horizontal convolution, kept as the
+/// correctness oracle for the interior-fast-path rework (proptests pin
+/// [`convolve_h`] bit-equal to it) and as the "before" side of the
+/// kernel microbenchmarks.
+pub fn convolve_h_reference(img: &GrayImage, kernel: &[f32]) -> GrayImage {
     check_kernel(kernel);
     let r = (kernel.len() / 2) as isize;
     GrayImage::from_fn_par(img.width(), img.height(), |x, y| {
@@ -25,12 +161,9 @@ pub fn convolve_h(img: &GrayImage, kernel: &[f32]) -> GrayImage {
     })
 }
 
-/// Convolves `img` with a vertical 1-D `kernel` (replicate border).
-///
-/// # Panics
-///
-/// Panics if the kernel is empty or of even length.
-pub fn convolve_v(img: &GrayImage, kernel: &[f32]) -> GrayImage {
+/// The original clamped per-pixel vertical convolution — oracle and
+/// bench baseline for [`convolve_v`]; see [`convolve_h_reference`].
+pub fn convolve_v_reference(img: &GrayImage, kernel: &[f32]) -> GrayImage {
     check_kernel(kernel);
     let r = (kernel.len() / 2) as isize;
     GrayImage::from_fn_par(img.width(), img.height(), |x, y| {
@@ -43,10 +176,10 @@ pub fn convolve_v(img: &GrayImage, kernel: &[f32]) -> GrayImage {
     })
 }
 
-/// Separable convolution: horizontal then vertical pass with the same
-/// 1-D kernel.
-pub fn convolve_separable(img: &GrayImage, kernel: &[f32]) -> GrayImage {
-    convolve_v(&convolve_h(img, kernel), kernel)
+/// The unfused two-pass separable convolution — oracle and bench
+/// baseline for the fused [`convolve_separable`].
+pub fn convolve_separable_reference(img: &GrayImage, kernel: &[f32]) -> GrayImage {
+    convolve_v_reference(&convolve_h_reference(img, kernel), kernel)
 }
 
 fn check_kernel(kernel: &[f32]) {

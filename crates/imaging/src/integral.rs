@@ -53,9 +53,72 @@ impl IntegralImage {
         let (w, h) = img.dims();
         let tw = w + 1;
         let mut table = vec![0.0f64; tw * (h + 1)];
-        // Pass 1 (parallel rows): table row y+1 holds the running prefix
-        // sums of image row y. Rows are independent, so the pool computes
-        // them byte-identically at any thread count.
+        if incam_parallel::num_threads() == 1 || incam_parallel::in_parallel_region() {
+            // Fused single pass over flat row slices: one sweep carrying
+            // the row prefix sum and adding the previous table row.
+            // Bit-equal to the two-pass construction below: each table
+            // entry pairs the same two values (row carry + previous row)
+            // and IEEE-754 addition is commutative; the carry can never
+            // be -0.0 (it starts at +0.0 and additions of mapped pixels
+            // preserve that), so adding the all-zero row 0 is exact.
+            for y in 1..=h {
+                let (head, tail) = table.split_at_mut(y * tw);
+                let prev = &head[(y - 1) * tw..];
+                let cur = &mut tail[..tw];
+                let mut carry = 0.0f64;
+                for ((slot, &up), &p) in cur[1..].iter_mut().zip(&prev[1..]).zip(img.row(y - 1)) {
+                    carry += f(p);
+                    *slot = up + carry;
+                }
+            }
+        } else {
+            // Pass 1 (parallel rows): table row y+1 holds the running
+            // prefix sums of image row y, computed over flat row slices.
+            // Rows are independent, so the pool computes them
+            // byte-identically at any thread count.
+            let (_, rows) = table.split_at_mut(tw);
+            incam_parallel::par_chunks(rows, tw, |y, row| {
+                let mut row_sum = 0.0f64;
+                for (slot, &p) in row[1..].iter_mut().zip(img.row(y)) {
+                    row_sum += f(p);
+                    *slot = row_sum;
+                }
+            });
+            // Pass 2 (sequential): vertical accumulation over flat
+            // slices, pairing the same two values as the fused pass.
+            for y in 2..=h {
+                let (head, tail) = table.split_at_mut(y * tw);
+                let prev = &head[(y - 1) * tw..];
+                let cur = &mut tail[..tw];
+                for (slot, &up) in cur[1..].iter_mut().zip(&prev[1..]) {
+                    *slot += up;
+                }
+            }
+        }
+        Self {
+            width: w,
+            height: h,
+            table,
+        }
+    }
+
+    /// The original bounds-checked per-pixel two-pass construction —
+    /// correctness oracle (proptests pin [`IntegralImage::new`] bit-equal
+    /// to it) and the "before" side of the kernel microbenchmarks.
+    pub fn new_reference(img: &GrayImage) -> Self {
+        Self::from_mapped_reference(img, |p| p as f64)
+    }
+
+    /// Reference construction of the squared table; see
+    /// [`IntegralImage::new_reference`].
+    pub fn squared_reference(img: &GrayImage) -> Self {
+        Self::from_mapped_reference(img, |p| (p as f64) * (p as f64))
+    }
+
+    fn from_mapped_reference(img: &GrayImage, f: impl Fn(f32) -> f64 + Sync) -> Self {
+        let (w, h) = img.dims();
+        let tw = w + 1;
+        let mut table = vec![0.0f64; tw * (h + 1)];
         let (_, rows) = table.split_at_mut(tw);
         incam_parallel::par_chunks(rows, tw, |y, row| {
             let mut row_sum = 0.0f64;
@@ -64,9 +127,6 @@ impl IntegralImage {
                 row[x + 1] = row_sum;
             }
         });
-        // Pass 2 (sequential): vertical accumulation. Each add pairs the
-        // same two values as the fused single-pass construction (addition
-        // is commutative in IEEE-754), so the table is bit-equal to it.
         for y in 2..=h {
             let (head, tail) = table.split_at_mut(y * tw);
             let prev = &head[(y - 1) * tw..];
@@ -80,6 +140,21 @@ impl IntegralImage {
             height: h,
             table,
         }
+    }
+
+    /// The raw `(width+1) × (height+1)` prefix-sum table, row-major —
+    /// lets scanners (e.g. the Viola-Jones compiled cascade) read window
+    /// sums through precomputed flat corner offsets instead of per-query
+    /// coordinate math. Entry `(x, y)` lives at `y * table_width() + x`.
+    #[inline]
+    pub fn table(&self) -> &[f64] {
+        &self.table
+    }
+
+    /// Row stride of [`IntegralImage::table`] (`width + 1`).
+    #[inline]
+    pub fn table_width(&self) -> usize {
+        self.width + 1
     }
 
     /// Source image width.

@@ -1,7 +1,8 @@
 //! Property-based tests of the imaging substrate.
 
 use incam_imaging::convolve::{
-    box_blur, convolve_h, convolve_separable, gaussian_blur, gaussian_kernel,
+    box_blur, convolve_h, convolve_h_reference, convolve_separable, convolve_separable_reference,
+    convolve_v, convolve_v_reference, gaussian_blur, gaussian_kernel,
 };
 use incam_imaging::image::{GrayImage, Image};
 use incam_imaging::integral::IntegralImage;
@@ -150,6 +151,65 @@ proptest! {
         let reference = run(1);
         for threads in [2usize, 3, 8] {
             prop_assert_eq!(&run(threads), &reference, "threads={}", threads);
+        }
+    }
+
+    /// The interior-fast-path convolutions are bit-exact against the
+    /// original clamped per-pixel formulation, across random sizes
+    /// (including 1×N / N×1 degenerate shapes and widths smaller than the
+    /// kernel radius) and random odd kernels.
+    #[test]
+    fn convolve_fast_paths_bitwise_equal_reference(
+        w in 1usize..40,
+        h in 1usize..40,
+        radius in 0usize..7,
+        seed in 0u64..10_000,
+    ) {
+        let img = Image::from_fn(w, h, move |x, y| {
+            (((x * 31 + y * 17 + seed as usize * 13) % 97) as f32) / 97.0 - 0.3
+        });
+        let kernel: Vec<f32> = (0..2 * radius + 1)
+            .map(|i| ((i * 7 + seed as usize) % 11) as f32 / 11.0 - 0.2)
+            .collect();
+        let pairs = [
+            (convolve_h(&img, &kernel), convolve_h_reference(&img, &kernel)),
+            (convolve_v(&img, &kernel), convolve_v_reference(&img, &kernel)),
+            (
+                convolve_separable(&img, &kernel),
+                convolve_separable_reference(&img, &kernel),
+            ),
+        ];
+        for (fast, reference) in &pairs {
+            for (a, b) in fast.pixels().iter().zip(reference.pixels()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{} vs {}", a, b);
+            }
+        }
+    }
+
+    /// The single-pass integral-image construction is bit-exact against
+    /// the original two-pass bounds-checked formulation, at both pool
+    /// dispatch paths (threads 1 and 4) and on degenerate shapes.
+    #[test]
+    fn integral_fast_path_bitwise_equal_reference(
+        w in 1usize..48,
+        h in 1usize..48,
+        seed in 0u64..10_000,
+    ) {
+        let img = Image::from_fn(w, h, move |x, y| {
+            (((x * 13 + y * 29 + seed as usize * 7) % 83) as f32) / 83.0
+        });
+        for threads in [1usize, 4] {
+            incam_parallel::set_thread_override(Some(threads));
+            let pairs = [
+                (IntegralImage::new(&img), IntegralImage::new_reference(&img)),
+                (IntegralImage::squared(&img), IntegralImage::squared_reference(&img)),
+            ];
+            incam_parallel::set_thread_override(None);
+            for (fast, reference) in &pairs {
+                for (a, b) in fast.table().iter().zip(reference.table()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "threads={}", threads);
+                }
+            }
         }
     }
 

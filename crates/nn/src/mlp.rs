@@ -185,7 +185,84 @@ impl Mlp {
     /// byte-identical to mapping [`Mlp::forward`] sequentially — at any
     /// thread count. This is the inference hot path for Fig. 2/3-style
     /// sweeps that score hundreds of probe images per configuration.
+    ///
+    /// Fast path: activations live in one flat row-major `batch × width`
+    /// matrix advanced layer by layer (no per-example, per-layer `Vec`s),
+    /// and each layer's weights are packed once into 4-neuron tiles so
+    /// the inner matmul loop keeps four independent accumulators over a
+    /// contiguous weight stream. Per neuron the accumulation is still
+    /// `bias, then inputs in ascending order`, so outputs are bit-equal
+    /// to [`Mlp::forward_batch_reference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's length differs from the topology's input
+    /// width.
     pub fn forward_batch(&self, inputs: &[Vec<f32>], sigmoid: &Sigmoid) -> Vec<Vec<f32>> {
+        let n = inputs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut width = self.topology.inputs();
+        for input in inputs {
+            assert_eq!(input.len(), width, "input width mismatch");
+        }
+        let mut act = vec![0.0f32; n * width];
+        for (row, input) in act.chunks_mut(width).zip(inputs) {
+            row.copy_from_slice(input);
+        }
+        let mut packed: Vec<f32> = Vec::new();
+        for layer in &self.layers {
+            let outs = layer.outputs();
+            let tiles = outs / 4;
+            // Tile t interleaves the weight rows of neurons 4t..4t+4 as
+            // `packed[i*4 + lane]`, so the inner loop reads one
+            // contiguous stream while updating four accumulators.
+            packed.clear();
+            packed.resize(tiles * width * 4, 0.0);
+            for (t, tile) in packed.chunks_mut(width * 4).enumerate() {
+                for lane in 0..4 {
+                    let row = &layer.weights()[(t * 4 + lane) * width..][..width];
+                    for (i, &w) in row.iter().enumerate() {
+                        tile[i * 4 + lane] = w;
+                    }
+                }
+            }
+            let src = act;
+            act = incam_parallel::par_map_rows(n, outs, |e, orow| {
+                let xrow = &src[e * width..(e + 1) * width];
+                for (t, tile) in packed.chunks(width * 4).enumerate() {
+                    let b = &layer.biases()[t * 4..t * 4 + 4];
+                    let mut acc = [b[0], b[1], b[2], b[3]];
+                    for (ws, &x) in tile.chunks_exact(4).zip(xrow) {
+                        acc[0] += ws[0] * x;
+                        acc[1] += ws[1] * x;
+                        acc[2] += ws[2] * x;
+                        acc[3] += ws[3] * x;
+                    }
+                    for (out, a) in orow[t * 4..t * 4 + 4].iter_mut().zip(acc) {
+                        *out = sigmoid.eval(a);
+                    }
+                }
+                for (o, out) in orow.iter_mut().enumerate().skip(tiles * 4) {
+                    let row = &layer.weights()[o * width..(o + 1) * width];
+                    let mut acc = layer.biases()[o];
+                    for (&w, &x) in row.iter().zip(xrow) {
+                        acc += w * x;
+                    }
+                    *out = sigmoid.eval(acc);
+                }
+            });
+            width = outs;
+        }
+        act.chunks(width).map(<[f32]>::to_vec).collect()
+    }
+
+    /// The original batch forward (independent [`Mlp::forward`] calls on
+    /// the pool, one activation `Vec` per example per layer) —
+    /// correctness oracle for the tiled [`Mlp::forward_batch`] and the
+    /// "before" side of the kernel microbenchmarks.
+    pub fn forward_batch_reference(&self, inputs: &[Vec<f32>], sigmoid: &Sigmoid) -> Vec<Vec<f32>> {
         incam_parallel::par_map(inputs.len(), |i| self.forward(&inputs[i], sigmoid))
     }
 
@@ -277,5 +354,21 @@ mod tests {
     fn wrong_input_width_panics() {
         let net = Mlp::zeros(Topology::new(vec![3, 1]));
         let _ = net.forward(&[0.0; 2], &Sigmoid::Exact);
+    }
+
+    #[test]
+    fn tiled_batch_matches_reference_bitwise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // widths chosen to exercise both the 4-wide tiles and remainders
+        let net = Mlp::random(Topology::new(vec![9, 7, 4, 3]), &mut rng);
+        let inputs: Vec<Vec<f32>> = (0..13)
+            .map(|_| (0..9).map(|_| rng.gen_range(-1.0..1.0f32)).collect())
+            .collect();
+        for sigmoid in [Sigmoid::Exact, Sigmoid::lut256()] {
+            let fast = net.forward_batch(&inputs, &sigmoid);
+            let refr = net.forward_batch_reference(&inputs, &sigmoid);
+            assert_eq!(fast, refr);
+        }
+        assert!(net.forward_batch(&[], &Sigmoid::Exact).is_empty());
     }
 }

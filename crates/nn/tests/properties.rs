@@ -104,4 +104,34 @@ proptest! {
         }
         prop_assert!((c.miss_rate() + c.recall() - 1.0).abs() < 1e-12 || (c.tp + c.fn_) == 0);
     }
+
+    /// The flat tiled batch forward is bit-exact against independent
+    /// per-example forwards, across random topologies (exercising both
+    /// full 4-neuron tiles and remainders), batch sizes, activations, and
+    /// both pool dispatch paths.
+    #[test]
+    fn tiled_forward_batch_bitwise_equal_reference(
+        layers in prop::collection::vec(1usize..13, 2..5),
+        batch in 1usize..17,
+        exact in any::<bool>(),
+        seed in 0u64..5000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Mlp::random(Topology::new(layers.clone()), &mut rng);
+        let inputs: Vec<Vec<f32>> = (0..batch)
+            .map(|_| (0..layers[0]).map(|_| rng.gen_range(-2.0..2.0f32)).collect())
+            .collect();
+        let sigmoid = if exact { Sigmoid::Exact } else { Sigmoid::lut256() };
+        for threads in [1usize, 4] {
+            incam_parallel::set_thread_override(Some(threads));
+            let fast = net.forward_batch(&inputs, &sigmoid);
+            let reference = net.forward_batch_reference(&inputs, &sigmoid);
+            incam_parallel::set_thread_override(None);
+            for (fr, rr) in fast.iter().zip(&reference) {
+                for (a, b) in fr.iter().zip(rr) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "threads={}", threads);
+                }
+            }
+        }
+    }
 }

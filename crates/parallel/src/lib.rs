@@ -309,6 +309,64 @@ where
     partials.into_iter().reduce(fold)
 }
 
+/// Partitions one payload array along a unit axis and runs
+/// `f(unit_range, band)` once per band.
+///
+/// The single-array sibling of [`par_bands_mut2`], for kernels that keep
+/// **rolling state across consecutive units** (a ring of filtered rows, a
+/// sliding window of blurred slabs) and therefore cannot use the
+/// one-callback-per-chunk shape of [`par_chunks`]. `data` must hold
+/// `units * per_unit` elements; band boundaries fall on unit boundaries.
+///
+/// **Determinism contract for callers:** the band partition depends on
+/// the thread count, so every output slot's value must be a pure
+/// function of the inputs and its own unit index — workers may share
+/// rolling state *within* a band only as a cache of recomputable values
+/// (e.g. a halo of filtered rows that a band boundary forces the next
+/// worker to recompute identically).
+///
+/// # Panics
+///
+/// Panics if `units` is zero or does not divide `data.len()`.
+pub fn par_bands_mut<T, F>(data: &mut [T], units: usize, f: F)
+where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    assert!(units > 0, "units must be nonzero");
+    assert_eq!(
+        data.len() % units,
+        0,
+        "data length must be a multiple of units"
+    );
+    let per_unit = data.len() / units;
+    let threads = effective_threads(units);
+    if threads <= 1 {
+        f(0..units, data);
+        return;
+    }
+    let plan = bands(units, threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = data;
+        let mut tail_band: Option<(Range<usize>, &mut [T])> = None;
+        for (i, band) in plan.iter().enumerate() {
+            let take = band.end - band.start;
+            let (mine, next) = rest.split_at_mut(take * per_unit);
+            rest = next;
+            let band = band.clone();
+            if i + 1 == plan.len() {
+                tail_band = Some((band, mine));
+            } else {
+                scope.spawn(move || as_worker(|| f(band, mine)));
+            }
+        }
+        if let Some((band, mine)) = tail_band {
+            as_worker(|| f(band, mine));
+        }
+    });
+}
+
 /// Partitions two parallel payload arrays along a shared unit axis and
 /// runs `f(unit_range, a_band, b_band)` once per band.
 ///
@@ -451,6 +509,39 @@ mod tests {
     #[test]
     fn par_reduce_empty_is_none() {
         assert_eq!(par_reduce(0, 8, |r| r.len(), |a, b| a + b), None);
+    }
+
+    #[test]
+    fn par_bands_mut_rolling_state_is_band_invariant() {
+        // A worker that carries rolling state (here: recomputable row
+        // sums) must produce the same bytes under any banding.
+        let units = 11;
+        let width = 4;
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let mut data = vec![0u64; units * width];
+                par_bands_mut(&mut data, units, |range, band| {
+                    for (i, row) in band.chunks_mut(width).enumerate() {
+                        let u = range.start + i;
+                        for (x, slot) in row.iter_mut().enumerate() {
+                            *slot = (u * 100 + x) as u64;
+                        }
+                    }
+                });
+                data
+            })
+        };
+        let reference = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of units")]
+    fn par_bands_mut_ragged_rejected() {
+        let mut v = vec![0u8; 10];
+        par_bands_mut(&mut v, 3, |_, _| {});
     }
 
     #[test]

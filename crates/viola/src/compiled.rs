@@ -1,0 +1,199 @@
+//! Per-scale compiled cascade geometry for the sliding-window scan.
+//!
+//! [`crate::feature::HaarFeature::evaluate`] re-derives every scaled cell
+//! size, rounded offset and rectangle corner — plus four bounds-checked
+//! [`IntegralImage::rect_sum`] asserts — for every feature of every
+//! window. At a fixed scale all of that geometry is constant: each
+//! rectangle corner is a fixed flat offset into the integral table
+//! relative to the window's base index `wy · tw + wx`. [`CompiledScale`]
+//! precomputes those offsets once per scale so the per-window inner loop
+//! is pure table reads and the exact floating-point combination the
+//! original formulation performs.
+//!
+//! Windows close enough to the right/bottom image border that *any*
+//! feature's clamped footprint would shift (`evaluate`'s `.min()` clamp)
+//! fall back to [`crate::cascade::Cascade::classify_window`] verbatim, so
+//! every verdict — interior fast path or border fallback — is
+//! bit-identical to the uncompiled scan.
+
+use crate::cascade::{Cascade, WindowVerdict};
+use crate::feature::HaarKind;
+use incam_imaging::integral::IntegralImage;
+
+/// One Haar rectangle as four flat integral-table corner offsets relative
+/// to the window base index, ordered `(a, b, c, d)` to reproduce
+/// `rect_sum`'s `d - b - c + a` combination.
+type RectOffsets = [usize; 4];
+
+/// A Haar feature compiled for one scale: flat rectangle corners plus the
+/// normalization area. The footprint extents that decide whether a window
+/// evaluates unclamped are folded into [`CompiledScale`]'s cascade-wide
+/// maxima.
+struct CompiledFeature {
+    kind: HaarKind,
+    rects: [RectOffsets; 4],
+    area: f64,
+}
+
+impl CompiledFeature {
+    /// Evaluates the feature at window base index `wb`, replicating
+    /// `HaarFeature::evaluate`'s exact expression tree: each rectangle is
+    /// `d - b - c + a`, the rectangles combine per kind, and the result is
+    /// `raw / (area · max(stddev, 1e-6))`.
+    #[inline]
+    fn evaluate(&self, t: &[f64], wb: usize, stddev: f64) -> f64 {
+        let rect = |r: &RectOffsets| t[wb + r[3]] - t[wb + r[1]] - t[wb + r[2]] + t[wb + r[0]];
+        let raw = match self.kind {
+            HaarKind::TwoRectHorizontal | HaarKind::TwoRectVertical => {
+                rect(&self.rects[1]) - rect(&self.rects[0])
+            }
+            HaarKind::ThreeRectHorizontal | HaarKind::ThreeRectVertical => {
+                rect(&self.rects[1]) - rect(&self.rects[0]) - rect(&self.rects[2])
+            }
+            HaarKind::FourRect => {
+                (rect(&self.rects[0]) + rect(&self.rects[3]))
+                    - (rect(&self.rects[1]) + rect(&self.rects[2]))
+            }
+        };
+        raw / (self.area * stddev.max(1e-6))
+    }
+}
+
+/// A cascade compiled for one pyramid scale over one integral-image pair.
+pub(crate) struct CompiledScale {
+    features: Vec<CompiledFeature>,
+    /// Window side at this scale.
+    side: usize,
+    /// Integral-table row stride.
+    tw: usize,
+    /// Window-sum corner offsets: right, down, down-right.
+    o_r: usize,
+    o_d: usize,
+    o_dr: usize,
+    /// Fast-path bounds: a window at `(wx, wy)` uses the compiled path
+    /// iff `wx + max_ext_x <= width && wy + max_ext_y <= height`.
+    max_ext_x: usize,
+    max_ext_y: usize,
+}
+
+impl CompiledScale {
+    /// Compiles `cascade`'s feature table for windows of side
+    /// `base_window × scale` over integral images shaped like `ii`.
+    pub(crate) fn new(cascade: &Cascade, ii: &IntegralImage, scale: f64) -> Self {
+        let tw = ii.table_width();
+        let side = ((cascade.base_window() as f64) * scale).round() as usize;
+        let mut max_ext_x = side;
+        let mut max_ext_y = side;
+        let features = cascade
+            .features()
+            .iter()
+            .map(|f| {
+                // Same rounding pipeline as HaarFeature::evaluate.
+                let cw = (((f.cell_w as f64) * scale).floor() as usize).max(1);
+                let ch = (((f.cell_h as f64) * scale).floor() as usize).max(1);
+                let (cells_x, cells_y) = f.kind.cells();
+                let fw = cw * cells_x;
+                let fh = ch * cells_y;
+                let rx = ((f.x as f64) * scale).round() as usize;
+                let ry = ((f.y as f64) * scale).round() as usize;
+                max_ext_x = max_ext_x.max(rx + fw);
+                max_ext_y = max_ext_y.max(ry + fh);
+                // Cell top-left positions in evaluate's evaluation order.
+                let cells: &[(usize, usize)] = match f.kind {
+                    HaarKind::TwoRectHorizontal => &[(0, 0), (1, 0)],
+                    HaarKind::TwoRectVertical => &[(0, 0), (0, 1)],
+                    HaarKind::ThreeRectHorizontal => &[(0, 0), (1, 0), (2, 0)],
+                    HaarKind::ThreeRectVertical => &[(0, 0), (0, 1), (0, 2)],
+                    HaarKind::FourRect => &[(0, 0), (1, 0), (0, 1), (1, 1)],
+                };
+                let mut rects = [[0usize; 4]; 4];
+                for (slot, &(gx, gy)) in rects.iter_mut().zip(cells) {
+                    let x = rx + gx * cw;
+                    let y = ry + gy * ch;
+                    *slot = [
+                        y * tw + x,
+                        y * tw + (x + cw),
+                        (y + ch) * tw + x,
+                        (y + ch) * tw + (x + cw),
+                    ];
+                }
+                CompiledFeature {
+                    kind: f.kind,
+                    rects,
+                    area: (fw * fh) as f64,
+                }
+            })
+            .collect();
+        Self {
+            features,
+            side,
+            tw,
+            o_r: side,
+            o_d: side * tw,
+            o_dr: side * tw + side,
+            max_ext_x,
+            max_ext_y,
+        }
+    }
+
+    /// Whether the window at `(wx, wy)` evaluates every feature unclamped
+    /// (no `evaluate` border `.min()` fires), making the compiled path
+    /// exact.
+    #[inline]
+    fn interior(&self, ii: &IntegralImage, wx: usize, wy: usize) -> bool {
+        wx + self.max_ext_x <= ii.width() && wy + self.max_ext_y <= ii.height()
+    }
+
+    /// Classifies one window, dispatching to the compiled fast path for
+    /// interior windows and to the original
+    /// [`Cascade::classify_window`] near the border. Bit-identical to the
+    /// original either way.
+    pub(crate) fn classify_window(
+        &self,
+        cascade: &Cascade,
+        ii: &IntegralImage,
+        sq: &IntegralImage,
+        wx: usize,
+        wy: usize,
+        scale: f64,
+    ) -> WindowVerdict {
+        if !self.interior(ii, wx, wy) {
+            return cascade.classify_window(ii, sq, wx, wy, scale);
+        }
+        let t = ii.table();
+        let st = sq.table();
+        let wb = wy * self.tw + wx;
+        // window_stats over flat offsets: each sum is rect_sum's
+        // `d - b - c + a`, then the identical mean/variance expressions.
+        let n = (self.side * self.side) as f64;
+        let sum = t[wb + self.o_dr] - t[wb + self.o_r] - t[wb + self.o_d] + t[wb];
+        let sq_sum = st[wb + self.o_dr] - st[wb + self.o_r] - st[wb + self.o_d] + st[wb];
+        let mean = sum / n;
+        let var = (sq_sum / n - mean * mean).max(0.0);
+        let stddev = var.sqrt().max(1e-6);
+
+        let mut features_evaluated = 0;
+        for (si, stage) in cascade.stages().iter().enumerate() {
+            features_evaluated += stage.len();
+            let mut vote = 0.0;
+            for wc in &stage.weak {
+                let response = self.features[wc.feature].evaluate(t, wb, stddev);
+                if wc.classify_response(response) {
+                    vote += wc.alpha;
+                }
+            }
+            if vote < stage.threshold {
+                return WindowVerdict {
+                    accepted: false,
+                    stages_evaluated: si + 1,
+                    features_evaluated,
+                };
+            }
+        }
+        WindowVerdict {
+            accepted: true,
+            stages_evaluated: cascade.stages().len(),
+            features_evaluated,
+        }
+    }
+}

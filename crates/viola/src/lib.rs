@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod cascade;
+mod compiled;
 pub mod eval;
 pub mod feature;
 pub mod hw;

@@ -4,6 +4,7 @@
 //! or adaptive as a fraction of the current window).
 
 use crate::cascade::Cascade;
+use crate::compiled::CompiledScale;
 use incam_imaging::image::GrayImage;
 use incam_imaging::integral::IntegralImage;
 
@@ -151,11 +152,69 @@ pub fn scan(cascade: &Cascade, image: &GrayImage, params: &ScanParams) -> ScanRe
         }
         result.stats.scales += 1;
         let stride = params.step.stride(side);
+        // All feature geometry at this scale is constant, so compile it
+        // once into flat integral-table offsets; the per-window loop is
+        // then pure table reads (border windows fall back to the original
+        // per-feature evaluation, keeping every verdict bit-identical —
+        // see [`crate::compiled`]).
+        let compiled = CompiledScale::new(cascade, &ii, scale);
         // Window rows at this scale are independent sweeps; evaluate them
         // on the pool and stitch per-row hits back in row order, so the
         // raw-detection order (scale-major, then y, then x) matches the
         // sequential scan exactly. The work counters are integer sums and
         // therefore order-insensitive.
+        let row_count = (h - side) / stride + 1;
+        let rows = incam_parallel::par_map(row_count, |r| {
+            let y = r * stride;
+            let mut hits = Vec::new();
+            let (mut windows, mut features) = (0u64, 0u64);
+            let mut x = 0;
+            while x + side <= w {
+                let verdict = compiled.classify_window(cascade, &ii, &sq, x, y, scale);
+                windows += 1;
+                features += verdict.features_evaluated as u64;
+                if verdict.accepted {
+                    hits.push(Detection { x, y, side });
+                }
+                x += stride;
+            }
+            (hits, windows, features)
+        });
+        for (hits, windows, features) in rows {
+            result.raw.extend(hits);
+            result.stats.windows += windows;
+            result.stats.features += features;
+        }
+        scale *= params.scale_factor;
+    }
+    finish_scan(result, params)
+}
+
+/// The original scan loop evaluating every window through
+/// [`Cascade::classify_window`]'s per-feature coordinate math —
+/// correctness oracle for the compiled [`scan`] (proptests pin the two
+/// bit-identical) and the "before" side of the kernel microbenchmarks.
+///
+/// # Panics
+///
+/// Panics if `scale_factor <= 1.0` or `min_scale < 1.0`.
+pub fn scan_reference(cascade: &Cascade, image: &GrayImage, params: &ScanParams) -> ScanResult {
+    assert!(params.scale_factor > 1.0, "scale factor must exceed 1.0");
+    assert!(params.min_scale >= 1.0, "min_scale must be >= 1.0");
+    let ii = IntegralImage::new(image);
+    let sq = IntegralImage::squared(image);
+    let (w, h) = image.dims();
+    let base = cascade.base_window();
+
+    let mut result = ScanResult::default();
+    let mut scale = params.min_scale;
+    loop {
+        let side = ((base as f64) * scale).round() as usize;
+        if side > w || side > h {
+            break;
+        }
+        result.stats.scales += 1;
+        let stride = params.step.stride(side);
         let row_count = (h - side) / stride + 1;
         let rows = incam_parallel::par_map(row_count, |r| {
             let y = r * stride;
@@ -180,6 +239,12 @@ pub fn scan(cascade: &Cascade, image: &GrayImage, params: &ScanParams) -> ScanRe
         }
         scale *= params.scale_factor;
     }
+    finish_scan(result, params)
+}
+
+/// Shared tail of [`scan`]/[`scan_reference`]: cluster raw hits and rank
+/// detections by support.
+fn finish_scan(mut result: ScanResult, params: &ScanParams) -> ScanResult {
     let mut ranked: Vec<(Detection, usize)> = group_clusters(&result.raw, 0.3)
         .into_iter()
         .filter(|group| group.len() >= params.min_neighbors.max(1))
