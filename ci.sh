@@ -98,6 +98,9 @@ step "kernels determinism (hot-kernel digests vs reference oracles, threads 1 vs
 repro_diff kernels --quick
 ! grep -q DIVERGED "$tmpdir/repro_kernels_t1a.txt"
 
+step "verify determinism (fail-closed auth service, threads 1 vs 4)"
+repro_diff verify --quick
+
 step "examples smoke (quickstart + offload_explorer vs committed transcripts)"
 cargo run --release --offline --example quickstart > "$tmpdir/quickstart.txt"
 cmp "$tmpdir/quickstart.txt" results/examples/quickstart.txt

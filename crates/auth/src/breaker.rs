@@ -1,0 +1,257 @@
+//! Deterministic circuit breaker for the verify pipeline.
+//!
+//! The breaker watches fault outcomes per request and sheds load when
+//! the pipeline is clearly down: after `trip_after` *consecutive*
+//! faults it opens, rejecting every request (the service converts that
+//! to a fail-closed `Fallback::BreakerOpen` — shedding is cheaper than
+//! burning radio energy on uploads that will brown out anyway). After
+//! `cooldown_ticks` ticks it goes half-open and admits a bounded number
+//! of probe requests; if all probes succeed it closes, a single probe
+//! fault re-opens it and restarts the cooldown.
+//!
+//! Time is the service's request tick (a sequence number), not a wall
+//! clock, so breaker behaviour is a pure function of the outcome
+//! sequence — the same fault trace always produces the same trips.
+
+/// Breaker tuning. All thresholds are in requests/ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive faults that trip the breaker open.
+    pub trip_after: u32,
+    /// Ticks the breaker stays open before going half-open.
+    pub cooldown_ticks: u64,
+    /// Probe successes required in half-open before closing.
+    pub half_open_probes: u32,
+}
+
+impl BreakerConfig {
+    /// Service defaults: trip after 4 consecutive faults, 16-tick
+    /// cooldown, 2 successful probes to close.
+    pub fn service_default() -> Self {
+        Self {
+            trip_after: 4,
+            cooldown_ticks: 16,
+            half_open_probes: 2,
+        }
+    }
+
+    /// Panics if any threshold is zero (a breaker that trips on zero
+    /// faults or probes with zero requests is meaningless).
+    pub fn validate(&self) {
+        assert!(self.trip_after > 0, "trip_after must be positive");
+        assert!(self.cooldown_ticks > 0, "cooldown_ticks must be positive");
+        assert!(
+            self.half_open_probes > 0,
+            "half_open_probes must be positive"
+        );
+    }
+}
+
+/// Breaker state, exposed for reports and assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; counting consecutive faults.
+    Closed,
+    /// Shedding all load since `since_tick`.
+    Open {
+        /// Tick at which the breaker (re-)opened.
+        since_tick: u64,
+    },
+    /// Admitting probes; `successes` of the required quota so far.
+    HalfOpen {
+        /// Probe successes accumulated this half-open episode.
+        successes: u32,
+    },
+}
+
+/// What the breaker says about an arriving request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Serve it normally.
+    Admit,
+    /// Serve it as a half-open probe (outcome decides close/re-open).
+    Probe,
+    /// Shed it without serving.
+    Shed,
+}
+
+/// The breaker itself. Drive it with [`CircuitBreaker::admit`] per
+/// request and [`CircuitBreaker::record`] per served outcome.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_faults: u32,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given (validated) config.
+    pub fn new(config: BreakerConfig) -> Self {
+        config.validate();
+        Self {
+            config,
+            state: BreakerState::Closed,
+            consecutive_faults: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has transitioned to open (including re-opens
+    /// from half-open).
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Whether requests are currently shed outright.
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, BreakerState::Open { .. })
+    }
+
+    /// Decides the fate of a request arriving at `tick`. Open → Shed
+    /// (or transition to half-open once the cooldown has elapsed);
+    /// half-open → Probe; closed → Admit.
+    pub fn admit(&mut self, tick: u64) -> BreakerDecision {
+        match self.state {
+            BreakerState::Closed => BreakerDecision::Admit,
+            BreakerState::Open { since_tick } => {
+                if tick.saturating_sub(since_tick) >= self.config.cooldown_ticks {
+                    self.state = BreakerState::HalfOpen { successes: 0 };
+                    BreakerDecision::Probe
+                } else {
+                    BreakerDecision::Shed
+                }
+            }
+            BreakerState::HalfOpen { .. } => BreakerDecision::Probe,
+        }
+    }
+
+    /// Records the outcome of a request served at `tick` (`faulted` =
+    /// any injected fault, timeout, or error on its path — verdict
+    /// Accept/Reject both count as success).
+    pub fn record(&mut self, tick: u64, faulted: bool) {
+        match self.state {
+            BreakerState::Closed => {
+                if faulted {
+                    self.consecutive_faults += 1;
+                    if self.consecutive_faults >= self.config.trip_after {
+                        self.trip(tick);
+                    }
+                } else {
+                    self.consecutive_faults = 0;
+                }
+            }
+            BreakerState::HalfOpen { successes } => {
+                if faulted {
+                    self.trip(tick);
+                } else {
+                    let successes = successes + 1;
+                    if successes >= self.config.half_open_probes {
+                        self.state = BreakerState::Closed;
+                        self.consecutive_faults = 0;
+                    } else {
+                        self.state = BreakerState::HalfOpen { successes };
+                    }
+                }
+            }
+            // outcomes racing a trip are ignored; the breaker already
+            // decided to shed
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    fn trip(&mut self, tick: u64) {
+        self.state = BreakerState::Open { since_tick: tick };
+        self.consecutive_faults = 0;
+        self.trips += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            trip_after: 3,
+            cooldown_ticks: 5,
+            half_open_probes: 2,
+        })
+    }
+
+    #[test]
+    fn trips_only_on_consecutive_faults() {
+        let mut b = breaker();
+        for tick in 0..10 {
+            // alternate fault/success: never 3 in a row
+            assert_eq!(b.admit(tick), BreakerDecision::Admit);
+            b.record(tick, tick % 2 == 0);
+        }
+        assert_eq!(b.trips(), 0);
+        for tick in 10..13 {
+            b.admit(tick);
+            b.record(tick, true);
+        }
+        assert!(b.is_open());
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn sheds_through_cooldown_then_probes() {
+        let mut b = breaker();
+        for tick in 0..3 {
+            b.admit(tick);
+            b.record(tick, true);
+        }
+        assert_eq!(b.state(), BreakerState::Open { since_tick: 2 });
+        for tick in 3..7 {
+            assert_eq!(b.admit(tick), BreakerDecision::Shed);
+        }
+        // cooldown of 5 elapsed at tick 7
+        assert_eq!(b.admit(7), BreakerDecision::Probe);
+        b.record(7, false);
+        assert_eq!(b.admit(8), BreakerDecision::Probe);
+        b.record(8, false);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(9), BreakerDecision::Admit);
+    }
+
+    #[test]
+    fn probe_fault_reopens_and_recounts_cooldown() {
+        let mut b = breaker();
+        for tick in 0..3 {
+            b.admit(tick);
+            b.record(tick, true);
+        }
+        assert_eq!(b.admit(7), BreakerDecision::Probe);
+        b.record(7, true);
+        assert_eq!(b.state(), BreakerState::Open { since_tick: 7 });
+        assert_eq!(b.trips(), 2);
+        assert_eq!(b.admit(11), BreakerDecision::Shed);
+        assert_eq!(b.admit(12), BreakerDecision::Probe);
+    }
+
+    #[test]
+    fn success_resets_consecutive_count() {
+        let mut b = breaker();
+        b.admit(0);
+        b.record(0, true);
+        b.admit(1);
+        b.record(1, true);
+        b.admit(2);
+        b.record(2, false);
+        b.admit(3);
+        b.record(3, true);
+        b.admit(4);
+        b.record(4, true);
+        assert_eq!(b.trips(), 0);
+        b.admit(5);
+        b.record(5, true);
+        assert_eq!(b.trips(), 1);
+    }
+}

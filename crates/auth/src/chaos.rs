@@ -1,0 +1,200 @@
+//! Composite fault oracle for verify traffic: Gilbert–Elliott link
+//! bursts × keyed compute faults × RF brownout, all behind one
+//! [`FaultOracle`].
+//!
+//! `ChaosOracle` already composes a link trace with a compute-fault
+//! model; verify traffic additionally sees the harvested-power budget —
+//! a zero-power brownout period blacks out *every* stage of the
+//! pipeline (no charge to compute with, no radio to transmit with),
+//! while an outage with residual harvested power degrades instead: a
+//! compute slowdown and a goodput haircut on top of whatever the link
+//! trace says. This oracle layers that in while
+//! staying a pure function of `(frame, stage, attempt)`, so a verify
+//! transcript is reproducible from its seeds alone.
+
+use incam_core::runtime::{ComputeCondition, FaultOracle, LinkCondition};
+use incam_faults::brownout::BrownoutTrace;
+use incam_faults::chaos::ChaosOracle;
+
+/// Brownout periods advanced per frame; with the default attempt
+/// stride of 4 this keeps power epochs coarser than retry slots, as on
+/// the real harvester.
+pub const PERIODS_PER_FRAME: u64 = 1;
+
+/// A [`ChaosOracle`] (link + compute faults) further gated by a
+/// [`BrownoutTrace`] power budget.
+#[derive(Debug, Clone)]
+pub struct VerifyChaosOracle {
+    chaos: ChaosOracle,
+    brownout: BrownoutTrace,
+}
+
+impl VerifyChaosOracle {
+    /// Composes the base oracle with a brownout trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the brownout trace is empty.
+    pub fn new(chaos: ChaosOracle, brownout: BrownoutTrace) -> Self {
+        assert!(!brownout.is_empty(), "brownout trace must be non-empty");
+        Self { chaos, brownout }
+    }
+
+    /// Full-power variant: only link and compute faults remain.
+    pub fn without_brownout(chaos: ChaosOracle) -> Self {
+        Self {
+            chaos,
+            brownout: BrownoutTrace::steady(1),
+        }
+    }
+
+    /// The brownout period a frame falls in.
+    fn period(frame: u64) -> u64 {
+        frame.wrapping_mul(PERIODS_PER_FRAME)
+    }
+
+    /// Whether `frame` lands in a zero-power outage (all stages blacked
+    /// out). Outage periods with residual power degrade instead.
+    pub fn blacked_out(&self, frame: u64) -> bool {
+        self.brownout.power_factor(Self::period(frame)) <= 0.0
+    }
+
+    /// The composed base oracle.
+    pub fn chaos(&self) -> &ChaosOracle {
+        &self.chaos
+    }
+
+    /// The brownout trace.
+    pub fn brownout(&self) -> &BrownoutTrace {
+        &self.brownout
+    }
+}
+
+impl FaultOracle for VerifyChaosOracle {
+    fn link(&self, frame: u64, attempt: u32) -> LinkCondition {
+        let period = Self::period(frame);
+        let power = self.brownout.power_factor(period);
+        if power <= 0.0 {
+            return LinkCondition {
+                delivered: false,
+                goodput: 0.0,
+            };
+        }
+        let base = self.chaos.link(frame, attempt);
+        LinkCondition {
+            delivered: base.delivered,
+            goodput: base.goodput * power,
+        }
+    }
+
+    fn compute(&self, frame: u64, stage: usize, attempt: u32) -> ComputeCondition {
+        let period = Self::period(frame);
+        let power = self.brownout.power_factor(period);
+        if power <= 0.0 {
+            return ComputeCondition::Failed;
+        }
+        let base = self.chaos.compute(frame, stage, attempt);
+        if power >= 1.0 {
+            return base;
+        }
+        // residual power stretches frame time by 1/power on top of any
+        // chaos slowdown
+        let stretch = power.recip();
+        match base {
+            ComputeCondition::Nominal => ComputeCondition::Slowdown(stretch),
+            ComputeCondition::Slowdown(f) => ComputeCondition::Slowdown(f * stretch),
+            ComputeCondition::Failed => ComputeCondition::Failed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incam_faults::brownout::BrownoutModel;
+    use incam_faults::compute::ComputeFaultModel;
+    use incam_faults::gilbert::GilbertElliott;
+
+    fn outage_heavy_trace() -> BrownoutTrace {
+        BrownoutModel::new(0.4, 3.0).trace(11, 256)
+    }
+
+    #[test]
+    fn outage_blacks_out_link_and_compute() {
+        let oracle = VerifyChaosOracle::new(ChaosOracle::ideal(), outage_heavy_trace());
+        let mut saw_outage = false;
+        for frame in 0..256u64 {
+            if oracle.blacked_out(frame) {
+                saw_outage = true;
+                let link = oracle.link(frame, 0);
+                assert!(!link.delivered);
+                assert_eq!(link.goodput, 0.0);
+                for stage in 0..3 {
+                    assert_eq!(oracle.compute(frame, stage, 0), ComputeCondition::Failed);
+                }
+            }
+        }
+        assert!(saw_outage, "trace produced no outages — weak test");
+    }
+
+    #[test]
+    fn without_brownout_matches_base_oracle() {
+        let trace = GilbertElliott::congested(0.3).trace(5, 512);
+        let compute = ComputeFaultModel::new(5, 0.05, 0.1, 2.0);
+        let base = ChaosOracle::new(trace.clone(), compute);
+        let wrapped = VerifyChaosOracle::without_brownout(ChaosOracle::new(trace, compute));
+        for frame in 0..128u64 {
+            for attempt in 0..3u32 {
+                assert_eq!(wrapped.link(frame, attempt), base.link(frame, attempt));
+                for stage in 0..3 {
+                    assert_eq!(
+                        wrapped.compute(frame, stage, attempt),
+                        base.compute(frame, stage, attempt)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn residual_power_slows_compute_and_trims_goodput() {
+        let brownout = BrownoutModel::new(0.4, 3.0)
+            .with_residual_power(0.5)
+            .trace(13, 256);
+        let oracle = VerifyChaosOracle::new(ChaosOracle::ideal(), brownout.clone());
+        let mut saw_residual = false;
+        for frame in 0..256u64 {
+            let period = frame * PERIODS_PER_FRAME;
+            if !brownout.available(period) && brownout.power_factor(period) > 0.0 {
+                assert!(!oracle.blacked_out(frame));
+                saw_residual = true;
+                match oracle.compute(frame, 0, 0) {
+                    ComputeCondition::Slowdown(f) => assert!(f > 1.0),
+                    other => panic!("expected slowdown, got {other:?}"),
+                }
+                assert!(oracle.link(frame, 0).goodput < 1.0);
+            }
+        }
+        assert!(saw_residual, "trace produced no residual-power periods");
+    }
+
+    #[test]
+    fn oracle_is_a_pure_function() {
+        let oracle = VerifyChaosOracle::new(
+            ChaosOracle::new(
+                GilbertElliott::congested(0.2).trace(3, 512),
+                ComputeFaultModel::new(3, 0.1, 0.1, 2.0),
+            ),
+            outage_heavy_trace(),
+        );
+        for frame in 0..64u64 {
+            for attempt in 0..4u32 {
+                assert_eq!(oracle.link(frame, attempt), oracle.link(frame, attempt));
+                assert_eq!(
+                    oracle.compute(frame, 1, attempt),
+                    oracle.compute(frame, 1, attempt)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Enrollment galleries: per-user template sets with enroll / update /
+//! revoke, and max-cosine matching.
+//!
+//! The gallery is the service's identity store. Each user holds a
+//! bounded set of template embeddings (multiple enrollment captures
+//! absorb pose/lighting variation); a probe matches a user at the
+//! *maximum* cosine over that user's templates. Storage is a sorted
+//! `Vec` keyed by user id — deterministic iteration order, which the
+//! repo's unordered-iteration lint would deny a `HashMap` for anyway.
+
+use crate::embed::Embedding;
+
+/// Upper bound on templates retained per user; further
+/// [`Gallery::update`] calls evict the oldest (FIFO) so enrollment
+/// drift tracks the most recent captures.
+pub const MAX_TEMPLATES_PER_USER: usize = 8;
+
+/// Errors from gallery mutations and lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GalleryError {
+    /// The user id is not enrolled.
+    UnknownUser,
+    /// Enroll called for an id that already exists (use `update`).
+    AlreadyEnrolled,
+    /// Template dimensionality disagrees with the gallery's.
+    DimensionMismatch,
+}
+
+impl core::fmt::Display for GalleryError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GalleryError::UnknownUser => write!(f, "unknown user"),
+            GalleryError::AlreadyEnrolled => write!(f, "user already enrolled"),
+            GalleryError::DimensionMismatch => write!(f, "template dimension mismatch"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    user: u32,
+    templates: Vec<Embedding>,
+}
+
+/// Per-user template store. Users are dense `u32` ids (the fleet
+/// adapter assigns them); entries stay sorted by id.
+#[derive(Debug, Clone, Default)]
+pub struct Gallery {
+    entries: Vec<Entry>,
+    dim: Option<usize>,
+}
+
+impl Gallery {
+    /// An empty gallery.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of enrolled users.
+    pub fn users(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total templates across all users.
+    pub fn templates(&self) -> usize {
+        self.entries.iter().map(|e| e.templates.len()).sum()
+    }
+
+    /// Whether `user` is enrolled.
+    pub fn contains(&self, user: u32) -> bool {
+        self.index_of(user).is_ok()
+    }
+
+    fn index_of(&self, user: u32) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&user, |e| e.user)
+    }
+
+    fn check_dim(&mut self, template: &Embedding) -> Result<(), GalleryError> {
+        match self.dim {
+            Some(d) if d != template.dim() => Err(GalleryError::DimensionMismatch),
+            Some(_) => Ok(()),
+            None => {
+                self.dim = Some(template.dim());
+                Ok(())
+            }
+        }
+    }
+
+    /// Enrolls a new user with an initial template.
+    ///
+    /// # Errors
+    ///
+    /// [`GalleryError::AlreadyEnrolled`] if the id exists,
+    /// [`GalleryError::DimensionMismatch`] on a foreign feature space.
+    pub fn enroll(&mut self, user: u32, template: Embedding) -> Result<(), GalleryError> {
+        self.check_dim(&template)?;
+        match self.index_of(user) {
+            Ok(_) => Err(GalleryError::AlreadyEnrolled),
+            Err(pos) => {
+                self.entries.insert(
+                    pos,
+                    Entry {
+                        user,
+                        templates: vec![template],
+                    },
+                );
+                Ok(())
+            }
+        }
+    }
+
+    /// Adds a template to an enrolled user, evicting the oldest beyond
+    /// [`MAX_TEMPLATES_PER_USER`].
+    ///
+    /// # Errors
+    ///
+    /// [`GalleryError::UnknownUser`] or
+    /// [`GalleryError::DimensionMismatch`].
+    pub fn update(&mut self, user: u32, template: Embedding) -> Result<(), GalleryError> {
+        self.check_dim(&template)?;
+        let idx = self.index_of(user).map_err(|_| GalleryError::UnknownUser)?;
+        let templates = &mut self.entries[idx].templates;
+        templates.push(template);
+        if templates.len() > MAX_TEMPLATES_PER_USER {
+            templates.remove(0);
+        }
+        Ok(())
+    }
+
+    /// Removes a user and all their templates.
+    ///
+    /// # Errors
+    ///
+    /// [`GalleryError::UnknownUser`].
+    pub fn revoke(&mut self, user: u32) -> Result<(), GalleryError> {
+        let idx = self.index_of(user).map_err(|_| GalleryError::UnknownUser)?;
+        self.entries.remove(idx);
+        Ok(())
+    }
+
+    /// Max cosine similarity of `probe` against `user`'s templates.
+    ///
+    /// # Errors
+    ///
+    /// [`GalleryError::UnknownUser`] or
+    /// [`GalleryError::DimensionMismatch`].
+    pub fn match_score(&self, user: u32, probe: &Embedding) -> Result<f32, GalleryError> {
+        if self.dim.is_some_and(|d| d != probe.dim()) {
+            return Err(GalleryError::DimensionMismatch);
+        }
+        let idx = self.index_of(user).map_err(|_| GalleryError::UnknownUser)?;
+        let best = self.entries[idx]
+            .templates
+            .iter()
+            .map(|t| t.cosine(probe))
+            .fold(f32::NEG_INFINITY, f32::max);
+        Ok(best)
+    }
+
+    /// Enrolled user ids, ascending.
+    pub fn user_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.entries.iter().map(|e| e.user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(axis: usize) -> Embedding {
+        let mut v = vec![0.0f32; 4];
+        v[axis] = 1.0;
+        Embedding::from_raw(v).unwrap()
+    }
+
+    #[test]
+    fn enroll_update_revoke_roundtrip() {
+        let mut g = Gallery::new();
+        g.enroll(3, unit(0)).unwrap();
+        g.enroll(1, unit(1)).unwrap();
+        assert_eq!(g.enroll(3, unit(2)), Err(GalleryError::AlreadyEnrolled));
+        assert_eq!(g.users(), 2);
+        assert_eq!(g.user_ids().collect::<Vec<_>>(), vec![1, 3]);
+        g.update(3, unit(2)).unwrap();
+        assert_eq!(g.templates(), 3);
+        g.revoke(3).unwrap();
+        assert_eq!(g.revoke(3), Err(GalleryError::UnknownUser));
+        assert!(!g.contains(3) && g.contains(1));
+    }
+
+    #[test]
+    fn match_takes_max_over_templates() {
+        let mut g = Gallery::new();
+        g.enroll(7, unit(0)).unwrap();
+        g.update(7, unit(1)).unwrap();
+        // probe along axis 1 matches the second template perfectly
+        assert!((g.match_score(7, &unit(1)).unwrap() - 1.0).abs() < 1e-6);
+        // probe along axis 2 is orthogonal to both
+        assert!(g.match_score(7, &unit(2)).unwrap().abs() < 1e-6);
+        assert_eq!(g.match_score(9, &unit(0)), Err(GalleryError::UnknownUser));
+    }
+
+    #[test]
+    fn template_cap_evicts_oldest() {
+        let mut g = Gallery::new();
+        g.enroll(1, unit(0)).unwrap();
+        for _ in 0..MAX_TEMPLATES_PER_USER + 3 {
+            g.update(1, unit(1)).unwrap();
+        }
+        assert_eq!(g.templates(), MAX_TEMPLATES_PER_USER);
+        // the original axis-0 template was evicted
+        assert!(g.match_score(1, &unit(0)).unwrap() < 0.5);
+    }
+
+    #[test]
+    fn dimension_mismatch_refused() {
+        let mut g = Gallery::new();
+        g.enroll(1, unit(0)).unwrap();
+        let wide = Embedding::from_raw(vec![1.0; 8]).unwrap();
+        assert_eq!(
+            g.update(1, wide.clone()),
+            Err(GalleryError::DimensionMismatch)
+        );
+        assert_eq!(
+            g.enroll(2, wide.clone()),
+            Err(GalleryError::DimensionMismatch)
+        );
+        assert_eq!(
+            g.match_score(1, &wide),
+            Err(GalleryError::DimensionMismatch)
+        );
+    }
+}

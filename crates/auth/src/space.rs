@@ -1,0 +1,309 @@
+//! The verify pipeline as a configuration space: align / embed / match
+//! registered with [`incam_core::explore`] so the explorer yields
+//! offload cuts and energy-per-verify across MCU / ASIC / SNNAP / cloud
+//! bindings.
+//!
+//! Data shrinks monotonically through the pipeline — raw probe patch
+//! (2304 B) → aligned window (400 B) → embedding (64 B) → verdict
+//! (1 B) — which is exactly the paper's computation-vs-communication
+//! tradeoff: each stage kept on-camera costs compute energy but slashes
+//! what the radio must carry. The embed block gets a third binding, the
+//! SNNAP-style NPU ([`incam_snnap`]), with its energy and latency
+//! *computed* from the embedding head's actual topology rather than
+//! asserted.
+
+use crate::embed::{EmbeddingHead, EMBED_DIM};
+use crate::service::{StageCost, VerifyPlan, NUM_STAGES};
+use incam_core::block::{Backend, BlockSpec, DataTransform};
+use incam_core::explore::{Binding, BlockSpace, PipelineSpace};
+use incam_core::link::Link;
+use incam_core::pipeline::Source;
+use incam_core::units::{Bytes, BytesPerSec, Fps, Joules, Seconds, Watts};
+use incam_snnap::{SnnapAccelerator, SnnapConfig};
+
+/// Verify pipeline blocks, in execution order.
+pub const VERIFY_BLOCKS: [&str; NUM_STAGES] = ["AL", "EM", "MT"];
+
+/// Captured probe patch side (pixels); 1 byte per pixel on the wire.
+pub const PROBE_SIDE: usize = 48;
+
+/// Aligned window side — the embedding head's input.
+pub const WINDOW_SIDE: usize = 20;
+
+/// Raw probe payload at cut 0.
+pub const PROBE_BYTES: f64 = (PROBE_SIDE * PROBE_SIDE) as f64;
+
+/// Aligned-window payload at cut 1.
+pub const WINDOW_BYTES: f64 = (WINDOW_SIDE * WINDOW_SIDE) as f64;
+
+/// Embedding payload at cut 2 (f32 components).
+pub const EMBED_BYTES: f64 = (EMBED_DIM * 4) as f64;
+
+/// Verdict payload at cut 3.
+pub const VERDICT_BYTES: f64 = 1.0;
+
+/// Streaming throughput credited to on-sensor ASIC bindings (the
+/// accelerator consumes the sensor stream at line rate).
+pub const ASIC_STREAM_FPS: f64 = 30.0;
+
+/// Binding index of the per-block ASIC in every block space.
+pub const BIND_ASIC: usize = 0;
+
+/// Binding index of the general-purpose MCU in every block space.
+pub const BIND_MCU: usize = 1;
+
+/// Binding index of the SNNAP NPU (embed block only).
+pub const BIND_SNNAP: usize = 2;
+
+/// Nominal per-stage service time on the cloud tier.
+pub const CLOUD_STAGE_TIME: Seconds = Seconds::new(0.000_5);
+
+/// Calibrated per-stage costs of the verify pipeline on each candidate
+/// substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuthBlockCosts {
+    /// Sensor capture energy per probe.
+    pub capture: Joules,
+    /// Per-probe energy of `[AL, EM, MT]` on dedicated ASICs.
+    pub asic: [Joules; NUM_STAGES],
+    /// Per-probe energy of `[AL, EM, MT]` in MCU software.
+    pub mcu: [Joules; NUM_STAGES],
+    /// MCU active power (time = energy / power, exact for its linear
+    /// instruction costing).
+    pub mcu_active_power: Watts,
+    /// Computed SNNAP energy for one embed inference.
+    pub snnap_embed_energy: Joules,
+    /// Computed SNNAP embed latency.
+    pub snnap_embed_latency: Seconds,
+}
+
+impl AuthBlockCosts {
+    /// Design-point costs. ASIC and MCU numbers follow the WISPCam
+    /// case study's scale (nanojoule-class accelerators, microjoule
+    /// MCU software); the SNNAP figures are computed from `head`'s
+    /// actual topology through the [`incam_snnap`] energy model.
+    pub fn design_point(head: &EmbeddingHead) -> Self {
+        let snnap = SnnapAccelerator::new(head.mlp(), SnnapConfig::paper_default());
+        Self {
+            capture: Joules::from_micro(2.02),
+            asic: [
+                // warp touches every output pixel; matcher is a dot product
+                Joules::from_nano(80.0),
+                Joules::from_nano(120.0),
+                Joules::from_nano(10.0),
+            ],
+            mcu: [
+                Joules::from_micro(40.0),
+                Joules::from_micro(25.0),
+                Joules::from_micro(2.0),
+            ],
+            mcu_active_power: Watts::from_micro(3_000.0),
+            snnap_embed_energy: snnap.energy_per_inference(),
+            snnap_embed_latency: snnap.latency(),
+        }
+    }
+
+    fn mcu_fps(&self, stage: usize) -> Fps {
+        Fps::new(self.mcu_active_power.watts() / self.mcu[stage].joules())
+    }
+}
+
+/// The WISPCam-class backscatter uplink the verify camera talks over:
+/// 256 kb/s at 60 pJ/bit.
+pub fn verify_uplink() -> Link {
+    Link::new("backscatter", BytesPerSec::from_bits_per_sec(256e3), 1.0)
+        .with_energy_per_bit(Joules::from_pico(60.0))
+}
+
+/// Builds the verify configuration space: three core blocks with
+/// ASIC/MCU bindings (plus SNNAP on the embed block) and four cut
+/// positions shipping probe, window, embedding, or verdict.
+pub fn verify_binding_space(costs: &AuthBlockCosts, capture_rate: Fps) -> PipelineSpace {
+    let dual = |stage: usize, transform: DataTransform| -> BlockSpace {
+        BlockSpace::new(
+            BlockSpec::core(VERIFY_BLOCKS[stage], transform),
+            vec![
+                Binding::new(Backend::Asic, Fps::new(ASIC_STREAM_FPS))
+                    .with_energy_per_frame(costs.asic[stage]),
+                Binding::new(Backend::Mcu, costs.mcu_fps(stage))
+                    .with_energy_per_frame(costs.mcu[stage]),
+            ],
+        )
+    };
+    let embed = BlockSpace::new(
+        BlockSpec::core(
+            VERIFY_BLOCKS[1],
+            DataTransform::Fixed(Bytes::new(EMBED_BYTES)),
+        ),
+        vec![
+            Binding::new(Backend::Asic, Fps::new(ASIC_STREAM_FPS))
+                .with_energy_per_frame(costs.asic[1]),
+            Binding::new(Backend::Mcu, costs.mcu_fps(1)).with_energy_per_frame(costs.mcu[1]),
+            Binding::new(Backend::Fpga, Fps::from_period(costs.snnap_embed_latency))
+                .with_energy_per_frame(costs.snnap_embed_energy),
+        ],
+    );
+    PipelineSpace::new(
+        Source::new("S", Bytes::new(PROBE_BYTES), capture_rate).with_capture_energy(costs.capture),
+    )
+    .with_block(dual(0, DataTransform::Fixed(Bytes::new(WINDOW_BYTES))))
+    .with_block(embed)
+    .with_block(dual(2, DataTransform::Fixed(Bytes::new(VERDICT_BYTES))))
+}
+
+/// Payload crossing the link when the pipeline is cut after `cut`
+/// in-camera stages.
+pub fn payload_at_cut(cut: usize) -> Bytes {
+    Bytes::new(match cut {
+        0 => PROBE_BYTES,
+        1 => WINDOW_BYTES,
+        2 => EMBED_BYTES,
+        _ => VERDICT_BYTES,
+    })
+}
+
+/// Stage cost of running `stage` on binding `binding` (indices as in
+/// [`verify_binding_space`]).
+fn stage_cost(costs: &AuthBlockCosts, stage: usize, binding: usize) -> StageCost {
+    match binding {
+        BIND_ASIC => StageCost {
+            time: Seconds::new(1.0 / ASIC_STREAM_FPS),
+            energy: costs.asic[stage],
+        },
+        BIND_MCU => StageCost {
+            time: costs.mcu[stage] / costs.mcu_active_power,
+            energy: costs.mcu[stage],
+        },
+        _ => StageCost {
+            time: costs.snnap_embed_latency,
+            energy: costs.snnap_embed_energy,
+        },
+    }
+}
+
+/// Realizes an executable [`VerifyPlan`] from a configuration of the
+/// space: `bindings[i]` picks stage `i`'s substrate (only consulted for
+/// stages before the cut), `cut` splits camera from cloud.
+///
+/// # Panics
+///
+/// Panics if `cut > NUM_STAGES`, `bindings` is short, or a non-embed
+/// stage asks for the SNNAP binding.
+pub fn plan_for(
+    costs: &AuthBlockCosts,
+    bindings: &[usize; NUM_STAGES],
+    cut: usize,
+    link: Link,
+) -> VerifyPlan {
+    assert!(cut <= NUM_STAGES, "cut {cut} out of range");
+    let mut local = [StageCost {
+        time: Seconds::ZERO,
+        energy: Joules::ZERO,
+    }; NUM_STAGES];
+    let letters: Vec<String> = (0..NUM_STAGES)
+        .map(|stage| {
+            let binding = bindings[stage];
+            assert!(
+                binding != BIND_SNNAP || stage == 1,
+                "SNNAP binds only the embed block"
+            );
+            local[stage] = stage_cost(costs, stage, binding);
+            if stage < cut {
+                match binding {
+                    BIND_ASIC => "A".into(),
+                    BIND_MCU => "M".into(),
+                    _ => "S".into(),
+                }
+            } else {
+                "c".into()
+            }
+        })
+        .collect();
+    VerifyPlan {
+        label: format!("cut={cut} [{}]", letters.join("")),
+        cut,
+        local,
+        cloud_time: CLOUD_STAGE_TIME,
+        payload: payload_at_cut(cut),
+        link,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn head() -> EmbeddingHead {
+        EmbeddingHead::new(WINDOW_SIDE, 7)
+    }
+
+    #[test]
+    fn space_enumerates_all_cuts_and_bindings() {
+        let costs = AuthBlockCosts::design_point(&head());
+        let space = verify_binding_space(&costs, Fps::new(1.0));
+        assert_eq!(space.len(), NUM_STAGES);
+        // 2 × 3 × 2 bindings, 4 cuts; canonical enumeration dedups
+        // bindings past the cut
+        let total = space.distinct_configurations().count();
+        assert!(total > 4, "space collapsed: {total} configurations");
+        let link = verify_uplink();
+        for analysis in space.explore(&link) {
+            assert!(analysis.energy.joules() > 0.0);
+            assert!(analysis.upload.bytes() >= VERDICT_BYTES);
+        }
+    }
+
+    #[test]
+    fn deeper_cuts_upload_less_data() {
+        let mut last = f64::INFINITY;
+        for cut in 0..=NUM_STAGES {
+            let bytes = payload_at_cut(cut).bytes();
+            assert!(bytes < last, "payload must shrink with the cut");
+            last = bytes;
+        }
+    }
+
+    #[test]
+    fn snnap_costs_come_from_the_real_model() {
+        let costs = AuthBlockCosts::design_point(&head());
+        assert!(costs.snnap_embed_energy.joules() > 0.0);
+        assert!(costs.snnap_embed_latency.secs() > 0.0);
+        // NPU beats the MCU on embed energy — that is its reason to exist
+        assert!(costs.snnap_embed_energy < costs.mcu[1]);
+    }
+
+    #[test]
+    fn plans_match_their_configuration() {
+        let costs = AuthBlockCosts::design_point(&head());
+        let plan = plan_for(
+            &costs,
+            &[BIND_ASIC, BIND_SNNAP, BIND_ASIC],
+            2,
+            verify_uplink(),
+        );
+        plan.validate();
+        assert_eq!(plan.cut, 2);
+        assert_eq!(plan.payload.bytes(), EMBED_BYTES);
+        assert_eq!(plan.local[1].energy, costs.snnap_embed_energy);
+        assert!(plan.label.contains("cut=2"));
+        let verdict_plan = plan_for(
+            &costs,
+            &[BIND_ASIC, BIND_ASIC, BIND_ASIC],
+            NUM_STAGES,
+            verify_uplink(),
+        );
+        assert_eq!(verdict_plan.payload.bytes(), VERDICT_BYTES);
+    }
+
+    #[test]
+    #[should_panic(expected = "SNNAP binds only the embed block")]
+    fn snnap_on_align_is_rejected() {
+        let costs = AuthBlockCosts::design_point(&head());
+        let _ = plan_for(
+            &costs,
+            &[BIND_SNNAP, BIND_ASIC, BIND_ASIC],
+            3,
+            verify_uplink(),
+        );
+    }
+}

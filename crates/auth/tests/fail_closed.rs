@@ -1,0 +1,207 @@
+//! The fail-closed invariant, property-tested: **no request ever
+//! accepts after a deadline miss, an unrecoverable injected fault, or a
+//! breaker-open shed.**
+//!
+//! A scripted, pure-function fault oracle draws link/compute conditions
+//! from generated bit masks; because the oracle is pure, the test can
+//! re-query it to decide independently which frames were unrecoverable
+//! (every attempt of some stage failed, or every transmission attempt
+//! lost) and check the verdicts against that ground truth.
+
+use std::sync::OnceLock;
+
+use incam_auth::align::EyeLandmarks;
+use incam_auth::embed::EmbeddingHead;
+use incam_auth::gallery::Gallery;
+use incam_auth::service::{FallbackReason, Probe, ServiceConfig, VerifyRequest, VerifyService};
+use incam_auth::space::{plan_for, verify_uplink, AuthBlockCosts, BIND_ASIC, WINDOW_SIDE};
+use incam_core::runtime::{ComputeCondition, FaultOracle, LinkCondition};
+use incam_core::units::Seconds;
+use incam_imaging::faces::{render_face, Identity, Nuisance};
+use incam_rng::prelude::*;
+use incam_rng::rngs::StdRng;
+use incam_rng::SeedableRng;
+
+const HEAD_SEED: u64 = 2017;
+
+/// Shared fixture: head, two enrolled users, and a clean genuine probe
+/// of user 0 — rendering faces per proptest case would dominate runtime.
+fn fixture() -> &'static (EmbeddingHead, Gallery, Probe) {
+    static FIXTURE: OnceLock<(EmbeddingHead, Gallery, Probe)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let head = EmbeddingHead::new(WINDOW_SIDE, HEAD_SEED);
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut gallery = Gallery::new();
+        let mut probe = None;
+        for user in 0..2u32 {
+            let id = Identity::sample(&mut rng);
+            let image = render_face(&id, &Nuisance::none(), 48, &mut rng);
+            let landmarks = EyeLandmarks::from_render_geometry(&id, &Nuisance::none(), 48);
+            let window = incam_auth::align::align_face(&image, &landmarks, WINDOW_SIDE)
+                .expect("clean fixture face must align");
+            let template = head.embed(&window).expect("clean fixture face must embed");
+            gallery.enroll(user, template).expect("fresh user");
+            if user == 0 {
+                probe = Some(Probe { image, landmarks });
+            }
+        }
+        (head, gallery, probe.expect("user 0 rendered"))
+    })
+}
+
+fn service(config: ServiceConfig) -> VerifyService {
+    let (head, gallery, _) = fixture();
+    let costs = AuthBlockCosts::design_point(head);
+    let plan = plan_for(&costs, &[BIND_ASIC; 3], 3, verify_uplink());
+    VerifyService::new(head.clone(), gallery.clone(), plan, config)
+}
+
+/// A pure-function oracle scripted by bit masks: condition of
+/// `(frame, stage, attempt)` is a fixed hash into the masks, so the
+/// test can re-derive exactly what the service saw.
+struct ScriptedOracle {
+    fail: Vec<bool>,
+    slow: Vec<bool>,
+    lost: Vec<bool>,
+}
+
+impl ScriptedOracle {
+    fn index(frame: u64, stage: usize, attempt: u32, len: usize) -> usize {
+        let mut z = frame
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(stage as u64)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            .wrapping_add(u64::from(attempt));
+        z ^= z >> 29;
+        (z % len as u64) as usize
+    }
+}
+
+impl FaultOracle for ScriptedOracle {
+    fn link(&self, frame: u64, attempt: u32) -> LinkCondition {
+        let lost = self.lost[Self::index(frame, 7, attempt, self.lost.len())];
+        LinkCondition {
+            delivered: !lost,
+            goodput: if lost { 0.0 } else { 1.0 },
+        }
+    }
+
+    fn compute(&self, frame: u64, stage: usize, attempt: u32) -> ComputeCondition {
+        if self.fail[Self::index(frame, stage, attempt, self.fail.len())] {
+            ComputeCondition::Failed
+        } else if self.slow[Self::index(frame, stage, attempt, self.slow.len())] {
+            ComputeCondition::Slowdown(2.0)
+        } else {
+            ComputeCondition::Nominal
+        }
+    }
+}
+
+/// An oracle that fails every compute attempt from `from_frame` on.
+struct FailFrom {
+    from_frame: u64,
+}
+
+impl FaultOracle for FailFrom {
+    fn link(&self, _frame: u64, _attempt: u32) -> LinkCondition {
+        LinkCondition::NOMINAL
+    }
+
+    fn compute(&self, frame: u64, _stage: usize, _attempt: u32) -> ComputeCondition {
+        if frame >= self.from_frame {
+            ComputeCondition::Failed
+        } else {
+            ComputeCondition::Nominal
+        }
+    }
+}
+
+fn requests(deadlines_ms: &[f64]) -> Vec<VerifyRequest> {
+    let (_, _, probe) = fixture();
+    deadlines_ms
+        .iter()
+        .enumerate()
+        .map(|(frame, &ms)| VerifyRequest {
+            user: 0,
+            camera: frame as u64 % 4,
+            frame: frame as u64,
+            deadline: Seconds::from_millis(ms),
+            probe: probe.clone(),
+        })
+        .collect()
+}
+
+proptest! {
+    /// Under arbitrary fault masks and deadlines: counters conserve,
+    /// and an `Accept` implies the request met its deadline AND had a
+    /// recoverable path (some attempt of every stage nominal-or-slow,
+    /// some transmission attempt delivered).
+    #[test]
+    fn accepts_only_with_deadline_and_recoverable_faults(
+        fail in prop::collection::vec(any::<bool>(), 16..64),
+        slow in prop::collection::vec(any::<bool>(), 16..64),
+        lost in prop::collection::vec(any::<bool>(), 16..64),
+        deadlines_ms in prop::collection::vec(1.0f64..1000.0, 1..24),
+    ) {
+        let oracle = ScriptedOracle { fail, slow, lost };
+        let config = ServiceConfig::experiment_default();
+        let attempts = config.retry.max_attempts;
+        let mut svc = service(config);
+        let reqs = requests(&deadlines_ms);
+        let run = svc.serve(&reqs, &oracle);
+        prop_assert!(run.report.conserves());
+        for (request, served) in reqs.iter().zip(&run.served) {
+            if !served.verdict.is_accept() {
+                continue;
+            }
+            prop_assert!(
+                served.latency <= request.deadline,
+                "accepted frame {} past its deadline: {} > {}",
+                request.frame,
+                served.latency.secs(),
+                request.deadline.secs()
+            );
+            let compute_dead = (0..3).any(|stage| {
+                (0..attempts).all(|a| {
+                    oracle.compute(request.frame, stage, a) == ComputeCondition::Failed
+                })
+            });
+            prop_assert!(!compute_dead, "accepted compute-dead frame {}", request.frame);
+            let link_dead =
+                (0..attempts).all(|a| !oracle.link(request.frame, a).delivered);
+            prop_assert!(!link_dead, "accepted link-dead frame {}", request.frame);
+        }
+    }
+
+    /// Once every compute attempt fails, nothing from that point on is
+    /// ever accepted — and a long enough fault suffix trips the breaker,
+    /// whose sheds are themselves fallbacks, not accepts.
+    #[test]
+    fn sustained_faults_never_open_the_door(
+        from_frame in 0u64..8,
+        tail in 16usize..40,
+        deadline_ms in 50.0f64..1000.0,
+    ) {
+        let oracle = FailFrom { from_frame };
+        let mut svc = service(ServiceConfig::experiment_default());
+        let reqs = requests(&vec![deadline_ms; from_frame as usize + tail]);
+        let run = svc.serve(&reqs, &oracle);
+        prop_assert!(run.report.conserves());
+        for (request, served) in reqs.iter().zip(&run.served) {
+            if request.frame >= from_frame {
+                prop_assert!(
+                    !served.verdict.is_accept(),
+                    "accepted frame {} under total compute failure",
+                    request.frame
+                );
+            }
+        }
+        // 16+ consecutive faulted requests: the breaker must trip and
+        // shed at least one later arrival
+        prop_assert!(run.report.breaker_trips >= 1, "breaker never tripped");
+        prop_assert!(
+            run.report.fallbacks[FallbackReason::BreakerOpen.index()] > 0,
+            "no breaker-open sheds despite a tripped breaker"
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Verify-service throughput: full fleet verify runs (enrollment,
+//! probe rendering, admission, align/embed/match, verdicts) per plan
+//! and fault condition.
+//!
+//! Methodology: each point drives the exact run the `repro --experiment
+//! verify` cut comparison reports — same load, same plans, same chaos
+//! mix — so wall-clock regressions here map one-to-one onto the
+//! experiment. The all-local plan is the canonical (golden-pinned)
+//! scenario; the chaos variant adds trace sampling and retry churn on
+//! top. Results land in `BENCH_verify.json` (see `INCAM_BENCH_DIR`).
+
+use incam_auth::fleet::{drive_fleet, FleetFaults};
+use incam_auth::service::ServiceConfig;
+use incam_bench::experiments::verify::{canonical_load, canonical_plan, comparison_plans};
+use incam_rng::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// One full verify run per (plan, condition) point at the quick load.
+fn bench_verify_service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify");
+    group.sample_size(10);
+    let load = canonical_load(true);
+    for plan in comparison_plans() {
+        group.bench_with_input(BenchmarkId::new("ideal", &plan.label), &plan, |b, plan| {
+            b.iter(|| {
+                drive_fleet(
+                    "bench ideal",
+                    black_box(&load),
+                    &FleetFaults::ideal(),
+                    plan.clone(),
+                    ServiceConfig::experiment_default(),
+                    2017,
+                )
+                .digest()
+            })
+        });
+    }
+    let plan = canonical_plan();
+    group.bench_function(BenchmarkId::new("chaos", &plan.label), |b| {
+        b.iter(|| {
+            drive_fleet(
+                "bench chaos",
+                black_box(&load),
+                &FleetFaults::chaos(),
+                plan.clone(),
+                ServiceConfig::experiment_default(),
+                2017,
+            )
+            .digest()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(verify, bench_verify_service);
+criterion_main!(verify);

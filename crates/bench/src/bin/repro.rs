@@ -10,7 +10,7 @@
 //! ```
 
 use incam_bench::experiments::{
-    ablations, chaos, compression, fa_pipeline, fig4c, fleet, harvest, kernels, nn_studies,
+    ablations, chaos, compression, fa_pipeline, fig4c, fleet, harvest, kernels, nn_studies, verify,
     vr_studies,
 };
 use incam_vr::analysis::VrModel;
@@ -44,6 +44,7 @@ const ALL: &[&str] = &[
     "chaos",
     "fleet",
     "kernels",
+    "verify",
 ];
 
 fn parse_args() -> Result<Options, String> {
@@ -204,6 +205,10 @@ fn run_experiment(name: &str, opts: &Options) -> (String, String) {
         "kernels" => {
             banner("Kernel digests — hot-kernel fast paths vs reference oracles");
             print!("{}", kernels::run(seed, opts.quick));
+        }
+        "verify" => {
+            banner("Verify service — fail-closed face authentication under chaos");
+            print!("{}", verify::run(seed, opts.quick));
         }
         _ => unreachable!("validated in parse_args"),
     }

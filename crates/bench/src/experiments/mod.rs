@@ -12,4 +12,5 @@ pub mod fleet;
 pub mod harvest;
 pub mod kernels;
 pub mod nn_studies;
+pub mod verify;
 pub mod vr_studies;

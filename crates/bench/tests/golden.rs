@@ -237,3 +237,47 @@ mod chaos_golden {
         assert!(ck.achieved_fps.fps() > 2.5 * rs.achieved_fps.fps());
     }
 }
+
+mod verify_golden {
+    //! Pins the canonical verify scenario (16 cameras x 40 requests,
+    //! all-local plan, canonical chaos mix) to exact counters. The
+    //! service loop, fault traces, probe pool, and embedding head are
+    //! all pure functions of the seed, so every counter is exact — any
+    //! drift means the alignment, the embedding head, the matcher, the
+    //! retry/breaker policy, or a fault model changed, and the change
+    //! must be acknowledged here.
+
+    use incam_bench::experiments::verify;
+
+    use super::REPRO_SEED;
+
+    #[test]
+    fn canonical_chaos_verify_matches_golden_counters() {
+        let r = verify::canonical_chaos_report(REPRO_SEED);
+        assert_eq!(r.service.requests, 640);
+        assert_eq!(r.service.accepts, 385);
+        assert_eq!(r.service.rejects, 208);
+        // breaker-open, queue-full, unknown-user, align-failed,
+        // embed-failed, compute-exhausted, link-lost, deadline-missed
+        assert_eq!(r.service.fallbacks, [0, 0, 0, 0, 0, 20, 27, 0]);
+        assert_eq!(r.service.breaker_trips, 0);
+        assert_eq!(r.service.compute_retries, 88);
+        assert_eq!(r.service.link_retries, 176);
+        assert_eq!(r.service.deadline_hits, 593);
+        assert!(r.service.conserves());
+        // The fail-closed headline: the chaos mix costs recall, never
+        // precision — not one of the 128 impostor probes is accepted.
+        assert_eq!(r.genuine, (385, 512));
+        assert_eq!(r.impostor, (0, 128));
+        // The digest folds the service digest and every per-camera SLO
+        // counter, so this single value subsumes the lines above.
+        assert_eq!(r.digest(), 0x0503_9034_528f_de9d);
+    }
+
+    #[test]
+    fn canonical_chaos_verify_is_bit_stable() {
+        let a = verify::canonical_chaos_report(REPRO_SEED).render();
+        let b = verify::canonical_chaos_report(REPRO_SEED).render();
+        assert_eq!(a, b);
+    }
+}

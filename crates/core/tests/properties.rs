@@ -109,3 +109,85 @@ proptest! {
         prop_assert!((power.watts() - budget.watts()).abs() < budget.watts() * 1e-9);
     }
 }
+
+// --- RetryPolicy::backoff ---------------------------------------------
+
+fn policy(base_ms: f64, max_ms: f64, jitter: f64) -> incam_core::runtime::RetryPolicy {
+    let p = incam_core::runtime::RetryPolicy {
+        max_attempts: 3,
+        base_backoff: Seconds::from_millis(base_ms),
+        max_backoff: Seconds::from_millis(max_ms),
+        jitter,
+        timeout: Seconds::from_millis(500.0),
+    };
+    p.validate();
+    p
+}
+
+proptest! {
+    /// Jittered backoff stays inside the advertised envelope:
+    /// `capped × [1 − jitter, 1 + jitter]`, never negative, and retry 0
+    /// costs nothing.
+    #[test]
+    fn backoff_jitter_within_bound(
+        base_ms in 0.1f64..100.0,
+        cap_mult in 1.0f64..32.0,
+        jitter in 0.0f64..0.99,
+        frame in 0u64..u64::MAX,
+        retry in 0u32..64,
+    ) {
+        let p = policy(base_ms, base_ms * cap_mult, jitter);
+        let d = p.backoff(frame, retry);
+        prop_assert!(d.secs() >= 0.0);
+        if retry == 0 {
+            prop_assert_eq!(d, Seconds::ZERO);
+        } else {
+            let capped = (p.base_backoff * 2f64.powi((retry - 1).min(32) as i32))
+                .min(p.max_backoff);
+            prop_assert!(d.secs() >= capped.secs() * (1.0 - jitter) - 1e-15);
+            prop_assert!(d.secs() <= capped.secs() * (1.0 + jitter) + 1e-15);
+        }
+    }
+
+    /// With jitter disabled the schedule is exactly the exponential
+    /// ramp: non-decreasing in the retry index and clamped at the cap.
+    #[test]
+    fn backoff_ramp_monotone_to_cap(
+        base_ms in 0.1f64..50.0,
+        cap_mult in 1.0f64..64.0,
+        frame in 0u64..u64::MAX,
+    ) {
+        let p = policy(base_ms, base_ms * cap_mult, 0.0);
+        let mut last = Seconds::ZERO;
+        for retry in 0..48u32 {
+            let d = p.backoff(frame, retry);
+            prop_assert!(d.secs() + 1e-15 >= last.secs(), "backoff shrank at retry {retry}");
+            prop_assert!(d.secs() <= p.max_backoff.secs() * (1.0 + 1e-12));
+            last = d;
+        }
+        // the ramp actually reaches the cap well before 2^48
+        prop_assert!((last.secs() - p.max_backoff.secs()).abs() < p.max_backoff.secs() * 1e-9);
+    }
+
+    /// Backoff is a pure function of `(frame, retry)`: re-querying in
+    /// any order reproduces the same delays, and a different frame key
+    /// decorrelates the jitter without leaving the envelope.
+    #[test]
+    fn backoff_pure_function_of_frame_and_retry(
+        base_ms in 0.1f64..100.0,
+        jitter in 0.0f64..0.99,
+        frames in prop::collection::vec(0u64..u64::MAX, 1..20),
+        retry in 1u32..16,
+    ) {
+        let p = policy(base_ms, base_ms * 8.0, jitter);
+        let forward: Vec<Seconds> = frames.iter().map(|&f| p.backoff(f, retry)).collect();
+        let reverse: Vec<Seconds> =
+            frames.iter().rev().map(|&f| p.backoff(f, retry)).collect();
+        for (a, b) in forward.iter().zip(reverse.iter().rev()) {
+            prop_assert_eq!(a, b);
+        }
+        for &f in &frames {
+            prop_assert_eq!(p.backoff(f, retry), p.backoff(f, retry));
+        }
+    }
+}

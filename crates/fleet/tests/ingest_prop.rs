@@ -1,0 +1,196 @@
+//! Property-based tests of the ingest tier's admission state machine.
+//!
+//! The tier is driven through random interleavings of `offer`, flush
+//! timer firings, and batch completions, against a shadow model that
+//! tracks what the occupancy, epoch, and partial batch *must* be. The
+//! load-bearing properties: occupancy never exceeds capacity, drops are
+//! a deterministic function of the offered sequence, and a flush timer
+//! whose epoch was invalidated by a batch cut never fires.
+
+use incam_fleet::{Admission, Ingest, IngestConfig};
+use incam_rng::prelude::*;
+
+/// One scripted action against the tier, decoded from a raw op tuple.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Offer a delivered frame from the given camera.
+    Offer(u64),
+    /// Fire the oldest still-recorded flush timer.
+    FireTimer,
+    /// Complete the oldest in-service batch.
+    Complete,
+}
+
+fn decode(ops: &[(u8, u64)]) -> Vec<Op> {
+    ops.iter()
+        .map(|&(kind, camera)| match kind % 4 {
+            // offers twice as likely: the interesting schedules need
+            // frames in the tier
+            0 | 1 => Op::Offer(camera),
+            2 => Op::FireTimer,
+            _ => Op::Complete,
+        })
+        .collect()
+}
+
+/// Replays `ops` against a fresh tier, checking the shadow model at
+/// every step. Returns the admission verdict of every `Offer`.
+fn drive(config: IngestConfig, ops: &[Op]) -> Vec<Admission> {
+    let mut tier = Ingest::new(config);
+
+    // shadow model
+    let mut occupancy: u64 = 0;
+    let mut pending: usize = 0; // frames in the partial batch
+    let mut epoch: u64 = 0; // bumped on every batch cut
+    let mut timers: Vec<u64> = Vec::new(); // armed flush epochs, oldest first
+    let mut in_service: Vec<u64> = Vec::new(); // cut batch sizes, oldest first
+    let mut admissions = Vec::new();
+
+    for &op in ops {
+        match op {
+            Op::Offer(camera) => {
+                let admission = tier.offer(camera);
+                match &admission {
+                    Admission::Dropped => {
+                        assert_eq!(occupancy, config.capacity, "dropped below capacity");
+                    }
+                    Admission::Queued { start_flush } => {
+                        occupancy += 1;
+                        pending += 1;
+                        // a frame opens the batch iff it is the first in
+                        // it, and the armed timer must carry the current
+                        // epoch
+                        assert_eq!(*start_flush == Some(epoch), pending == 1);
+                        if let Some(armed) = start_flush {
+                            timers.push(*armed);
+                        }
+                    }
+                    Admission::BatchReady { cameras } => {
+                        occupancy += 1;
+                        pending += 1;
+                        assert_eq!(cameras.len(), pending, "batch size mismatch");
+                        assert_eq!(*cameras.last().unwrap(), camera);
+                        in_service.push(pending as u64);
+                        pending = 0;
+                        epoch += 1;
+                    }
+                }
+                admissions.push(admission);
+            }
+            Op::FireTimer => {
+                let Some(armed) = timers.first().copied() else {
+                    continue;
+                };
+                timers.remove(0);
+                let cut = tier.flush(armed);
+                if armed < epoch {
+                    // the batch this timer guarded was already cut
+                    assert_eq!(cut, None, "stale flush fired at epoch {armed}");
+                } else {
+                    // current-epoch timer: cuts exactly the partial batch
+                    let batch = cut.expect("current flush must cut");
+                    assert_eq!(batch.len(), pending);
+                    in_service.push(pending as u64);
+                    pending = 0;
+                    epoch += 1;
+                }
+            }
+            Op::Complete => {
+                let Some(frames) = in_service.first().copied() else {
+                    continue;
+                };
+                in_service.remove(0);
+                tier.complete(frames);
+                occupancy -= frames;
+            }
+        }
+        assert_eq!(tier.occupancy(), occupancy, "occupancy diverged from model");
+        assert!(
+            tier.occupancy() <= config.capacity,
+            "occupancy {} exceeds capacity {}",
+            tier.occupancy(),
+            config.capacity
+        );
+    }
+    admissions
+}
+
+proptest! {
+    /// Under any interleaving of offers, flush firings, and
+    /// completions: occupancy stays bounded by capacity, the shadow
+    /// model tracks the tier exactly, and stale flush timers are no-ops.
+    #[test]
+    fn random_interleavings_hold_invariants(
+        capacity in 1u64..16,
+        batch_seed in 0usize..16,
+        flush_ticks in 1u64..64,
+        raw in prop::collection::vec((0u8..=255, 0u64..32), 1..250),
+    ) {
+        let config = IngestConfig {
+            capacity,
+            batch: 1 + batch_seed % capacity as usize,
+            flush_ticks,
+            service_ticks: 2,
+        };
+        drive(config, &decode(&raw));
+    }
+
+    /// Admission verdicts — including every drop — are a pure function
+    /// of the offered sequence: replaying the same script on a fresh
+    /// tier reproduces them exactly.
+    #[test]
+    fn drops_are_deterministic(
+        capacity in 1u64..12,
+        batch_seed in 0usize..12,
+        raw in prop::collection::vec((0u8..=255, 0u64..32), 1..200),
+    ) {
+        let config = IngestConfig {
+            capacity,
+            batch: 1 + batch_seed % capacity as usize,
+            flush_ticks: 8,
+            service_ticks: 2,
+        };
+        let ops = decode(&raw);
+        let first = drive(config, &ops);
+        let second = drive(config, &ops);
+        prop_assert_eq!(first, second);
+    }
+
+    /// A flush timer armed before a batch cut is invalidated by the
+    /// cut: firing it later never cuts a second batch out from under
+    /// the current one.
+    #[test]
+    fn epoch_invalidated_timers_never_fire(
+        batch in 2usize..8,
+        extra in 0u64..8,
+    ) {
+        let config = IngestConfig {
+            capacity: 64,
+            batch,
+            flush_ticks: 8,
+            service_ticks: 2,
+        };
+        let mut tier = Ingest::new(config);
+        // arm a timer by opening a batch, then fill the batch so it cuts
+        let Admission::Queued { start_flush: Some(armed) } = tier.offer(0) else {
+            panic!("first offer must open a batch");
+        };
+        for camera in 1..batch as u64 {
+            let _ = tier.offer(camera);
+        }
+        // park some frames of the next batch (strictly fewer than a
+        // full batch, which would cut itself and bump the epoch again)
+        let extra = extra % batch as u64;
+        for camera in 0..extra {
+            let _ = tier.offer(100 + camera);
+        }
+        let occupancy = tier.occupancy();
+        prop_assert_eq!(tier.flush(armed), None);
+        prop_assert_eq!(tier.occupancy(), occupancy);
+        // the *current* epoch timer still works on a partial batch
+        if extra > 0 {
+            let cut = tier.flush(armed + 1);
+            prop_assert_eq!(cut.map(|b| b.len() as u64), Some(extra));
+        }
+    }
+}

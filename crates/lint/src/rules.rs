@@ -25,17 +25,20 @@ pub const ENV_READ: &str = "env-read";
 pub const REGISTRY_DEP: &str = "registry-dep";
 /// Crate roots missing `#![forbid(unsafe_code)]` / a `missing_docs` lint.
 pub const CRATE_HYGIENE: &str = "crate-hygiene";
+/// `.unwrap()`/`.expect(...)` in the fail-closed verify service.
+pub const FALLIBLE_UNWRAP: &str = "fallible-unwrap";
 /// Meta-rule: malformed pragmas, unknown rule ids, missing reasons.
 pub const PRAGMA: &str = "pragma";
 
 /// Rules a pragma may suppress ([`PRAGMA`] itself is not suppressible).
-pub const ALLOWABLE_RULES: [&str; 6] = [
+pub const ALLOWABLE_RULES: [&str; 7] = [
     WALL_CLOCK,
     UNORDERED_ITERATION,
     RAW_THREAD,
     ENV_READ,
     REGISTRY_DEP,
     CRATE_HYGIENE,
+    FALLIBLE_UNWRAP,
 ];
 
 /// The one file allowed to read real time: the bench harness itself.
@@ -140,6 +143,30 @@ pub fn check_rust_source(relpath: &str, src: &str) -> Vec<Diagnostic> {
         }
     }
 
+    // The verify service is fail-closed by contract: a panic in the
+    // serving path would take down admission for every camera behind it,
+    // so recoverable errors must flow to `Fallback`, never `.unwrap()`.
+    if relpath.starts_with("crates/auth/") && !in_test_tree(relpath) {
+        let test_spans = cfg_test_line_spans(&sig, src);
+        for tok in method_calls(&sig, src, &["unwrap", "expect"]) {
+            if test_spans
+                .iter()
+                .any(|(a, b)| (*a..=*b).contains(&tok.line))
+            {
+                continue;
+            }
+            diags.push(diag(
+                FALLIBLE_UNWRAP,
+                tok,
+                format!(
+                    "`.{}(` can panic in the fail-closed verify path; propagate the error \
+                     so the service degrades to `Fallback` instead of crashing",
+                    tok.text(src)
+                ),
+            ));
+        }
+    }
+
     if relpath.ends_with("src/lib.rs") {
         check_crate_hygiene(relpath, src, &sig, &mut diags);
     }
@@ -228,6 +255,23 @@ fn path_pattern<'t>(sig: &[&'t Token], src: &str, first: &str, second: &str) -> 
             && w[3].text(src) == second
         {
             out.push(w[0]);
+        }
+    }
+    out
+}
+
+/// Method-call sites `.name(` where `name` is in `names`, returned at
+/// the position of the method identifier. Idents are whole tokens, so
+/// `.unwrap_or(` never matches `unwrap`.
+fn method_calls<'t>(sig: &[&'t Token], src: &str, names: &[&str]) -> Vec<&'t Token> {
+    let mut out = Vec::new();
+    for w in sig.windows(3) {
+        if is_punct(w[0], src, '.')
+            && w[1].kind == TokenKind::Ident
+            && names.contains(&w[1].text(src))
+            && is_punct(w[2], src, '(')
+        {
+            out.push(w[1]);
         }
     }
     out

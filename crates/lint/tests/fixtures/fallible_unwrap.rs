@@ -1,0 +1,21 @@
+fn risky(v: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = v.unwrap();
+    let b = r.expect("boom");
+    // `.unwrap_or(` is a whole different ident and must not match
+    let c = v.unwrap_or(0);
+    let d = v.unwrap_or(1); // incam-lint: allow(fallible-unwrap) — fixture: not a panic site
+    a + b + c + d
+}
+
+fn waived(v: Option<u32>) -> u32 {
+    // incam-lint: allow(fallible-unwrap) — fixture: invariant holds by construction
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(Some(1u32).unwrap(), 1);
+    }
+}

@@ -160,7 +160,7 @@ fn pragmas_without_reasons_are_violations_and_do_not_suppress() {
     let unordered = "[unordered-iteration] `HashSet` iterates in arbitrary order; use Vec or \
                      BTreeMap/BTreeSet so report-visible state is byte-stable";
     let rules = "rules: wall-clock, unordered-iteration, raw-thread, env-read, registry-dep, \
-                 crate-hygiene";
+                 crate-hygiene, fallible-unwrap";
     assert_eq!(
         rust_diags("crates/demo/src/bad.rs", "pragma_bad.rs"),
         [
@@ -208,4 +208,37 @@ fn live_workspace_is_clean() {
         "suspiciously few files scanned: {}",
         report.files_scanned
     );
+}
+
+#[test]
+fn fallible_unwrap_fires_under_crates_auth() {
+    let msg = |m: &str| {
+        format!(
+            "`.{m}(` can panic in the fail-closed verify path; propagate the error \
+             so the service degrades to `Fallback` instead of crashing"
+        )
+    };
+    // .unwrap_or( never matches, the pragma'd unwrap is waived, and the
+    // #[cfg(test)] module is exempt — only the two real panic sites fire.
+    assert_eq!(
+        rust_diags("crates/auth/src/service.rs", "fallible_unwrap.rs"),
+        [
+            format!(
+                "crates/auth/src/service.rs:2:15: [fallible-unwrap] {}",
+                msg("unwrap")
+            ),
+            format!(
+                "crates/auth/src/service.rs:3:15: [fallible-unwrap] {}",
+                msg("expect")
+            ),
+        ]
+    );
+}
+
+#[test]
+fn fallible_unwrap_scopes_to_auth_non_test_code() {
+    // other crates may unwrap (their panics don't shed verify traffic)
+    assert!(rust_diags("crates/demo/src/service.rs", "fallible_unwrap.rs").is_empty());
+    // and auth's own test tree is scaffolding, not the serving path
+    assert!(rust_diags("crates/auth/tests/fail_closed.rs", "fallible_unwrap.rs").is_empty());
 }

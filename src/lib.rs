@@ -17,7 +17,10 @@
 //! substrate and synthetic workloads in [`imaging`]; deterministic fault
 //! injection (bursty links, RF brownouts, compute faults) in [`faults`];
 //! fleet-scale discrete-event simulation (contended spectrum, cloud
-//! ingest, online cut re-selection) in [`fleet`].
+//! ingest, online cut re-selection) in [`fleet`]; and the fail-closed
+//! end-to-end face-verification service (alignment, embedding
+//! galleries, deadline-aware verify loop with circuit breaking) in
+//! [`auth`].
 //!
 //! # Quick start
 //!
@@ -43,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use incam_auth as auth;
 pub use incam_bilateral as bilateral;
 pub use incam_core as core;
 pub use incam_faults as faults;
