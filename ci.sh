@@ -74,8 +74,14 @@ INCAM_THREADS=4 cargo test -q --offline --workspace
 step "fmt --check"
 cargo fmt --all --check
 
-step "incam-lint (determinism & hermeticity static analysis)"
+step "incam-lint (determinism, hermeticity, races, coherence)"
 cargo run --release --offline -p incam-lint
+cargo run --release --offline -p incam-lint -- --format json > "$tmpdir/lint.json"
+cargo run --release --offline -p incam-lint -- --audit > "$tmpdir/lint-audit.txt"
+cmp "$tmpdir/lint-audit.txt" results/lint-audit.txt
+
+step "incam-lint JSON schema check (incam-lint/1 document)"
+cargo test -q --offline -p incam-bench --test lintjson
 
 step "clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
@@ -100,6 +106,11 @@ repro_diff kernels --quick
 
 step "verify determinism (fail-closed auth service, threads 1 vs 4)"
 repro_diff verify --quick
+
+step "registry determinism (remaining repro experiments, threads 1 vs 4)"
+for exp in fig4c nn-topology pe-geometry bitwidth sigmoid fa-space fig7 fig9 fig10 links table1 compression ablations; do
+    repro_diff "$exp" --quick
+done
 
 step "examples smoke (quickstart + offload_explorer vs committed transcripts)"
 cargo run --release --offline --example quickstart > "$tmpdir/quickstart.txt"

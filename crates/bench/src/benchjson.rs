@@ -131,7 +131,8 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, SchemaError> {
     {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii digits");
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| SchemaError(format!("invalid UTF-8 in number at offset {start}")))?;
     text.parse::<f64>()
         .map(Json::Number)
         .map_err(|_| SchemaError(format!("bad number `{text}` at offset {start}")))
@@ -170,7 +171,10 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, SchemaError> {
                 let ch_start = *pos - 1;
                 let s = std::str::from_utf8(&bytes[ch_start..])
                     .map_err(|_| SchemaError(format!("invalid UTF-8 at offset {ch_start}")))?;
-                let ch = s.chars().next().expect("non-empty");
+                let ch = s
+                    .chars()
+                    .next()
+                    .ok_or_else(|| SchemaError(format!("truncated input at offset {ch_start}")))?;
                 out.push(ch);
                 *pos = ch_start + ch.len_utf8();
             }

@@ -60,7 +60,7 @@ pub fn run(seed: u64) -> String {
         SecuritySceneConfig::default(),
         StdRng::seed_from_u64(seed ^ 0xcafe),
     );
-    let security_frame = security.frames(3).pop().expect("frames").image;
+    let security_frame = security.frames(3).pop().expect("frames").image; // incam-lint: allow(fallible-unwrap) — frames(3) yields exactly three frames
 
     let mut t = Table::new(&["codec", "content", "ratio", "PSNR (dB)", "MS-SSIM"]);
     t.row_owned(vec![

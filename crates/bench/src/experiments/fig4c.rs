@@ -272,7 +272,7 @@ pub fn render_explore(result: &Fig4cResult) -> String {
     }
     let best = space
         .best_where(&link, keep)
-        .expect("the raw-offload configuration is always admissible");
+        .expect("the raw-offload configuration is always admissible"); // incam-lint: allow(fallible-unwrap) — `keep` admits the raw-offload cut, so the space is never empty
     format!(
         "-- configuration space (scale-factor bindings x offload cut, {} uplink) --\n{}\
          best admissible configuration: {} at {} FPS\n",

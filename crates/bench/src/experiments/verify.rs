@@ -199,7 +199,7 @@ pub fn run(seed: u64, quick: bool) -> String {
     }
 
     // 4. per-camera SLOs under chaos
-    let chaos = reports.last().expect("comparison ran");
+    let chaos = reports.last().expect("comparison ran"); // incam-lint: allow(fallible-unwrap) — reports is populated unconditionally above
     out.push_str("== fleet SLOs under chaos (all-local plan) ==\n");
     out.push_str(&chaos.render());
     out

@@ -1,0 +1,102 @@
+//! Schema-checks the live `incam-lint --format json` document.
+//!
+//! The lint engine renders its report by hand (it cannot depend on a
+//! JSON crate — the workspace has zero registry dependencies), so this
+//! test closes the loop from the consumer side: run the linter over the
+//! real workspace, parse its output with the same strict parser that
+//! validates `BENCH_*.json`, and check the `incam-lint/1` shape field
+//! by field. `ci.sh` runs it right after the lint gate.
+
+use incam_bench::benchjson::{self, Json};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/bench sits two levels below the workspace root")
+}
+
+/// The fields every diagnostic object must carry, with their types.
+fn check_diagnostic(obj: &Json) {
+    for key in ["path", "rule", "message"] {
+        assert!(
+            matches!(obj.get(key), Some(Json::String(_))),
+            "diagnostic missing string field `{key}`"
+        );
+    }
+    for key in ["line", "col"] {
+        match obj.get(key) {
+            Some(Json::Number(n)) => assert!(*n >= 1.0, "`{key}` must be 1-based, got {n}"),
+            other => panic!("diagnostic field `{key}` must be a number, got {other:?}"),
+        }
+    }
+}
+
+fn check_pragma(obj: &Json) {
+    for key in ["path", "rule", "reason"] {
+        assert!(
+            matches!(obj.get(key), Some(Json::String(_))),
+            "allow-pragma entry missing string field `{key}`"
+        );
+    }
+    match obj.get("line") {
+        Some(Json::Number(n)) => assert!(*n >= 1.0, "pragma line must be 1-based, got {n}"),
+        other => panic!("pragma field `line` must be a number, got {other:?}"),
+    }
+}
+
+#[test]
+fn live_lint_report_matches_the_schema() {
+    let report = incam_lint::lint_workspace(workspace_root()).expect("workspace walk");
+    let rendered = incam_lint::json::render_report(&report);
+    let doc = benchjson::parse(&rendered).expect("lint JSON parses with the strict parser");
+
+    assert_eq!(
+        doc.get("schema"),
+        Some(&Json::String("incam-lint/1".to_string())),
+        "schema tag"
+    );
+    match doc.get("files_scanned") {
+        Some(Json::Number(n)) => assert!(
+            *n > 100.0,
+            "a full workspace scan covers well over 100 files, got {n}"
+        ),
+        other => panic!("files_scanned must be a number, got {other:?}"),
+    }
+    let clean = match doc.get("clean") {
+        Some(Json::Bool(b)) => *b,
+        other => panic!("clean must be a bool, got {other:?}"),
+    };
+    let diags = match doc.get("diagnostics") {
+        Some(Json::Array(items)) => items,
+        other => panic!("diagnostics must be an array, got {other:?}"),
+    };
+    assert_eq!(clean, diags.is_empty(), "clean flag agrees with the array");
+    for d in diags {
+        check_diagnostic(d);
+    }
+    let pragmas = match doc.get("allow_pragmas") {
+        Some(Json::Array(items)) => items,
+        other => panic!("allow_pragmas must be an array, got {other:?}"),
+    };
+    assert!(
+        !pragmas.is_empty(),
+        "the tree carries reasoned allow pragmas; an empty audit means collection broke"
+    );
+    for p in pragmas {
+        check_pragma(p);
+    }
+}
+
+#[test]
+fn live_workspace_is_lint_clean() {
+    let report = incam_lint::lint_workspace(workspace_root()).expect("workspace walk");
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace must lint clean:\n{}",
+        rendered.join("\n")
+    );
+    assert!(report.files_scanned > 100, "full tree scan expected");
+}

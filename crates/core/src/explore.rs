@@ -498,7 +498,7 @@ impl PipelineSpace {
                 best = Some(analysis);
             }
         }
-        best.expect("cut 0 is always evaluated")
+        best.expect("cut 0 is always evaluated") // incam-lint: allow(fallible-unwrap) — the loop body runs for cut 0, so best is Some
     }
 }
 

@@ -154,7 +154,7 @@ pub fn best_cut(pipeline: &Pipeline, link: &Link) -> CutAnalysis {
                 best
             }
         })
-        .expect("a pipeline always has at least the raw-sensor cut")
+        .expect("a pipeline always has at least the raw-sensor cut") // incam-lint: allow(fallible-unwrap) — every pipeline exposes at least the raw-sensor cut
 }
 
 /// Human-readable label for the in-camera prefix of cut `k`, e.g.

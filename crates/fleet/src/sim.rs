@@ -337,7 +337,7 @@ impl FleetSim {
             if key.time >= horizon {
                 break;
             }
-            let (key, ev) = queue.pop().expect("peeked");
+            let (key, ev) = queue.pop().expect("peeked"); // incam-lint: allow(fallible-unwrap) — guarded by the peek on the line above
             let now = key.time;
             match ev {
                 Ev::Capture => {
@@ -547,7 +547,7 @@ impl FleetSim {
             .iter()
             .map(|t| t.profile.space.len() + 1)
             .max()
-            .expect("at least one profile");
+            .expect("at least one profile"); // incam-lint: allow(fallible-unwrap) — fleets are validated non-empty at construction
         FleetReport {
             label: self.config.label.clone(),
             cameras: self.config.cameras,

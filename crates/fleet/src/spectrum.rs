@@ -61,7 +61,7 @@ impl Spectrum {
     /// `duration_ticks`, requested at tick `now`. The channel is busy
     /// until the returned finish.
     pub fn reserve(&mut self, now: u64, duration_ticks: u64) -> Grant {
-        let Reverse((free_at, channel)) = self.free.pop().expect("spectrum is never empty");
+        let Reverse((free_at, channel)) = self.free.pop().expect("spectrum is never empty"); // incam-lint: allow(fallible-unwrap) — grants are pushed back on completion, so the heap never drains
         let start = free_at.max(now);
         let finish = start.saturating_add(duration_ticks.max(1));
         self.free.push(Reverse((finish, channel)));

@@ -91,7 +91,7 @@ pub fn compress_lossless(img: &Image<u8>) -> Vec<u8> {
             } else {
                 128
             };
-            deltas.push(img.get(x, y).wrapping_sub(predicted));
+            deltas.push(img.get(x, y).wrapping_sub(predicted)); // incam-lint: allow(unchecked-arith) — modular pixel delta; decode inverts it with wrapping_add
         }
     }
 
@@ -108,7 +108,7 @@ pub fn compress_lossless(img: &Image<u8>) -> Vec<u8> {
         if delta == ESC || run >= 4 {
             out.push(ESC);
             out.push(delta);
-            out.push(run as u8);
+            out.push(run as u8); // incam-lint: allow(lossy-cast) — run is capped at 255 by the loop condition
         } else {
             for _ in 0..run {
                 out.push(delta);
@@ -132,7 +132,7 @@ pub fn decompress_lossless(bytes: &[u8]) -> Result<Image<u8>, DecodeError> {
     if bytes.len() < 9 {
         return Err(DecodeError::BadHeader);
     }
-    let w = u32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes")) as usize;
+    let w = u32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes")) as usize; // incam-lint: allow(fallible-unwrap) — slice length is fixed by the header guard above
     let h = u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes")) as usize;
     if w == 0 || h == 0 {
         return Err(DecodeError::BadHeader);
@@ -174,7 +174,7 @@ fn push_predicted(pixels: &mut Vec<u8>, w: usize, delta: u8) {
     } else {
         128
     };
-    pixels.push(predicted.wrapping_add(delta));
+    pixels.push(predicted.wrapping_add(delta)); // incam-lint: allow(unchecked-arith) — inverse of the encoder's wrapping_sub delta
 }
 
 /// Compression ratio (`original / compressed`) of the lossless coder on
@@ -269,7 +269,7 @@ impl DctCodec {
                     coeff.set(
                         bx * 8 + (i % 8),
                         by * 8 + (i / 8),
-                        (q as u8).wrapping_add(128),
+                        (q as u8).wrapping_add(128), // incam-lint: allow(unchecked-arith) — +128 bias shift into u8 range; the wrap is the codec's modular identity
                     );
                 }
             }
@@ -303,7 +303,7 @@ impl DctCodec {
             return Err(DecodeError::Corrupt);
         }
         let codec = DctCodec::new(quality);
-        let w = u32::from_le_bytes(bytes[2..6].try_into().expect("4 bytes")) as usize;
+        let w = u32::from_le_bytes(bytes[2..6].try_into().expect("4 bytes")) as usize; // incam-lint: allow(fallible-unwrap) — slice length is fixed by the header guard above
         let h = u32::from_le_bytes(bytes[6..10].try_into().expect("4 bytes")) as usize;
         if w == 0 || h == 0 {
             return Err(DecodeError::BadHeader);
@@ -331,7 +331,8 @@ impl DctCodec {
                 for i in 1..64 {
                     let q = coeff
                         .get(bx * 8 + (i % 8), by * 8 + (i / 8))
-                        .wrapping_sub(128) as i8;
+                        // incam-lint: allow(unchecked-arith) — inverse of the encoder's +128 bias shift
+                        .wrapping_sub(128) as i8; // incam-lint: allow(lossy-cast) — quantized coefficients are biased into 0..=255 by encode
                     freq[i] = q as f32 * quant[i];
                 }
                 let block = idct2d(&freq);
@@ -353,7 +354,7 @@ impl DctCodec {
         let bytes = self.encode(img);
         let len = bytes.len();
         (
-            Self::decode(&bytes).expect("self-produced stream is valid"),
+            Self::decode(&bytes).expect("self-produced stream is valid"), // incam-lint: allow(fallible-unwrap) — round-trips a stream this encoder just produced
             len,
         )
     }

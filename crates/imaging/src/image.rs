@@ -45,7 +45,7 @@ impl<T: Copy> Image<T> {
         assert!(width > 0 && height > 0, "image dimensions must be nonzero");
         let len = width
             .checked_mul(height)
-            .expect("image dimensions overflow");
+            .expect("image dimensions overflow"); // incam-lint: allow(fallible-unwrap) — dimension overflow is a construction bug worth aborting on
         Self {
             width,
             height,

@@ -1,0 +1,327 @@
+//! The cross-artifact coherence checker.
+//!
+//! The experiment registry spans five artifacts that only convention
+//! kept aligned: the `ALL` list in `crates/bench/src/bin/repro.rs`
+//! (what can run), the `repro_diff` gates in `ci.sh` (what CI proves
+//! deterministic), `EXPERIMENTS.md` (what is documented), `results/`
+//! (what outputs are committed), and the `BENCH_*.json` baselines (what
+//! bench targets produced them). This pass parses all five and emits a
+//! `coherence` diagnostic for every edge that is missing:
+//!
+//! - an experiment in `ALL` with no `repro_diff` gate in ci.sh,
+//!   no mention in EXPERIMENTS.md, or no `results/<name>.txt`;
+//! - a `repro_diff` gate naming an experiment `ALL` doesn't know;
+//! - a `results/BENCH_<t>.json` with no `crates/bench/benches/<t>.rs`;
+//! - a `mod` declaration that resolves to no file, or a library source
+//!   no declaration reaches (via [`crate::workspace::ModuleMap`]).
+//!
+//! Coherence findings are not pragma-suppressible: the fix is always to
+//! repair the artifact drift they name. The pass degrades gracefully —
+//! a root without `repro.rs` (fixture trees, other projects) skips the
+//! experiment checks entirely.
+
+use crate::lexer::{self, TokenKind};
+use crate::rules::COHERENCE;
+use crate::workspace::ModuleMap;
+use crate::Diagnostic;
+use std::fs;
+use std::path::Path;
+
+/// Runs every cross-artifact check rooted at `root`.
+pub fn check(root: &Path, modmap: &ModuleMap) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    check_module_map(modmap, &mut diags);
+    check_experiments(root, &mut diags);
+    check_bench_baselines(root, &mut diags);
+    diags
+}
+
+fn diag(path: &str, line: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        path: path.to_string(),
+        line,
+        col: 1,
+        rule: COHERENCE,
+        message,
+    }
+}
+
+fn check_module_map(modmap: &ModuleMap, diags: &mut Vec<Diagnostic>) {
+    for d in modmap.unresolved() {
+        diags.push(diag(
+            &d.decl_file,
+            d.line,
+            format!(
+                "`mod {};` resolves to neither {}/{}.rs nor {}/{}/mod.rs",
+                d.name, d.dir, d.name, d.dir, d.name
+            ),
+        ));
+    }
+    for orphan in modmap.orphans() {
+        diags.push(diag(
+            orphan,
+            1,
+            format!(
+                "library source `{orphan}` is not declared by any `mod` statement; it is \
+                     silently excluded from the build"
+            ),
+        ));
+    }
+}
+
+/// The experiment registry: repro's `ALL` vs ci.sh vs EXPERIMENTS.md vs
+/// `results/`.
+fn check_experiments(root: &Path, diags: &mut Vec<Diagnostic>) {
+    const REPRO: &str = "crates/bench/src/bin/repro.rs";
+    let Ok(repro_src) = fs::read_to_string(root.join(REPRO)) else {
+        return; // Not a repo with the experiment registry; nothing to check.
+    };
+    let experiments = parse_all_list(&repro_src);
+    if experiments.is_empty() {
+        diags.push(diag(
+            REPRO,
+            1,
+            "could not find the `ALL` experiment list (expected `const ALL: &[&str] = …`)"
+                .to_string(),
+        ));
+        return;
+    }
+
+    let ci = fs::read_to_string(root.join("ci.sh")).unwrap_or_default();
+    let gated = parse_ci_gates(&ci);
+    let docs = fs::read_to_string(root.join("EXPERIMENTS.md")).unwrap_or_default();
+
+    for name in &experiments {
+        if !gated.contains(name) {
+            diags.push(diag(
+                "ci.sh",
+                1,
+                format!(
+                    "experiment `{name}` has no CI determinism gate (expected a `repro_diff \
+                     {name}` invocation in ci.sh)"
+                ),
+            ));
+        }
+        if !docs.contains(&format!("`{name}`")) && !docs.contains(&format!("--experiment {name}")) {
+            diags.push(diag(
+                "EXPERIMENTS.md",
+                1,
+                format!(
+                    "experiment `{name}` is not documented in EXPERIMENTS.md (mention \
+                     `{name}` or `--experiment {name}`)"
+                ),
+            ));
+        }
+        if !root.join("results").join(format!("{name}.txt")).is_file() {
+            diags.push(diag(
+                REPRO,
+                1,
+                format!(
+                    "experiment `{name}` has no committed results (expected \
+                     results/{name}.txt; run `repro --experiment {name} --seed 2017 \
+                     --output results`)"
+                ),
+            ));
+        }
+    }
+    for name in &gated {
+        if !experiments.contains(name) {
+            diags.push(diag(
+                "ci.sh",
+                1,
+                format!("ci.sh gates unknown experiment `{name}` (not in repro's ALL list)"),
+            ));
+        }
+    }
+}
+
+/// Every `results/BENCH_<t>.json` must come from a bench target
+/// `crates/bench/benches/<t>.rs`, and its `"target"` field must agree.
+fn check_bench_baselines(root: &Path, diags: &mut Vec<Diagnostic>) {
+    let results = root.join("results");
+    let Ok(entries) = fs::read_dir(&results) else {
+        return;
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    for fname in names {
+        let stem = fname
+            .trim_start_matches("BENCH_")
+            .trim_end_matches(".json")
+            .to_string();
+        let relpath = format!("results/{fname}");
+        if !root
+            .join("crates/bench/benches")
+            .join(format!("{stem}.rs"))
+            .is_file()
+        {
+            diags.push(diag(
+                &relpath,
+                1,
+                format!(
+                    "baseline `{fname}` has no bench target (expected \
+                     crates/bench/benches/{stem}.rs)"
+                ),
+            ));
+        }
+        if let Ok(body) = fs::read_to_string(results.join(&fname)) {
+            if let Some(target) = json_target_field(&body) {
+                if target != stem {
+                    diags.push(diag(
+                        &relpath,
+                        1,
+                        format!(
+                            "baseline `{fname}` declares target `{target}` but its filename \
+                             implies `{stem}`"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Extracts the string items of `const ALL: &[&str] = &[ … ];` from the
+/// repro binary, by token scan: find the `ALL` identifier, then collect
+/// every string literal until the closing `]` of its initializer.
+fn parse_all_list(src: &str) -> Vec<String> {
+    let tokens = lexer::lex(src);
+    let sig: Vec<_> = tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .collect();
+    let mut out = Vec::new();
+    let Some(pos) = sig
+        .iter()
+        .position(|t| t.kind == TokenKind::Ident && t.text(src) == "ALL")
+    else {
+        return out;
+    };
+    // Skip the type annotation: the list starts after the `=`.
+    let Some(eq) = sig[pos..]
+        .iter()
+        .position(|t| t.kind == TokenKind::Punct && t.text(src).starts_with('='))
+    else {
+        return out;
+    };
+    let mut depth = 0i64;
+    for t in &sig[pos + eq..] {
+        match t.kind {
+            TokenKind::Punct if t.text(src).starts_with('[') => depth += 1,
+            TokenKind::Punct if t.text(src).starts_with(']') => {
+                depth -= 1;
+                if depth <= 0 {
+                    break;
+                }
+            }
+            TokenKind::Str if depth > 0 => {
+                let text = t.text(src);
+                out.push(text.trim_matches('"').to_string());
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Experiments ci.sh gates with `repro_diff`: direct `repro_diff <name>`
+/// invocations plus `for <var> in a b c; do … repro_diff "$<var>" …`
+/// loops (the loop's word list counts when its body calls repro_diff on
+/// the loop variable).
+fn parse_ci_gates(ci: &str) -> Vec<String> {
+    let mut gated = Vec::new();
+    let lines: Vec<&str> = ci.lines().collect();
+    let mut i = 0;
+    while i < lines.len() {
+        let line = lines[i].trim();
+        if let Some(rest) = line.strip_prefix("for ") {
+            // `for exp in a b c; do`
+            if let Some((var, list)) = rest.split_once(" in ") {
+                let var = var.trim();
+                let words: Vec<String> = list
+                    .trim_end_matches("; do")
+                    .trim_end_matches(';')
+                    .split_whitespace()
+                    .map(|w| w.trim_matches('"').to_string())
+                    .collect();
+                // Scan the loop body for `repro_diff "$var"`.
+                let mut j = i + 1;
+                let mut uses_var = false;
+                while j < lines.len() && !lines[j].trim().starts_with("done") {
+                    let body = lines[j].trim();
+                    if body.starts_with("repro_diff")
+                        && (body.contains(&format!("\"${var}\""))
+                            || body.contains(&format!("${var}")))
+                    {
+                        uses_var = true;
+                    }
+                    j += 1;
+                }
+                if uses_var {
+                    gated.extend(words);
+                }
+                i = j;
+                continue;
+            }
+        }
+        if let Some(rest) = line.strip_prefix("repro_diff ") {
+            if let Some(name) = rest.split_whitespace().next() {
+                if !name.starts_with('$') && !name.starts_with('"') {
+                    gated.push(name.trim_matches('"').to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    gated.sort();
+    gated.dedup();
+    gated
+}
+
+/// The `"target"` field of a BENCH json document, if present.
+fn json_target_field(body: &str) -> Option<String> {
+    let ix = body.find("\"target\"")?;
+    let rest = &body[ix + "\"target\"".len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_list_is_extracted() {
+        let src = "const ALL: &[&str] = &[\n    \"fig4c\",\n    \"fleet\",\n];\n";
+        assert_eq!(parse_all_list(src), ["fig4c", "fleet"]);
+    }
+
+    #[test]
+    fn ci_gates_cover_direct_and_loop_forms() {
+        let ci = "repro_diff harvest\nfor exp in fa-pipeline fig6 chaos; do\n    \
+                  repro_diff \"$exp\" --quick\ndone\nrepro_diff fleet --quick\n";
+        assert_eq!(
+            parse_ci_gates(ci),
+            ["chaos", "fa-pipeline", "fig6", "fleet", "harvest"]
+        );
+    }
+
+    #[test]
+    fn target_field_is_read() {
+        assert_eq!(
+            json_target_field("{\n  \"harness\": \"x\",\n  \"target\": \"kernels\",\n}"),
+            Some("kernels".to_string())
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Machine-readable output: `--format json` and the `--audit` report.
+//!
+//! The JSON document is hand-rendered (this crate has zero
+//! dependencies) against a fixed shape, and `crates/bench` validates it
+//! in `tests/lintjson.rs` with the same `benchjson` parser that gates
+//! the bench baselines — so the schema is enforced from the consumer
+//! side, exactly like `BENCH_*.json`:
+//!
+//! ```json
+//! {
+//!   "schema": "incam-lint/1",
+//!   "files_scanned": 187,
+//!   "clean": true,
+//!   "diagnostics": [
+//!     {"path": "…", "line": 1, "col": 1, "rule": "…", "message": "…"}
+//!   ],
+//!   "allow_pragmas": [
+//!     {"path": "…", "line": 1, "rule": "…", "reason": "…"}
+//!   ]
+//! }
+//! ```
+//!
+//! The audit report is a plain-text listing of every suppression in the
+//! tree (`path:line: allow(rule) — reason`), byte-compared in CI
+//! against `results/lint-audit.txt` so a new pragma cannot land without
+//! the diff showing up in review.
+
+use crate::Report;
+use std::fmt::Write as _;
+
+/// Escapes `s` for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a whole-workspace report as the `incam-lint/1` JSON document.
+pub fn render_report(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"incam-lint/1\",");
+    let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
+    let _ = writeln!(
+        out,
+        "  \"clean\": {},",
+        if report.diagnostics.is_empty() {
+            "true"
+        } else {
+            "false"
+        }
+    );
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        let sep = if i + 1 < report.diagnostics.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = write!(
+            out,
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \
+             \"message\": \"{}\"}}{sep}",
+            esc(&d.path),
+            d.line,
+            d.col,
+            d.rule,
+            esc(&d.message)
+        );
+    }
+    if report.diagnostics.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+    out.push_str("  \"allow_pragmas\": [");
+    for (i, a) in report.audit.iter().enumerate() {
+        let sep = if i + 1 < report.audit.len() { "," } else { "" };
+        let _ = write!(
+            out,
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"reason\": \"{}\"}}{sep}",
+            esc(&a.path),
+            a.line,
+            a.rule,
+            esc(&a.reason)
+        );
+    }
+    if report.audit.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n  ]\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the plain-text suppression audit: one line per allow pragma,
+/// sorted by (path, line), plus a trailing count.
+pub fn render_audit(report: &Report) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "incam-lint suppression audit — {} allow pragma(s) in {} files scanned",
+        report.audit.len(),
+        report.files_scanned
+    );
+    for a in &report.audit {
+        let _ = writeln!(
+            out,
+            "{}:{}: allow({}) — {}",
+            a.path, a.line, a.rule, a.reason
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AuditEntry, Diagnostic, Report};
+
+    fn sample() -> Report {
+        Report {
+            diagnostics: vec![Diagnostic {
+                path: "crates/x/src/lib.rs".to_string(),
+                line: 3,
+                col: 7,
+                rule: "wall-clock",
+                message: "a \"quoted\" hazard".to_string(),
+            }],
+            audit: vec![AuditEntry {
+                path: "crates/y/src/lib.rs".to_string(),
+                line: 9,
+                rule: "env-read",
+                reason: "CLI parsing".to_string(),
+            }],
+            files_scanned: 2,
+        }
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let doc = render_report(&sample());
+        assert!(doc.contains("\"schema\": \"incam-lint/1\""));
+        assert!(doc.contains("\"files_scanned\": 2"));
+        assert!(doc.contains("\"clean\": false"));
+        assert!(doc.contains("a \\\"quoted\\\" hazard"));
+        assert!(doc.contains("\"reason\": \"CLI parsing\""));
+    }
+
+    #[test]
+    fn empty_report_renders_empty_arrays() {
+        let report = Report {
+            diagnostics: Vec::new(),
+            audit: Vec::new(),
+            files_scanned: 0,
+        };
+        let doc = render_report(&report);
+        assert!(doc.contains("\"diagnostics\": [],"));
+        assert!(doc.contains("\"allow_pragmas\": []"));
+        assert!(doc.contains("\"clean\": true"));
+    }
+
+    #[test]
+    fn audit_lists_every_pragma() {
+        let text = render_audit(&sample());
+        assert!(text.starts_with("incam-lint suppression audit — 1 allow pragma(s)"));
+        assert!(text.contains("crates/y/src/lib.rs:9: allow(env-read) — CLI parsing"));
+    }
+}

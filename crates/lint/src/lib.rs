@@ -4,9 +4,13 @@
 //! across seeds and thread counts, offline zero-registry builds — is
 //! enforced at runtime by the ci.sh diff gates (threads 1 vs 4,
 //! double-run smoke). This crate enforces it at the *source* level: a
-//! lightweight Rust lexer ([`lexer`]) feeds a rule engine ([`rules`],
-//! [`manifest`]) that walks every workspace `.rs` file and `Cargo.toml`
-//! and reports hazards before they ever reach a runtime diff.
+//! total Rust lexer ([`lexer`]) feeds a lightweight recursive-descent
+//! parser ([`parser`]) whose item tree a visitor-based rule engine
+//! ([`visit`], [`rules`], [`manifest`]) walks for every workspace `.rs`
+//! file and `Cargo.toml`, reporting hazards before they ever reach a
+//! runtime diff. A cross-artifact pass ([`coherence`]) then checks that
+//! the experiment registry, CI gates, docs and committed results agree
+//! with each other.
 //!
 //! The rules:
 //!
@@ -18,6 +22,12 @@
 //! | `env-read` | `std::env` outside the allowlisted `INCAM_*` sites |
 //! | `registry-dep` | non-`path` dependencies in any `Cargo.toml` |
 //! | `crate-hygiene` | crate roots missing `#![forbid(unsafe_code)]` or a `missing_docs` lint |
+//! | `fallible-unwrap` | `.unwrap()`/`.expect(` in non-test library code |
+//! | `par-capture-mut` | mutation of captured state in an `incam_parallel` closure |
+//! | `par-float-accum` | order-sensitive `+=` into a capture in an `incam_parallel` closure |
+//! | `lossy-cast` | unguarded narrowing `as` casts in hot-kernel crates |
+//! | `unchecked-arith` | wrapping/unchecked ops in hot-kernel crates |
+//! | `coherence` | experiment/CI/docs/results/module-map drift |
 //! | `pragma` | malformed / reasonless suppression pragmas |
 //!
 //! Suppression is per line, and the reason is mandatory (see [`pragma`]):
@@ -26,22 +36,30 @@
 //! let t = Instant::now(); // incam-lint: allow(wall-clock) — measuring the harness itself
 //! ```
 //!
-//! Diagnostics print as `file:line:col: [rule-id] message`, and the CLI
+//! Diagnostics print as `file:line:col: [rule-id] message`, sorted by
+//! (path, line, col, rule, message) and deduplicated; the CLI
 //! (`cargo run -p incam-lint`) exits nonzero when any are emitted, which
-//! is how ci.sh consumes it.
+//! is how ci.sh consumes it. `--format json` renders the report as a
+//! schema-checked JSON document ([`json`]) and `--audit` lists every
+//! suppression pragma in the tree with its rule, location and reason.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coherence;
+pub mod json;
 pub mod lexer;
 pub mod manifest;
+pub mod parser;
 pub mod pragma;
 pub mod rules;
+pub mod visit;
+pub mod workspace;
 
 use std::fmt;
 use std::fs;
 use std::io;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 pub use manifest::check_manifest;
 pub use rules::check_rust_source;
@@ -71,77 +89,69 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// One valid suppression pragma, for the `--audit` report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditEntry {
+    /// Workspace-relative path of the file carrying the pragma.
+    pub path: String,
+    /// 1-based line the pragma comment starts on.
+    pub line: u32,
+    /// The suppressed rule id.
+    pub rule: &'static str,
+    /// The written justification.
+    pub reason: String,
+}
+
 /// Result of a whole-workspace pass.
 #[derive(Debug)]
 pub struct Report {
-    /// All findings, sorted by (path, line, col, rule).
+    /// All findings, sorted by (path, line, col, rule, message),
+    /// deduplicated.
     pub diagnostics: Vec<Diagnostic>,
+    /// Every valid allow pragma in the tree, sorted by (path, line).
+    pub audit: Vec<AuditEntry>,
     /// How many files were scanned (`.rs` + `Cargo.toml`).
     pub files_scanned: usize,
 }
 
 /// Lints every `.rs` and `Cargo.toml` under `root`, skipping `target/`,
-/// dot-directories, and this crate's own bad-source fixtures.
+/// dot-directories, and this crate's own bad-source fixtures, then runs
+/// the cross-artifact coherence pass over the same tree.
 ///
 /// File order and diagnostic order are deterministic (sorted), so the
 /// output is byte-stable across platforms and runs.
 pub fn lint_workspace(root: &Path) -> io::Result<Report> {
-    let files = collect_files(root)?;
+    let files = workspace::collect_files(root)?;
     let files_scanned = files.len();
     let mut diagnostics = Vec::new();
+    let mut audit = Vec::new();
+    let mut modmap = workspace::ModuleMap::default();
     for path in files {
-        let rel = relpath(root, &path);
+        let rel = workspace::relpath(root, &path);
         let bytes = fs::read(&path)?;
         let src = String::from_utf8_lossy(&bytes);
         if rel.ends_with("Cargo.toml") {
-            diagnostics.extend(check_manifest(&rel, &src));
+            let (d, a) = manifest::check_manifest_full(&rel, &src);
+            diagnostics.extend(d);
+            audit.extend(a);
         } else {
-            diagnostics.extend(check_rust_source(&rel, &src));
+            let ctx = visit::FileCtx::new(&rel, &src);
+            let (d, a) = rules::check_file(&ctx);
+            diagnostics.extend(d);
+            audit.extend(a);
+            modmap.record(&rel, &ctx.file);
         }
     }
-    diagnostics
-        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    diagnostics.extend(coherence::check(root, &modmap));
+    diagnostics.sort_by(|a, b| {
+        (&a.path, a.line, a.col, a.rule, &a.message)
+            .cmp(&(&b.path, b.line, b.col, b.rule, &b.message))
+    });
+    diagnostics.dedup();
+    audit.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     Ok(Report {
         diagnostics,
+        audit,
         files_scanned,
     })
-}
-
-/// Directories never descended into: build output, VCS/CI metadata
-/// (dot-dirs), and the lint crate's intentionally-bad fixtures.
-fn skip_dir(rel: &str, name: &str) -> bool {
-    name.starts_with('.') || name == "target" || rel == "crates/lint/tests/fixtures"
-}
-
-fn relpath(root: &Path, path: &Path) -> String {
-    let rel = path.strip_prefix(root).unwrap_or(path);
-    rel.components()
-        .map(|c| c.as_os_str().to_string_lossy())
-        .collect::<Vec<_>>()
-        .join("/")
-}
-
-/// Collects lintable files depth-first with sorted directory entries;
-/// the final list is fully sorted for deterministic diagnostics.
-fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
-    let mut out = Vec::new();
-    let mut stack = vec![root.to_path_buf()];
-    while let Some(dir) = stack.pop() {
-        let mut entries: Vec<_> = fs::read_dir(&dir)?.collect::<Result<_, _>>()?;
-        entries.sort_by_key(|e| e.file_name());
-        for entry in entries {
-            let path = entry.path();
-            let name = entry.file_name().to_string_lossy().into_owned();
-            let file_type = entry.file_type()?;
-            if file_type.is_dir() {
-                if !skip_dir(&relpath(root, &path), &name) {
-                    stack.push(path);
-                }
-            } else if file_type.is_file() && (name == "Cargo.toml" || name.ends_with(".rs")) {
-                out.push(path);
-            }
-        }
-    }
-    out.sort();
-    Ok(out)
 }

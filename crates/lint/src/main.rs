@@ -1,20 +1,66 @@
 //! CLI for the determinism & hermeticity pass.
 //!
-//! `cargo run -p incam-lint [root]` lints the workspace rooted at `root`
-//! (default: this repository), printing one `file:line:col: [rule-id]
-//! message` line per finding. Exit status: 0 clean, 1 violations, 2 I/O
-//! error — so ci.sh can gate on it directly.
+//! ```text
+//! cargo run -p incam-lint [root]                # human-readable findings
+//! cargo run -p incam-lint -- --format json      # incam-lint/1 JSON document
+//! cargo run -p incam-lint -- --audit            # suppression-pragma report
+//! ```
+//!
+//! `root` defaults to this repository. Exit status: 0 clean, 1
+//! violations, 2 usage/I-O error — so ci.sh can gate on it directly.
+//! `--audit` always exits 0 on success; CI byte-compares its output
+//! against `results/lint-audit.txt` so suppression drift shows up in
+//! review.
 
 use std::path::{Path, PathBuf};
 
 fn main() {
+    let mut root: Option<PathBuf> = None;
+    let mut format_json = false;
+    let mut audit = false;
     // incam-lint: allow(env-read) — CLI argument parsing, not ambient configuration
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => format_json = true,
+                Some("text") => format_json = false,
+                other => {
+                    eprintln!(
+                        "incam-lint: --format expects `json` or `text`, got {:?}",
+                        other.unwrap_or("nothing")
+                    );
+                    std::process::exit(2);
+                }
+            },
+            "--audit" => audit = true,
+            "--help" | "-h" => {
+                println!("usage: incam-lint [root] [--format json|text] [--audit]");
+                return;
+            }
+            other if root.is_none() && !other.starts_with('-') => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("incam-lint: unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
     match incam_lint::lint_workspace(&root) {
         Ok(report) => {
+            if audit {
+                print!("{}", incam_lint::json::render_audit(&report));
+                return;
+            }
+            if format_json {
+                print!("{}", incam_lint::json::render_report(&report));
+                if !report.diagnostics.is_empty() {
+                    std::process::exit(1);
+                }
+                return;
+            }
             for diag in &report.diagnostics {
                 println!("{diag}");
             }

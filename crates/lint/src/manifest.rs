@@ -15,7 +15,7 @@
 
 use crate::pragma::{self, Pragma};
 use crate::rules::{self, suppress};
-use crate::Diagnostic;
+use crate::{AuditEntry, Diagnostic};
 
 /// What the scanner is inside of, line by line.
 enum Section {
@@ -36,6 +36,12 @@ enum Section {
 /// Runs the `registry-dep` rule (plus pragma parsing for `#` comments)
 /// over one manifest.
 pub fn check_manifest(relpath: &str, src: &str) -> Vec<Diagnostic> {
+    check_manifest_full(relpath, src).0
+}
+
+/// Like [`check_manifest`], also returning the audit trail of valid
+/// suppression pragmas (for `--audit`).
+pub fn check_manifest_full(relpath: &str, src: &str) -> (Vec<Diagnostic>, Vec<AuditEntry>) {
     let mut diags = Vec::new();
     let mut pragmas = Vec::new();
     let mut section = Section::Other;
@@ -46,7 +52,11 @@ pub fn check_manifest(relpath: &str, src: &str) -> Vec<Diagnostic> {
         if let Some(body) = comment {
             match pragma::parse_pragma(body) {
                 Ok(None) => {}
-                Ok(Some(rule)) => pragmas.push(Pragma { line: lineno, rule }),
+                Ok(Some((rule, reason))) => pragmas.push(Pragma {
+                    line: lineno,
+                    rule,
+                    reason,
+                }),
                 Err(e) => diags.push(Diagnostic {
                     path: relpath.to_string(),
                     line: lineno,
@@ -108,7 +118,16 @@ pub fn check_manifest(relpath: &str, src: &str) -> Vec<Diagnostic> {
         }
     }
     flush_table(relpath, &mut section, &mut diags);
-    suppress(diags, &pragmas)
+    let audit = pragmas
+        .iter()
+        .map(|p| AuditEntry {
+            path: relpath.to_string(),
+            line: p.line,
+            rule: p.rule,
+            reason: p.reason.clone(),
+        })
+        .collect();
+    (suppress(diags, &pragmas), audit)
 }
 
 fn registry_diag(relpath: &str, line: u32, col: u32, name: &str) -> Diagnostic {

@@ -1,0 +1,1385 @@
+//! A lightweight, total recursive-descent parser over the lexer.
+//!
+//! incam-lint v1 was purely lexical: rules scanned flat token streams
+//! and `#[cfg(test)]` scoping was a brace-matching heuristic. This
+//! module turns the token stream into a small tree — items with their
+//! attributes, `mod`/`impl`/`trait` bodies, function bodies with the
+//! closures they contain (including an approximate capture analysis) —
+//! so rules can ask structural questions: *is this token inside test
+//! code?*, *is this closure an argument to `par_map`?*, *does this
+//! closure mutate state it captured?*
+//!
+//! Like the lexer, the parser is **total**: it never panics and it
+//! consumes every token of any input. Unrecognized constructs become
+//! [`ItemKind::Verbatim`] items (consumed to the next `;` or balanced
+//! `{…}`), so random byte soup parses into *something* and the span
+//! invariant below still holds. The tree is deliberately shallow — it
+//! is not a Rust grammar, it is exactly the structure the rules need.
+//!
+//! **Span invariant** (pinned by `tests/parser_prop.rs`): the byte
+//! spans of a [`File`]'s top-level items are adjacent, start at byte 0,
+//! and end at `src.len()` — leading trivia and attributes attach to the
+//! item they precede, trailing trivia to the last item. An input with
+//! no items at all (all comments/whitespace) yields an empty item list
+//! and `File::span` covering the whole input.
+
+use crate::lexer::{Token, TokenKind};
+
+/// A half-open byte range of the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+/// One parsed attribute, `#[path(args…)]` or `#![path(args…)]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attr {
+    /// `true` for inner attributes (`#![…]`).
+    pub inner: bool,
+    /// The attribute's leading path segment (`cfg`, `derive`, `test`…).
+    pub path: String,
+    /// Texts of the significant tokens inside the delimiter, flattened.
+    pub args: Vec<String>,
+    /// 1-based line of the `#` token.
+    pub line: u32,
+}
+
+impl Attr {
+    /// True for `#[cfg(…)]` attributes whose argument list mentions a
+    /// bare `test` — same notion the v1 brace-matcher used, so
+    /// `cfg(test)`, `cfg(any(test, doc))` etc. all count.
+    pub fn is_cfg_test(&self) -> bool {
+        self.path == "cfg" && self.args.iter().any(|a| a == "test")
+    }
+}
+
+/// What kind of item a node is. Coarse by design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `fn` (free, impl, or trait method) — `body` holds its closures.
+    Fn,
+    /// `mod name { … }` — children are the module's items.
+    Mod,
+    /// `mod name;` — declaration only.
+    ModDecl,
+    /// `impl … { … }` — children are the associated items.
+    Impl,
+    /// `trait … { … }` — children are the trait items.
+    Trait,
+    /// `struct` / `enum` / `union` definition.
+    TypeDef,
+    /// `use …;`
+    Use,
+    /// `const` / `static` item.
+    Const,
+    /// `type X = …;`
+    TypeAlias,
+    /// `macro_rules! … { … }` or `macro …`.
+    MacroDef,
+    /// A top-level `name! { … }` / `name!(…);` macro invocation.
+    MacroCall,
+    /// `extern crate …;` or an `extern { … }` block.
+    Extern,
+    /// Anything else — consumed to a `;` or balanced `{…}`.
+    Verbatim,
+}
+
+/// A closure expression found inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Closure {
+    /// The function or method name this closure is a direct argument
+    /// to (`par_map`, `map`, …) — `None` when not a call argument.
+    pub callee: Option<String>,
+    /// `true` for `move |…|` closures.
+    pub is_move: bool,
+    /// Identifiers bound by the parameter list (destructuring included).
+    pub params: Vec<String>,
+    /// Identifiers bound by `let` / `for` patterns inside the body,
+    /// plus the params of *nested* closures (flattened scope — an
+    /// over-approximation that errs toward fewer false captures).
+    pub locals: Vec<String>,
+    /// Token index range (into the file's token array) of the body.
+    pub body: (usize, usize),
+    /// 1-based line/column of the opening `|`.
+    pub line: u32,
+    /// Column of the opening `|`.
+    pub col: u32,
+}
+
+/// One parsed item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    /// Coarse kind.
+    pub kind: ItemKind,
+    /// The item's name, when it has one.
+    pub name: Option<String>,
+    /// Outer attributes.
+    pub attrs: Vec<Attr>,
+    /// `true` when an attribute gates this item behind `cfg(test)` or
+    /// marks it `#[test]`.
+    pub cfg_test: bool,
+    /// Byte span (leading trivia + attrs through last token; adjusted
+    /// post-parse so sibling spans partition the parent).
+    pub span: Span,
+    /// Token index range `[start, end)` into the file's token array.
+    pub tokens: (usize, usize),
+    /// 1-based line of the first significant token.
+    pub line: u32,
+    /// Nested items (for `Mod`, `Impl`, `Trait`, `Extern` blocks).
+    pub children: Vec<Item>,
+    /// Closures found in this item's own body (for `Fn`, and for
+    /// `Const`/`Static` initializers).
+    pub closures: Vec<Closure>,
+}
+
+/// A parsed file: top-level items plus the token array they index.
+#[derive(Debug, Clone)]
+pub struct File {
+    /// Top-level items, in source order.
+    pub items: Vec<Item>,
+    /// Inner attributes of the file (`#![…]`).
+    pub inner_attrs: Vec<Attr>,
+    /// The whole file's byte span (`0..src.len()`).
+    pub span: Span,
+}
+
+impl File {
+    /// Inclusive 1-based line ranges of every `cfg(test)`-gated or
+    /// `#[test]`-marked item, recursively — the parsed replacement for
+    /// v1's brace-matching heuristic.
+    pub fn cfg_test_line_spans(&self, tokens: &[Token]) -> Vec<(u32, u32)> {
+        let mut spans = Vec::new();
+        collect_test_spans(&self.items, tokens, false, &mut spans);
+        spans
+    }
+}
+
+fn collect_test_spans(
+    items: &[Item],
+    tokens: &[Token],
+    parent_test: bool,
+    out: &mut Vec<(u32, u32)>,
+) {
+    for item in items {
+        let gated = parent_test || item.cfg_test;
+        if item.cfg_test && !parent_test {
+            let (a, b) = item.tokens;
+            let first = item
+                .attrs
+                .iter()
+                .filter(|at| at.is_cfg_test() || at.path == "test")
+                .map(|at| at.line)
+                .min()
+                .unwrap_or(item.line);
+            let last = if b > a && b <= tokens.len() {
+                tokens[b - 1].line
+            } else {
+                item.line
+            };
+            out.push((first, last));
+        }
+        if !gated {
+            collect_test_spans(&item.children, tokens, gated, out);
+        }
+    }
+}
+
+/// Parses a token stream (from [`crate::lexer::lex`]) into a [`File`].
+/// Never panics; consumes every token.
+pub fn parse(src: &str, tokens: &[Token]) -> File {
+    let mut p = Parser {
+        src,
+        tokens,
+        pos: 0,
+    };
+    let mut inner_attrs = Vec::new();
+    let items = p.parse_items(true, &mut inner_attrs);
+    let mut file = File {
+        items,
+        inner_attrs,
+        span: Span {
+            start: 0,
+            end: src.len(),
+        },
+    };
+    seal_spans(&mut file.items, 0, src.len());
+    file
+}
+
+/// Rewrites sibling spans so they are adjacent and cover `[lo, hi)`:
+/// each item starts where its predecessor ended (absorbing leading
+/// trivia) and the last item absorbs trailing trivia.
+fn seal_spans(items: &mut [Item], lo: usize, hi: usize) {
+    let n = items.len();
+    let mut cursor = lo;
+    for (i, item) in items.iter_mut().enumerate() {
+        item.span.start = cursor;
+        item.span.end = if i + 1 == n {
+            hi
+        } else {
+            // Keep the parsed end, but never regress before the start.
+            item.span.end.clamp(cursor, hi)
+        };
+        cursor = item.span.end;
+    }
+}
+
+struct Parser<'s> {
+    src: &'s str,
+    tokens: &'s [Token],
+    pos: usize,
+}
+
+fn significant(kind: TokenKind) -> bool {
+    !matches!(
+        kind,
+        TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+    )
+}
+
+impl<'s> Parser<'s> {
+    fn peek_sig(&self) -> Option<usize> {
+        self.tokens[self.pos..]
+            .iter()
+            .position(|t| significant(t.kind))
+            .map(|off| self.pos + off)
+    }
+
+    fn sig_after(&self, ix: usize) -> Option<usize> {
+        self.tokens[ix + 1..]
+            .iter()
+            .position(|t| significant(t.kind))
+            .map(|off| ix + 1 + off)
+    }
+
+    fn text(&self, ix: usize) -> &'s str {
+        self.tokens[ix].text(self.src)
+    }
+
+    fn is_punct(&self, ix: usize, c: char) -> bool {
+        self.tokens[ix].kind == TokenKind::Punct && self.text(ix).starts_with(c)
+    }
+
+    fn is_ident(&self, ix: usize, name: &str) -> bool {
+        self.tokens[ix].kind == TokenKind::Ident && self.text(ix) == name
+    }
+
+    /// Advances past token `ix`.
+    fn bump_to(&mut self, ix: usize) {
+        self.pos = ix + 1;
+    }
+
+    /// Consumes a balanced bracket group starting at the opener `ix`;
+    /// returns the index one past the matching closer (or EOF).
+    fn skip_balanced(&self, open_ix: usize) -> usize {
+        let (open, close) = match self.text(open_ix).chars().next() {
+            Some('(') => ('(', ')'),
+            Some('[') => ('[', ']'),
+            Some('{') => ('{', '}'),
+            _ => return open_ix + 1,
+        };
+        let mut depth = 0i64;
+        let mut ix = open_ix;
+        while ix < self.tokens.len() {
+            if self.tokens[ix].kind == TokenKind::Punct {
+                let c = self.text(ix).chars().next().unwrap_or(' ');
+                if c == open {
+                    depth += 1;
+                } else if c == close {
+                    depth -= 1;
+                    if depth == 0 {
+                        return ix + 1;
+                    }
+                }
+            }
+            ix += 1;
+        }
+        ix
+    }
+
+    /// Parses items until EOF (`top` true) or a closing `}`.
+    /// Returns with `self.pos` past the closing brace when not top.
+    fn parse_items(&mut self, top: bool, inner_attrs: &mut Vec<Attr>) -> Vec<Item> {
+        let mut items = Vec::new();
+        loop {
+            let span_start = self.pos_byte();
+            let mut attrs = Vec::new();
+            // Collect attributes (inner ones go to the parent).
+            loop {
+                let Some(ix) = self.peek_sig() else {
+                    // Trailing attrs with no item: absorb as Verbatim.
+                    if !attrs.is_empty() {
+                        items.push(self.verbatim_item(attrs, span_start, self.tokens.len()));
+                    }
+                    return items;
+                };
+                if self.is_punct(ix, '#') {
+                    let (attr, next) = self.parse_attr(ix);
+                    self.pos = next;
+                    match attr {
+                        Some(a) if a.inner => inner_attrs.push(a),
+                        Some(a) => attrs.push(a),
+                        None => {}
+                    }
+                } else {
+                    break;
+                }
+            }
+            let Some(ix) = self.peek_sig() else {
+                if !attrs.is_empty() {
+                    items.push(self.verbatim_item(attrs, span_start, self.tokens.len()));
+                }
+                return items;
+            };
+            if !top && self.is_punct(ix, '}') {
+                self.bump_to(ix);
+                if !attrs.is_empty() {
+                    items.push(self.verbatim_item(attrs, span_start, self.tokens[ix].start));
+                }
+                return items;
+            }
+            let item = self.parse_item(attrs, span_start, ix);
+            items.push(item);
+            if self.pos >= self.tokens.len() && top {
+                return items;
+            }
+        }
+    }
+
+    fn pos_byte(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.start)
+            .unwrap_or(self.src.len())
+    }
+
+    fn verbatim_item(&self, attrs: Vec<Attr>, span_start: usize, span_end: usize) -> Item {
+        let cfg_test = attrs.iter().any(|a| a.is_cfg_test() || a.path == "test");
+        Item {
+            kind: ItemKind::Verbatim,
+            name: None,
+            attrs,
+            cfg_test,
+            span: Span {
+                start: span_start,
+                end: span_end,
+            },
+            tokens: (self.pos, self.pos),
+            line: self.tokens.get(self.pos).map(|t| t.line).unwrap_or(1),
+            children: Vec::new(),
+            closures: Vec::new(),
+        }
+    }
+
+    /// Parses `#[…]` / `#![…]` starting at the `#` token `ix`.
+    /// Returns the attribute (if well-formed enough) and the index to
+    /// resume at.
+    fn parse_attr(&self, ix: usize) -> (Option<Attr>, usize) {
+        let line = self.tokens[ix].line;
+        let Some(mut j) = self.sig_after(ix) else {
+            return (None, ix + 1);
+        };
+        let inner = if self.is_punct(j, '!') {
+            match self.sig_after(j) {
+                Some(k) => {
+                    j = k;
+                    true
+                }
+                None => return (None, j + 1),
+            }
+        } else {
+            false
+        };
+        if !self.is_punct(j, '[') {
+            // A stray `#` (or `#!` shebang soup): treat as not-an-attr.
+            return (None, ix + 1);
+        }
+        let end = self.skip_balanced(j);
+        // First significant token inside the brackets is the path head.
+        let mut path = String::new();
+        let mut args = Vec::new();
+        let mut k = j + 1;
+        while k < end.saturating_sub(1) {
+            if significant(self.tokens[k].kind) {
+                let text = self.text(k);
+                if path.is_empty() {
+                    path = text.to_string();
+                } else {
+                    args.push(text.to_string());
+                }
+            }
+            k += 1;
+        }
+        (
+            Some(Attr {
+                inner,
+                path,
+                args,
+                line,
+            }),
+            end,
+        )
+    }
+
+    /// Parses one item whose first significant token is at `ix`.
+    fn parse_item(&mut self, attrs: Vec<Attr>, span_start: usize, mut ix: usize) -> Item {
+        let start_tok = ix;
+        let line = self.tokens[ix].line;
+        // Skip visibility and modifier keywords.
+        loop {
+            if self.is_ident(ix, "pub") {
+                let Some(next) = self.sig_after(ix) else {
+                    return self.finish_flat(
+                        attrs,
+                        span_start,
+                        start_tok,
+                        line,
+                        ItemKind::Verbatim,
+                    );
+                };
+                ix = if self.is_punct(next, '(') {
+                    let after = self.skip_balanced(next);
+                    match self.tokens[after..]
+                        .iter()
+                        .position(|t| significant(t.kind))
+                    {
+                        Some(off) => after + off,
+                        None => {
+                            self.pos = self.tokens.len();
+                            return self.item_at(
+                                attrs,
+                                span_start,
+                                start_tok,
+                                line,
+                                ItemKind::Verbatim,
+                                None,
+                            );
+                        }
+                    }
+                } else {
+                    next
+                };
+            } else if ["default", "async", "unsafe"]
+                .iter()
+                .any(|k| self.is_ident(ix, k))
+            {
+                match self.sig_after(ix) {
+                    Some(next) => ix = next,
+                    None => {
+                        self.pos = self.tokens.len();
+                        return self.item_at(
+                            attrs,
+                            span_start,
+                            start_tok,
+                            line,
+                            ItemKind::Verbatim,
+                            None,
+                        );
+                    }
+                }
+            } else if self.is_ident(ix, "extern")
+                && self
+                    .sig_after(ix)
+                    .is_some_and(|n| self.tokens[n].kind == TokenKind::Str)
+            {
+                // `extern "C" fn` — skip the ABI string.
+                let n = self.sig_after(ix).unwrap_or(ix);
+                match self.sig_after(n) {
+                    Some(next) => ix = next,
+                    None => {
+                        self.pos = self.tokens.len();
+                        return self.item_at(
+                            attrs,
+                            span_start,
+                            start_tok,
+                            line,
+                            ItemKind::Verbatim,
+                            None,
+                        );
+                    }
+                }
+            } else if self.is_ident(ix, "const")
+                && self.sig_after(ix).is_some_and(|n| self.is_ident(n, "fn"))
+            {
+                // `const fn` — the `const` is a modifier, not an item.
+                ix = self.sig_after(ix).unwrap_or(ix);
+            } else {
+                break;
+            }
+        }
+
+        let kw = if self.tokens[ix].kind == TokenKind::Ident {
+            self.text(ix)
+        } else {
+            ""
+        };
+        match kw {
+            "fn" => self.parse_fn(attrs, span_start, start_tok, line, ix),
+            "mod" => self.parse_mod(attrs, span_start, start_tok, line, ix),
+            "impl" | "trait" => {
+                let kind = if kw == "impl" {
+                    ItemKind::Impl
+                } else {
+                    ItemKind::Trait
+                };
+                self.parse_braced_container(attrs, span_start, start_tok, line, ix, kind)
+            }
+            "struct" | "enum" | "union" => {
+                self.parse_typedef(attrs, span_start, start_tok, line, ix)
+            }
+            "use" => self.consume_to_semi(attrs, span_start, start_tok, line, ix, ItemKind::Use),
+            "const" | "static" => self.parse_const(attrs, span_start, start_tok, line, ix),
+            "type" => {
+                self.consume_to_semi(attrs, span_start, start_tok, line, ix, ItemKind::TypeAlias)
+            }
+            "macro_rules" | "macro" => self.parse_macro_def(attrs, span_start, start_tok, line, ix),
+            "extern" => {
+                // `extern crate …;` or `extern { … }`.
+                if let Some(n) = self.sig_after(ix) {
+                    if self.is_punct(n, '{') {
+                        return self.parse_braced_container(
+                            attrs,
+                            span_start,
+                            start_tok,
+                            line,
+                            ix,
+                            ItemKind::Extern,
+                        );
+                    }
+                }
+                self.consume_to_semi(attrs, span_start, start_tok, line, ix, ItemKind::Extern)
+            }
+            _ => {
+                // `name! { … }` macro call, or unknown: consume to `;`
+                // or a balanced brace group.
+                let is_macro = self.tokens[ix].kind == TokenKind::Ident
+                    && self.sig_after(ix).is_some_and(|n| self.is_punct(n, '!'));
+                let kind = if is_macro {
+                    ItemKind::MacroCall
+                } else {
+                    ItemKind::Verbatim
+                };
+                self.consume_to_semi_or_brace(attrs, span_start, start_tok, line, ix, kind)
+            }
+        }
+    }
+
+    fn item_at(
+        &self,
+        attrs: Vec<Attr>,
+        span_start: usize,
+        start_tok: usize,
+        line: u32,
+        kind: ItemKind,
+        name: Option<String>,
+    ) -> Item {
+        let cfg_test = attrs.iter().any(|a| a.is_cfg_test() || a.path == "test");
+        Item {
+            kind,
+            name,
+            attrs,
+            cfg_test,
+            span: Span {
+                start: span_start,
+                end: self
+                    .tokens
+                    .get(self.pos.saturating_sub(1))
+                    .map(|t| t.end)
+                    .unwrap_or(self.src.len()),
+            },
+            tokens: (start_tok, self.pos),
+            line,
+            children: Vec::new(),
+            closures: Vec::new(),
+        }
+    }
+
+    fn finish_flat(
+        &mut self,
+        attrs: Vec<Attr>,
+        span_start: usize,
+        start_tok: usize,
+        line: u32,
+        kind: ItemKind,
+    ) -> Item {
+        self.pos = self.tokens.len();
+        self.item_at(attrs, span_start, start_tok, line, kind, None)
+    }
+
+    fn name_after(&self, kw_ix: usize) -> Option<String> {
+        let n = self.sig_after(kw_ix)?;
+        if self.tokens[n].kind == TokenKind::Ident {
+            Some(self.text(n).to_string())
+        } else {
+            None
+        }
+    }
+
+    /// Consumes from `ix` to the first `;` at bracket depth 0.
+    fn consume_to_semi(
+        &mut self,
+        attrs: Vec<Attr>,
+        span_start: usize,
+        start_tok: usize,
+        line: u32,
+        ix: usize,
+        kind: ItemKind,
+    ) -> Item {
+        let name = self.name_after(ix);
+        let mut j = ix;
+        let mut depth = 0i64;
+        while j < self.tokens.len() {
+            if self.tokens[j].kind == TokenKind::Punct {
+                match self.text(j).chars().next().unwrap_or(' ') {
+                    '(' | '[' | '{' => depth += 1,
+                    ')' | ']' | '}' => depth -= 1,
+                    ';' if depth <= 0 => {
+                        self.pos = j + 1;
+                        return self.item_at(attrs, span_start, start_tok, line, kind, name);
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        self.pos = j;
+        self.item_at(attrs, span_start, start_tok, line, kind, name)
+    }
+
+    /// Consumes to `;` at depth 0 or past one balanced `{…}` group.
+    fn consume_to_semi_or_brace(
+        &mut self,
+        attrs: Vec<Attr>,
+        span_start: usize,
+        start_tok: usize,
+        line: u32,
+        ix: usize,
+        kind: ItemKind,
+    ) -> Item {
+        let name = if self.tokens[ix].kind == TokenKind::Ident {
+            Some(self.text(ix).to_string())
+        } else {
+            None
+        };
+        let mut j = ix;
+        while j < self.tokens.len() {
+            if self.is_punct(j, ';') {
+                self.pos = j + 1;
+                return self.item_at(attrs, span_start, start_tok, line, kind, name);
+            }
+            if self.is_punct(j, '{') {
+                self.pos = self.skip_balanced(j);
+                return self.item_at(attrs, span_start, start_tok, line, kind, name);
+            }
+            if self.is_punct(j, '(') || self.is_punct(j, '[') {
+                let after = self.skip_balanced(j);
+                // Macro call with (…) or […] delimiter: a `;` should follow.
+                j = after;
+                continue;
+            }
+            j += 1;
+        }
+        self.pos = j;
+        self.item_at(attrs, span_start, start_tok, line, kind, name)
+    }
+
+    fn parse_mod(
+        &mut self,
+        attrs: Vec<Attr>,
+        span_start: usize,
+        start_tok: usize,
+        line: u32,
+        kw_ix: usize,
+    ) -> Item {
+        let name = self.name_after(kw_ix);
+        // Find `{` or `;` after the name.
+        let mut j = kw_ix + 1;
+        while j < self.tokens.len() {
+            if self.is_punct(j, '{') {
+                self.pos = j + 1;
+                let mut inner = Vec::new();
+                let children = self.parse_items(false, &mut inner);
+                let mut item =
+                    self.item_at(attrs, span_start, start_tok, line, ItemKind::Mod, name);
+                item.children = children;
+                seal_child_spans(&mut item, self.src, self.tokens, j, self.pos);
+                return item;
+            }
+            if self.is_punct(j, ';') {
+                self.pos = j + 1;
+                return self.item_at(attrs, span_start, start_tok, line, ItemKind::ModDecl, name);
+            }
+            j += 1;
+        }
+        self.finish_flat(attrs, span_start, start_tok, line, ItemKind::ModDecl)
+    }
+
+    fn parse_braced_container(
+        &mut self,
+        attrs: Vec<Attr>,
+        span_start: usize,
+        start_tok: usize,
+        line: u32,
+        kw_ix: usize,
+        kind: ItemKind,
+    ) -> Item {
+        let name = self.name_after(kw_ix);
+        let mut j = kw_ix + 1;
+        let mut angle = 0i64;
+        while j < self.tokens.len() {
+            if self.tokens[j].kind == TokenKind::Punct {
+                match self.text(j).chars().next().unwrap_or(' ') {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    '{' if angle <= 0 => {
+                        self.pos = j + 1;
+                        let mut inner = Vec::new();
+                        let children = self.parse_items(false, &mut inner);
+                        let mut item = self.item_at(attrs, span_start, start_tok, line, kind, name);
+                        item.children = children;
+                        seal_child_spans(&mut item, self.src, self.tokens, j, self.pos);
+                        return item;
+                    }
+                    ';' if angle <= 0 => {
+                        self.pos = j + 1;
+                        return self.item_at(attrs, span_start, start_tok, line, kind, name);
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        self.finish_flat(attrs, span_start, start_tok, line, kind)
+    }
+
+    fn parse_typedef(
+        &mut self,
+        attrs: Vec<Attr>,
+        span_start: usize,
+        start_tok: usize,
+        line: u32,
+        kw_ix: usize,
+    ) -> Item {
+        let name = self.name_after(kw_ix);
+        // struct Name; | struct Name(…); | struct Name { … } | enum { … }
+        let mut j = kw_ix + 1;
+        let mut angle = 0i64;
+        while j < self.tokens.len() {
+            if self.tokens[j].kind == TokenKind::Punct {
+                match self.text(j).chars().next().unwrap_or(' ') {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ';' if angle <= 0 => {
+                        self.pos = j + 1;
+                        return self.item_at(
+                            attrs,
+                            span_start,
+                            start_tok,
+                            line,
+                            ItemKind::TypeDef,
+                            name,
+                        );
+                    }
+                    '{' if angle <= 0 => {
+                        self.pos = self.skip_balanced(j);
+                        // Tuple structs: `struct X(u8);` — the `(` case
+                        // falls through to `;`.
+                        return self.item_at(
+                            attrs,
+                            span_start,
+                            start_tok,
+                            line,
+                            ItemKind::TypeDef,
+                            name,
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        self.finish_flat(attrs, span_start, start_tok, line, ItemKind::TypeDef)
+    }
+
+    fn parse_const(
+        &mut self,
+        attrs: Vec<Attr>,
+        span_start: usize,
+        start_tok: usize,
+        line: u32,
+        kw_ix: usize,
+    ) -> Item {
+        let name = self.name_after(kw_ix);
+        // Consume to `;` at depth 0, scanning the initializer for
+        // closures (const fn-pointers tables etc. are rare but cheap).
+        let mut j = kw_ix;
+        let mut depth = 0i64;
+        let init_start = kw_ix;
+        while j < self.tokens.len() {
+            if self.tokens[j].kind == TokenKind::Punct {
+                match self.text(j).chars().next().unwrap_or(' ') {
+                    '(' | '[' | '{' => depth += 1,
+                    ')' | ']' | '}' => depth -= 1,
+                    ';' if depth <= 0 => {
+                        self.pos = j + 1;
+                        let mut item =
+                            self.item_at(attrs, span_start, start_tok, line, ItemKind::Const, name);
+                        item.closures = scan_closures(self.src, self.tokens, init_start, j);
+                        return item;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        self.finish_flat(attrs, span_start, start_tok, line, ItemKind::Const)
+    }
+
+    fn parse_macro_def(
+        &mut self,
+        attrs: Vec<Attr>,
+        span_start: usize,
+        start_tok: usize,
+        line: u32,
+        kw_ix: usize,
+    ) -> Item {
+        // macro_rules! name { … }
+        let mut j = kw_ix + 1;
+        let mut name = None;
+        while j < self.tokens.len() {
+            if self.tokens[j].kind == TokenKind::Ident && name.is_none() {
+                name = Some(self.text(j).to_string());
+            }
+            if self.is_punct(j, '{') || self.is_punct(j, '(') || self.is_punct(j, '[') {
+                self.pos = self.skip_balanced(j);
+                // A paren/bracket-delimited macro_rules needs a `;`.
+                if !self.is_punct(j, '{') {
+                    if let Some(n) = self.peek_sig() {
+                        if self.is_punct(n, ';') {
+                            self.bump_to(n);
+                        }
+                    }
+                }
+                return self.item_at(attrs, span_start, start_tok, line, ItemKind::MacroDef, name);
+            }
+            if self.is_punct(j, ';') {
+                self.pos = j + 1;
+                return self.item_at(attrs, span_start, start_tok, line, ItemKind::MacroDef, name);
+            }
+            j += 1;
+        }
+        self.finish_flat(attrs, span_start, start_tok, line, ItemKind::MacroDef)
+    }
+
+    fn parse_fn(
+        &mut self,
+        attrs: Vec<Attr>,
+        span_start: usize,
+        start_tok: usize,
+        line: u32,
+        kw_ix: usize,
+    ) -> Item {
+        let name = self.name_after(kw_ix);
+        // Scan to the body `{` at angle/paren depth 0, or a `;`
+        // (trait method declaration).
+        let mut j = kw_ix + 1;
+        let mut angle = 0i64;
+        while j < self.tokens.len() {
+            if self.tokens[j].kind == TokenKind::Punct {
+                let c = self.text(j).chars().next().unwrap_or(' ');
+                match c {
+                    '<' => angle += 1,
+                    '>' => {
+                        // `->` must not decrement.
+                        let arrow = j > 0
+                            && self.is_punct(j - 1, '-')
+                            && self.tokens[j - 1].end == self.tokens[j].start;
+                        if !arrow {
+                            angle -= 1;
+                        }
+                    }
+                    '(' | '[' => j = self.skip_balanced(j) - 1,
+                    ';' if angle <= 0 => {
+                        self.pos = j + 1;
+                        return self.item_at(
+                            attrs,
+                            span_start,
+                            start_tok,
+                            line,
+                            ItemKind::Fn,
+                            name,
+                        );
+                    }
+                    '{' if angle <= 0 => {
+                        let body_end = self.skip_balanced(j);
+                        self.pos = body_end;
+                        let mut item =
+                            self.item_at(attrs, span_start, start_tok, line, ItemKind::Fn, name);
+                        item.closures =
+                            scan_closures(self.src, self.tokens, j + 1, body_end.saturating_sub(1));
+                        return item;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        self.finish_flat(attrs, span_start, start_tok, line, ItemKind::Fn)
+    }
+}
+
+/// Gives a container's children spans that partition the byte range
+/// between its opening brace and closing brace.
+fn seal_child_spans(item: &mut Item, src: &str, tokens: &[Token], open_ix: usize, end_pos: usize) {
+    let lo = tokens.get(open_ix).map(|t| t.end).unwrap_or(src.len());
+    let hi = tokens
+        .get(end_pos.saturating_sub(1))
+        .map(|t| t.start)
+        .unwrap_or(src.len());
+    if lo <= hi {
+        seal_spans(&mut item.children, lo, hi);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Closure scanning
+// ---------------------------------------------------------------------
+
+/// Tokens that can end an expression operand; a `|` after one of these
+/// is the binary or-operator, not a closure opener.
+fn ends_operand(tok: &Token, src: &str) -> bool {
+    match tok.kind {
+        TokenKind::Ident => {
+            // Keywords that *precede* expressions keep closure-position.
+            !matches!(
+                tok.text(src),
+                "return" | "move" | "in" | "if" | "while" | "match" | "else" | "break" | "yield"
+            )
+        }
+        TokenKind::Number | TokenKind::Str | TokenKind::Lifetime => true,
+        TokenKind::Punct => matches!(tok.text(src).chars().next(), Some(')' | ']' | '}' | '?')),
+        _ => false,
+    }
+}
+
+/// Scans the token range `[lo, hi)` of a function body for closures,
+/// recording each closure's callee, params, flattened locals and body
+/// range. Nested closures are reported separately (and their params
+/// fold into the enclosing closure's locals).
+pub fn scan_closures(src: &str, tokens: &[Token], lo: usize, hi: usize) -> Vec<Closure> {
+    let hi = hi.min(tokens.len());
+    let sig: Vec<usize> = (lo..hi).filter(|&i| significant(tokens[i].kind)).collect();
+    let mut out = Vec::new();
+    scan_closures_sig(src, tokens, &sig, &mut out);
+    out.sort_by_key(|c| (c.line, c.col));
+    out
+}
+
+/// Call-stack entry: one open delimiter, with the callee name when the
+/// delimiter is a call's argument list.
+struct Frame {
+    close: char,
+    callee: Option<String>,
+}
+
+fn scan_closures_sig(src: &str, tokens: &[Token], sig: &[usize], out: &mut Vec<Closure>) {
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        let ix = sig[i];
+        let tok = &tokens[ix];
+        if tok.kind == TokenKind::Punct {
+            let c = tok.text(src).chars().next().unwrap_or(' ');
+            match c {
+                '(' | '[' | '{' => {
+                    let callee = if c == '(' && i > 0 {
+                        let prev = &tokens[sig[i - 1]];
+                        if prev.kind == TokenKind::Ident {
+                            Some(prev.text(src).to_string())
+                        } else {
+                            None
+                        }
+                    } else {
+                        None
+                    };
+                    stack.push(Frame {
+                        close: match c {
+                            '(' => ')',
+                            '[' => ']',
+                            _ => '}',
+                        },
+                        callee,
+                    });
+                }
+                ')' | ']' | '}' => {
+                    while let Some(top) = stack.pop() {
+                        if top.close == c {
+                            break;
+                        }
+                    }
+                }
+                '|' => {
+                    let prev_ends_operand = i > 0 && ends_operand(&tokens[sig[i - 1]], src);
+                    let is_move = i > 0 && tokens[sig[i - 1]].text(src) == "move";
+                    // `||` as logical-or: two adjacent `|` after an operand.
+                    if !prev_ends_operand || is_move {
+                        let callee = stack.iter().rev().find_map(|f| f.callee.clone());
+                        if let Some((closure, next_i)) =
+                            parse_closure(src, tokens, sig, i, callee, is_move)
+                        {
+                            // Recurse into the body for nested closures.
+                            let body_sig: Vec<usize> = sig[..next_i]
+                                .iter()
+                                .copied()
+                                .filter(|&j| j >= closure.body.0 && j < closure.body.1)
+                                .collect();
+                            out.push(closure);
+                            scan_closures_sig(src, tokens, &body_sig, out);
+                            i = next_i;
+                            continue;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Parses a closure whose opening `|` sits at `sig[i]`. Returns the
+/// closure and the `sig` index one past its body.
+fn parse_closure(
+    src: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    i: usize,
+    callee: Option<String>,
+    is_move: bool,
+) -> Option<(Closure, usize)> {
+    let open = &tokens[sig[i]];
+    // `||` empty params: adjacent second `|`.
+    let mut j = i + 1;
+    let mut params = Vec::new();
+    let empty = j < sig.len()
+        && tokens[sig[j]].kind == TokenKind::Punct
+        && tokens[sig[j]].text(src).starts_with('|')
+        && tokens[sig[j]].start == open.end;
+    if empty {
+        j += 1;
+    } else {
+        // Scan params to the closing `|` at bracket depth 0.
+        let mut depth = 0i64;
+        let mut expect_pattern = true;
+        loop {
+            if j >= sig.len() {
+                return None;
+            }
+            let tok = &tokens[sig[j]];
+            if tok.kind == TokenKind::Punct {
+                match tok.text(src).chars().next().unwrap_or(' ') {
+                    '(' | '[' | '<' => depth += 1,
+                    ')' | ']' | '>' => depth -= 1,
+                    '|' if depth <= 0 => {
+                        j += 1;
+                        break;
+                    }
+                    ':' if depth <= 0 => expect_pattern = false,
+                    ',' if depth <= 0 => expect_pattern = true,
+                    _ => {}
+                }
+            } else if tok.kind == TokenKind::Ident && expect_pattern {
+                let text = tok.text(src);
+                if !matches!(text, "mut" | "ref" | "_") {
+                    params.push(text.to_string());
+                }
+            }
+            // Bail out if the "params" run implausibly long — a stray
+            // `|` in soup, not a closure.
+            if j - i > 512 {
+                return None;
+            }
+            j += 1;
+        }
+    }
+    // Body: block or expression.
+    if j >= sig.len() {
+        // `|x|` at EOF — degenerate but total: empty body.
+        let body = (sig[i] + 1, sig[i] + 1);
+        return Some((
+            Closure {
+                callee,
+                is_move,
+                params,
+                locals: Vec::new(),
+                body,
+                line: open.line,
+                col: open.col,
+            },
+            j,
+        ));
+    }
+    let body_start_tok = sig[j];
+    let body_end_tok;
+    let next_i;
+    if tokens[body_start_tok].kind == TokenKind::Punct
+        && tokens[body_start_tok].text(src).starts_with('{')
+    {
+        // Balanced block.
+        let mut depth = 0i64;
+        let mut k = j;
+        loop {
+            if k >= sig.len() {
+                body_end_tok = tokens.len();
+                next_i = k;
+                break;
+            }
+            let tok = &tokens[sig[k]];
+            if tok.kind == TokenKind::Punct {
+                match tok.text(src).chars().next().unwrap_or(' ') {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            body_end_tok = sig[k] + 1;
+                            next_i = k + 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+    } else {
+        // Expression body: to `,` / `)` / `]` / `}` / `;` at depth 0.
+        let mut depth = 0i64;
+        let mut k = j;
+        loop {
+            if k >= sig.len() {
+                body_end_tok = tokens.len();
+                next_i = k;
+                break;
+            }
+            let tok = &tokens[sig[k]];
+            if tok.kind == TokenKind::Punct {
+                let c = tok.text(src).chars().next().unwrap_or(' ');
+                match c {
+                    '(' | '[' | '{' => depth += 1,
+                    ')' | ']' | '}' if depth > 0 => depth -= 1,
+                    ')' | ']' | '}' | ',' | ';' => {
+                        body_end_tok = sig[k];
+                        next_i = k;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+    }
+    let body = (body_start_tok, body_end_tok);
+    let locals = collect_locals(src, tokens, body);
+    Some((
+        Closure {
+            callee,
+            is_move,
+            params,
+            locals,
+            body,
+            line: open.line,
+            col: open.col,
+        },
+        next_i,
+    ))
+}
+
+/// Identifiers bound inside a body range: `let` patterns, `for`
+/// patterns, and the params of nested closures (flattened).
+fn collect_locals(src: &str, tokens: &[Token], body: (usize, usize)) -> Vec<String> {
+    let mut locals = Vec::new();
+    let sig: Vec<usize> = (body.0..body.1.min(tokens.len()))
+        .filter(|&i| significant(tokens[i].kind))
+        .collect();
+    let mut i = 0;
+    while i < sig.len() {
+        let tok = &tokens[sig[i]];
+        if tok.kind == TokenKind::Ident {
+            match tok.text(src) {
+                "let" | "for" => {
+                    // Bind idents until `=` / `in` / `;` at depth 0.
+                    let mut depth = 0i64;
+                    let mut j = i + 1;
+                    let mut in_type = false;
+                    while j < sig.len() {
+                        let t = &tokens[sig[j]];
+                        if t.kind == TokenKind::Punct {
+                            match t.text(src).chars().next().unwrap_or(' ') {
+                                '(' | '[' | '<' => depth += 1,
+                                ')' | ']' | '>' => depth -= 1,
+                                '=' if depth <= 0 => break,
+                                ';' if depth <= 0 => break,
+                                ':' if depth <= 0 => in_type = true,
+                                _ => {}
+                            }
+                        } else if t.kind == TokenKind::Ident {
+                            let text = t.text(src);
+                            if text == "in" && depth <= 0 {
+                                break;
+                            }
+                            if !in_type && !matches!(text, "mut" | "ref" | "_") {
+                                locals.push(text.to_string());
+                            }
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                    continue;
+                }
+                _ => {}
+            }
+        } else if tok.kind == TokenKind::Punct && tok.text(src).starts_with('|') {
+            // Nested closure params: idents to the closing `|` (crude
+            // but local-only; a false local only *reduces* captures).
+            let prev_op = i > 0 && ends_operand(&tokens[sig[i - 1]], src);
+            if !prev_op {
+                let mut j = i + 1;
+                let mut depth = 0i64;
+                while j < sig.len() && j - i <= 64 {
+                    let t = &tokens[sig[j]];
+                    if t.kind == TokenKind::Punct {
+                        match t.text(src).chars().next().unwrap_or(' ') {
+                            '(' | '[' | '<' => depth += 1,
+                            ')' | ']' | '>' => depth -= 1,
+                            '|' if depth <= 0 => break,
+                            _ => {}
+                        }
+                    } else if t.kind == TokenKind::Ident {
+                        let text = t.text(src);
+                        if !matches!(text, "mut" | "ref" | "_") {
+                            locals.push(text.to_string());
+                        }
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+        }
+        i += 1;
+    }
+    locals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> (File, Vec<Token>) {
+        let tokens = lex(src);
+        (parse(src, &tokens), tokens)
+    }
+
+    #[test]
+    fn items_partition_the_file() {
+        let src = "//! doc\nuse std::fmt;\n\nfn a() {}\n\nmod b { fn c() {} }\n// trailing\n";
+        let (file, _) = parse_src(src);
+        assert_eq!(file.items.len(), 3);
+        assert_eq!(file.items[0].span.start, 0);
+        for w in file.items.windows(2) {
+            assert_eq!(w[0].span.end, w[1].span.start);
+        }
+        assert_eq!(file.items.last().unwrap().span.end, src.len());
+    }
+
+    #[test]
+    fn kinds_and_names() {
+        let src = "pub fn f() {}\nstruct S;\nenum E { A }\nimpl S { fn m(&self) {} }\n\
+                   use x::y;\nconst K: u8 = 1;\nmod m;\ntrait T { fn d(&self); }\n";
+        let (file, _) = parse_src(src);
+        let kinds: Vec<_> = file.items.iter().map(|i| i.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                ItemKind::Fn,
+                ItemKind::TypeDef,
+                ItemKind::TypeDef,
+                ItemKind::Impl,
+                ItemKind::Use,
+                ItemKind::Const,
+                ItemKind::ModDecl,
+                ItemKind::Trait,
+            ]
+        );
+        assert_eq!(file.items[0].name.as_deref(), Some("f"));
+        assert_eq!(file.items[3].children.len(), 1);
+        assert_eq!(file.items[3].children[0].name.as_deref(), Some("m"));
+        assert_eq!(file.items[7].children.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_is_parsed_structure() {
+        let src = "fn live() {}\n\n#[cfg(test)]\nmod tests {\n    use super::*;\n\
+                   \n    #[test]\n    fn t() {}\n}\n";
+        let (file, tokens) = parse_src(src);
+        assert!(!file.items[0].cfg_test);
+        assert!(file.items[1].cfg_test);
+        let spans = file.cfg_test_line_spans(&tokens);
+        assert_eq!(spans, [(3, 9)]);
+    }
+
+    #[test]
+    fn closures_capture_callee_and_params() {
+        let src = "fn f(n: usize) -> Vec<f32> {\n    incam_parallel::par_map(n, |i| data[i])\n}\n";
+        let (file, _) = parse_src(src);
+        let cl = &file.items[0].closures;
+        assert_eq!(cl.len(), 1);
+        assert_eq!(cl[0].callee.as_deref(), Some("par_map"));
+        assert_eq!(cl[0].params, ["i"]);
+    }
+
+    #[test]
+    fn nested_closures_are_separate() {
+        let src = "fn f() { outer(|a| inner(|b| a + b)) }";
+        let (file, _) = parse_src(src);
+        let cl = &file.items[0].closures;
+        assert_eq!(cl.len(), 2);
+        assert_eq!(cl[0].callee.as_deref(), Some("outer"));
+        assert_eq!(cl[1].callee.as_deref(), Some("inner"));
+        // The outer closure's flattened locals include the nested params.
+        assert!(cl[0].locals.contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn or_operator_is_not_a_closure() {
+        let src = "fn f(a: bool, b: bool) -> bool { a || b }";
+        let (file, _) = parse_src(src);
+        assert!(file.items[0].closures.is_empty());
+    }
+
+    #[test]
+    fn let_bindings_become_locals() {
+        let src = "fn f() { g(|x| { let y = x + 1; for z in 0..y { h(z); } y }) }";
+        let (file, _) = parse_src(src);
+        let cl = &file.items[0].closures[0];
+        assert!(cl.locals.contains(&"y".to_string()));
+        assert!(cl.locals.contains(&"z".to_string()));
+    }
+
+    #[test]
+    fn survives_soup() {
+        // A quick inline sanity check; the real fuzzing lives in
+        // tests/parser_prop.rs.
+        for src in ["{{{", "fn fn fn", "#[", "|||", "pub pub", "impl<T", "}}}"] {
+            let tokens = lex(src);
+            let file = parse(src, &tokens);
+            if !file.items.is_empty() {
+                assert_eq!(file.items[0].span.start, 0);
+                assert_eq!(file.items.last().unwrap().span.end, src.len());
+            }
+        }
+    }
+}

@@ -19,6 +19,8 @@ pub struct Pragma {
     pub line: u32,
     /// The rule id inside `allow(...)`.
     pub rule: &'static str,
+    /// The mandatory written justification after the dash.
+    pub reason: String,
 }
 
 /// Why a comment that mentions `incam-lint:` failed to parse as a pragma.
@@ -52,10 +54,10 @@ impl PragmaError {
 /// Parses the body of one comment (text after the `//` or `#` marker).
 ///
 /// Returns `Ok(None)` when the comment is not a pragma at all,
-/// `Ok(Some(rule))` for a valid pragma, and an error when the comment
-/// clearly intends to be a pragma but is malformed, names an unknown
-/// rule, or omits the mandatory reason.
-pub fn parse_pragma(body: &str) -> Result<Option<&'static str>, PragmaError> {
+/// `Ok(Some((rule, reason)))` for a valid pragma, and an error when the
+/// comment clearly intends to be a pragma but is malformed, names an
+/// unknown rule, or omits the mandatory reason.
+pub fn parse_pragma(body: &str) -> Result<Option<(&'static str, String)>, PragmaError> {
     let Some(ix) = body.find("incam-lint:") else {
         return Ok(None);
     };
@@ -76,7 +78,7 @@ pub fn parse_pragma(body: &str) -> Result<Option<&'static str>, PragmaError> {
         .or_else(|| after.strip_prefix("--"))
         .map(str::trim);
     match reason {
-        Some(r) if !r.is_empty() => Ok(Some(rule)),
+        Some(r) if !r.is_empty() => Ok(Some((rule, r.to_string()))),
         _ => Err(PragmaError::MissingReason),
     }
 }
@@ -94,7 +96,10 @@ mod tests {
     fn valid_pragma_em_dash() {
         assert_eq!(
             parse_pragma(" incam-lint: allow(wall-clock) — bench harness measures real time"),
-            Ok(Some("wall-clock"))
+            Ok(Some((
+                "wall-clock",
+                "bench harness measures real time".to_string()
+            )))
         );
     }
 
@@ -102,7 +107,7 @@ mod tests {
     fn valid_pragma_double_dash() {
         assert_eq!(
             parse_pragma(" incam-lint: allow(env-read) -- CLI arg parsing"),
-            Ok(Some("env-read"))
+            Ok(Some(("env-read", "CLI arg parsing".to_string())))
         );
     }
 

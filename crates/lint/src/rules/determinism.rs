@@ -1,0 +1,87 @@
+//! The v1 determinism/hermeticity symbol rules, ported onto the
+//! visitor context: wall-clock reads, unordered containers, raw
+//! threads, ambient environment reads. Each is an allowlist rule — a
+//! handful of named files own the hazard, everywhere else it is a
+//! finding.
+
+use super::{ENV_READ, RAW_THREAD, UNORDERED_ITERATION, WALL_CLOCK};
+use crate::visit::FileCtx;
+use crate::Diagnostic;
+
+/// The one file allowed to read real time: the bench harness itself.
+const WALL_CLOCK_ALLOWED: &[&str] = &["crates/rng/src/bench.rs"];
+
+/// The one crate allowed to spawn OS threads: the deterministic pool.
+const RAW_THREAD_ALLOWED: &[&str] = &["crates/parallel/src/lib.rs"];
+
+/// Allowlisted `std::env` sites: the `INCAM_*` knobs documented in
+/// README ("Hermetic builds" / "Parallel execution") plus the repro
+/// binary's CLI argument parsing.
+const ENV_READ_ALLOWED: &[&str] = &[
+    "crates/rng/src/bench.rs",       // INCAM_BENCH_DIR, INCAM_BENCH_SAMPLES
+    "crates/rng/src/prop.rs",        // INCAM_PROPTEST_SEED, INCAM_PROPTEST_CASES
+    "crates/parallel/src/lib.rs",    // INCAM_THREADS
+    "crates/bench/src/bin/repro.rs", // std::env::args CLI parsing
+];
+
+/// Runs the four symbol rules over one file.
+pub fn check(ctx: &FileCtx<'_>, diags: &mut Vec<Diagnostic>) {
+    if !WALL_CLOCK_ALLOWED.contains(&ctx.relpath) {
+        for tok in ctx.idents(&["Instant", "SystemTime"]) {
+            diags.push(ctx.diag(
+                WALL_CLOCK,
+                tok,
+                format!(
+                    "`{}` is a wall-clock read; model time through the deterministic cost \
+                     framework (only the bench harness measures real time)",
+                    tok.text(ctx.src)
+                ),
+            ));
+        }
+    }
+
+    if !ctx.in_test_tree() {
+        for tok in ctx.idents(&["HashMap", "HashSet"]) {
+            if ctx.in_cfg_test(tok.line) {
+                continue;
+            }
+            diags.push(ctx.diag(
+                UNORDERED_ITERATION,
+                tok,
+                format!(
+                    "`{}` iterates in arbitrary order; use Vec or BTreeMap/BTreeSet so \
+                     report-visible state is byte-stable",
+                    tok.text(ctx.src)
+                ),
+            ));
+        }
+    }
+
+    if !RAW_THREAD_ALLOWED.contains(&ctx.relpath) {
+        for tok in ctx.path_pattern("std", "thread") {
+            diags.push(
+                ctx.diag(
+                    RAW_THREAD,
+                    tok,
+                    "`std::thread` outside incam-parallel; spawn work through the deterministic \
+                 worker pool (incam_parallel::par_*)"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+
+    if !ENV_READ_ALLOWED.contains(&ctx.relpath) {
+        for tok in ctx.path_pattern("std", "env") {
+            diags.push(
+                ctx.diag(
+                    ENV_READ,
+                    tok,
+                    "`std::env` outside the allowlisted INCAM_* sites; thread configuration \
+                 through explicit parameters"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}

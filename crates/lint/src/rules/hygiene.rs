@@ -1,0 +1,46 @@
+//! The crate-hygiene rule: every `src/lib.rs` root must carry
+//! `#![forbid(unsafe_code)]` and a `missing_docs` lint.
+
+use super::CRATE_HYGIENE;
+use crate::lexer::TokenKind;
+use crate::visit::FileCtx;
+use crate::Diagnostic;
+
+/// Flags `src/lib.rs` roots missing the mandatory lint attributes
+/// (`warn`, `deny`, or `forbid` all satisfy `missing_docs`).
+pub fn check(ctx: &FileCtx<'_>, diags: &mut Vec<Diagnostic>) {
+    if !ctx.relpath.ends_with("src/lib.rs") {
+        return;
+    }
+    let has_attr = |lint: &str, levels: &[&str]| {
+        ctx.sig.windows(8).any(|w| {
+            ctx.is_punct(w[0], '#')
+                && ctx.is_punct(w[1], '!')
+                && ctx.is_punct(w[2], '[')
+                && ctx.tokens[w[3]].kind == TokenKind::Ident
+                && levels.contains(&ctx.text(w[3]))
+                && ctx.is_punct(w[4], '(')
+                && ctx.is_ident(w[5], lint)
+                && ctx.is_punct(w[6], ')')
+                && ctx.is_punct(w[7], ']')
+        })
+    };
+    let mut missing = Vec::new();
+    if !has_attr("unsafe_code", &["forbid"]) {
+        missing.push("crate root missing `#![forbid(unsafe_code)]`".to_string());
+    }
+    if !has_attr("missing_docs", &["warn", "deny", "forbid"]) {
+        missing.push(
+            "crate root missing a `missing_docs` lint (add `#![warn(missing_docs)]`)".to_string(),
+        );
+    }
+    for message in missing {
+        diags.push(Diagnostic {
+            path: ctx.relpath.to_string(),
+            line: 1,
+            col: 1,
+            rule: CRATE_HYGIENE,
+            message,
+        });
+    }
+}

@@ -1,0 +1,153 @@
+//! The per-file analysis context rules run against.
+//!
+//! v1 rules each re-derived what they needed from the raw token stream.
+//! [`FileCtx`] builds everything once per file — the token array, the
+//! significant-token index, the parsed [`crate::parser::File`], and the
+//! parsed `cfg(test)` line spans — and exposes the small query surface
+//! the rule modules share: token-pattern scans, test-scope lookups, and
+//! a closure walker that respects `cfg(test)` gating.
+
+use crate::lexer::{self, Token, TokenKind};
+use crate::parser::{self, Closure, Item};
+use crate::Diagnostic;
+
+/// Everything a rule needs to know about one Rust source file.
+pub struct FileCtx<'s> {
+    /// Workspace-relative path with `/` separators.
+    pub relpath: &'s str,
+    /// The file's source text.
+    pub src: &'s str,
+    /// All tokens, in order (the parser's indices point into this).
+    pub tokens: Vec<Token>,
+    /// Indices of significant (non-trivia) tokens.
+    pub sig: Vec<usize>,
+    /// The parsed item tree.
+    pub file: parser::File,
+    /// Inclusive 1-based line ranges of `cfg(test)`/`#[test]` items.
+    pub test_spans: Vec<(u32, u32)>,
+}
+
+impl<'s> FileCtx<'s> {
+    /// Lexes and parses `src` once, ready for every rule.
+    pub fn new(relpath: &'s str, src: &'s str) -> Self {
+        let tokens = lexer::lex(src);
+        let file = parser::parse(src, &tokens);
+        let test_spans = file.cfg_test_line_spans(&tokens);
+        let sig = (0..tokens.len())
+            .filter(|&i| {
+                !matches!(
+                    tokens[i].kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .collect();
+        FileCtx {
+            relpath,
+            src,
+            tokens,
+            sig,
+            file,
+            test_spans,
+        }
+    }
+
+    /// True for sources under a `tests/` or `benches/` directory, where
+    /// determinism rules do not apply (scaffolding never reaches a
+    /// report).
+    pub fn in_test_tree(&self) -> bool {
+        self.relpath
+            .split('/')
+            .any(|c| c == "tests" || c == "benches")
+    }
+
+    /// True when `line` falls inside a parsed `cfg(test)` region.
+    pub fn in_cfg_test(&self, line: u32) -> bool {
+        self.test_spans
+            .iter()
+            .any(|(a, b)| (*a..=*b).contains(&line))
+    }
+
+    /// The text of token `ix`.
+    pub fn text(&self, ix: usize) -> &'s str {
+        self.tokens[ix].text(self.src)
+    }
+
+    /// True when token `ix` is punctuation starting with `c`.
+    pub fn is_punct(&self, ix: usize, c: char) -> bool {
+        self.tokens[ix].kind == TokenKind::Punct && self.text(ix).starts_with(c)
+    }
+
+    /// True when token `ix` is the identifier `name`.
+    pub fn is_ident(&self, ix: usize, name: &str) -> bool {
+        self.tokens[ix].kind == TokenKind::Ident && self.text(ix) == name
+    }
+
+    /// A diagnostic at token `tok` in this file.
+    pub fn diag(&self, rule: &'static str, tok: &Token, message: String) -> Diagnostic {
+        Diagnostic {
+            path: self.relpath.to_string(),
+            line: tok.line,
+            col: tok.col,
+            rule,
+            message,
+        }
+    }
+
+    /// Significant tokens that are identifiers with text in `names`.
+    pub fn idents(&self, names: &[&str]) -> Vec<&Token> {
+        self.sig
+            .iter()
+            .map(|&i| &self.tokens[i])
+            .filter(|t| t.kind == TokenKind::Ident && names.contains(&t.text(self.src)))
+            .collect()
+    }
+
+    /// Occurrences of the two-segment path `first::second` in
+    /// significant tokens, returned at the position of `first`.
+    pub fn path_pattern(&self, first: &str, second: &str) -> Vec<&Token> {
+        let mut out = Vec::new();
+        for w in self.sig.windows(4) {
+            if self.is_ident(w[0], first)
+                && self.is_punct(w[1], ':')
+                && self.is_punct(w[2], ':')
+                && self.is_ident(w[3], second)
+            {
+                out.push(&self.tokens[w[0]]);
+            }
+        }
+        out
+    }
+
+    /// Method-call sites `.name(` where `name` is in `names`, returned
+    /// at the position of the method identifier. Idents are whole
+    /// tokens, so `.unwrap_or(` never matches `unwrap`.
+    pub fn method_calls(&self, names: &[&str]) -> Vec<&Token> {
+        let mut out = Vec::new();
+        for w in self.sig.windows(3) {
+            if self.is_punct(w[0], '.')
+                && self.tokens[w[1]].kind == TokenKind::Ident
+                && names.contains(&self.text(w[1]))
+                && self.is_punct(w[2], '(')
+            {
+                out.push(&self.tokens[w[1]]);
+            }
+        }
+        out
+    }
+
+    /// Visits every closure in every non-`cfg(test)` item, recursively.
+    pub fn each_closure(&self, mut f: impl FnMut(&Item, &Closure)) {
+        fn walk(items: &[Item], f: &mut impl FnMut(&Item, &Closure)) {
+            for item in items {
+                if item.cfg_test {
+                    continue;
+                }
+                for closure in &item.closures {
+                    f(item, closure);
+                }
+                walk(&item.children, f);
+            }
+        }
+        walk(&self.file.items, &mut f);
+    }
+}

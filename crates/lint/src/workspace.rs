@@ -1,0 +1,200 @@
+//! Workspace discovery: which files get linted, and the module map.
+//!
+//! The walk is deterministic (sorted directory entries, fully sorted
+//! final list) so diagnostics are byte-stable across platforms. The
+//! [`ModuleMap`] records every `mod name;` declaration seen while the
+//! per-file rules run, then answers the two structural questions the
+//! coherence pass asks: does every declaration resolve to a file, and
+//! is every library source reachable from some declaration (no orphan
+//! modules silently excluded from the build)?
+
+use crate::parser::{File, Item, ItemKind};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into: build output, VCS/CI metadata
+/// (dot-dirs), and the lint crate's intentionally-bad fixtures.
+fn skip_dir(rel: &str, name: &str) -> bool {
+    name.starts_with('.') || name == "target" || rel == "crates/lint/tests/fixtures"
+}
+
+/// The workspace-relative path of `path` with `/` separators.
+pub fn relpath(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Collects lintable files (`.rs` + `Cargo.toml`) depth-first with
+/// sorted directory entries; the final list is fully sorted.
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = fs::read_dir(&dir)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(|e| e.file_name());
+        for entry in entries {
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let file_type = entry.file_type()?;
+            if file_type.is_dir() {
+                if !skip_dir(&relpath(root, &path), &name) {
+                    stack.push(path);
+                }
+            } else if file_type.is_file() && (name == "Cargo.toml" || name.ends_with(".rs")) {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// One `mod name;` declaration: the directory whose children it can
+/// declare, and the source file/line it appeared at.
+#[derive(Debug, Clone)]
+pub struct ModDecl {
+    /// Directory (workspace-relative) the declared module lives in.
+    pub dir: String,
+    /// The declared module name.
+    pub name: String,
+    /// File the declaration appeared in.
+    pub decl_file: String,
+    /// 1-based line of the declaration.
+    pub line: u32,
+    /// True when a `#[path = …]` attribute overrides file resolution
+    /// (such declarations are exempt from resolution checks).
+    pub has_path_attr: bool,
+}
+
+/// All `mod name;` declarations seen across the workspace.
+#[derive(Debug, Default)]
+pub struct ModuleMap {
+    /// Every declaration, in scan order (scan order is sorted-by-path).
+    pub decls: Vec<ModDecl>,
+    /// Every scanned `.rs` file, workspace-relative.
+    pub rust_files: Vec<String>,
+}
+
+impl ModuleMap {
+    /// Records the `mod name;` declarations of one parsed file.
+    ///
+    /// A declaration in `…/lib.rs`, `…/main.rs`, or `…/mod.rs` declares
+    /// children of that directory; one in `…/x.rs` declares children of
+    /// `…/x/`. Declarations inside inline `mod … { }` bodies follow the
+    /// same nesting.
+    pub fn record(&mut self, rel: &str, file: &File) {
+        if rel.ends_with(".rs") {
+            self.rust_files.push(rel.to_string());
+        }
+        let base_dir = owning_dir(rel);
+        self.record_items(rel, &base_dir, &file.items);
+    }
+
+    fn record_items(&mut self, rel: &str, dir: &str, items: &[Item]) {
+        for item in items {
+            match item.kind {
+                ItemKind::ModDecl => {
+                    if let Some(name) = &item.name {
+                        self.decls.push(ModDecl {
+                            dir: dir.to_string(),
+                            name: name.clone(),
+                            decl_file: rel.to_string(),
+                            line: item.line,
+                            has_path_attr: item.attrs.iter().any(|a| a.path == "path"),
+                        });
+                    }
+                }
+                ItemKind::Mod => {
+                    if let Some(name) = &item.name {
+                        let nested = if dir.is_empty() {
+                            name.clone()
+                        } else {
+                            format!("{dir}/{name}")
+                        };
+                        self.record_items(rel, &nested, &item.children);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Declarations (without `#[path]`) that resolve to neither
+    /// `dir/name.rs` nor `dir/name/mod.rs` among the scanned files.
+    pub fn unresolved(&self) -> Vec<&ModDecl> {
+        self.decls
+            .iter()
+            .filter(|d| !d.has_path_attr)
+            .filter(|d| {
+                let as_file = format!("{}/{}.rs", d.dir, d.name);
+                let as_dir = format!("{}/{}/mod.rs", d.dir, d.name);
+                !self.rust_files.contains(&as_file) && !self.rust_files.contains(&as_dir)
+            })
+            .collect()
+    }
+
+    /// Library sources no `mod` declaration reaches: `src/` files that
+    /// are not crate roots, binaries, build scripts, or test scaffolding
+    /// and that no recorded declaration names. These compile out of the
+    /// build silently — exactly the drift the coherence pass exists to
+    /// catch.
+    pub fn orphans(&self) -> Vec<&String> {
+        self.rust_files
+            .iter()
+            .filter(|f| {
+                let in_src = f.starts_with("src/") || f.contains("/src/");
+                let root_like = f.ends_with("/lib.rs")
+                    || f.ends_with("/main.rs")
+                    || f == &"src/lib.rs"
+                    || f == &"src/main.rs"
+                    || f.ends_with("build.rs")
+                    || f.contains("/src/bin/")
+                    || f.split('/')
+                        .any(|c| c == "tests" || c == "benches" || c == "examples");
+                in_src && !root_like
+            })
+            .filter(|f| {
+                let (dir, name) = match f.rsplit_once('/') {
+                    Some((d, n)) => (d, n.trim_end_matches(".rs")),
+                    None => ("", f.trim_end_matches(".rs")),
+                };
+                // `x/mod.rs` is declared as module `x` of `x`'s parent.
+                let (dir, name) = if name == "mod" {
+                    match dir.rsplit_once('/') {
+                        Some((parent, dirname)) => (parent, dirname),
+                        None => ("", dir),
+                    }
+                } else {
+                    (dir, name)
+                };
+                !self
+                    .decls
+                    .iter()
+                    .any(|d| d.name == name && (d.dir == dir || d.has_path_attr))
+            })
+            .collect()
+    }
+}
+
+/// The directory whose child modules a file's `mod` declarations name.
+fn owning_dir(rel: &str) -> String {
+    let (dir, base) = match rel.rsplit_once('/') {
+        Some((d, b)) => (d.to_string(), b),
+        None => (String::new(), rel),
+    };
+    if base == "lib.rs" || base == "main.rs" || base == "mod.rs" || base == "build.rs" {
+        dir
+    } else {
+        // `…/x.rs` declares children under `…/x/`.
+        let stem = base.trim_end_matches(".rs");
+        if dir.is_empty() {
+            stem.to_string()
+        } else {
+            format!("{dir}/{stem}")
+        }
+    }
+}

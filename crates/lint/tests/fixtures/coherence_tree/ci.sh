@@ -1,0 +1,3 @@
+#!/usr/bin/env bash
+repro_diff alpha
+repro_diff ghost

@@ -1,0 +1,5 @@
+const ALL: &[&str] = &["alpha", "beta"];
+
+fn main() {
+    println!("{}", ALL.len());
+}

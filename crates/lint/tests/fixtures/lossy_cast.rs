@@ -1,0 +1,7 @@
+pub fn quantize(v: f32) -> u8 {
+    (v * 255.0) as u8
+}
+
+pub fn quantize_guarded(v: f32) -> u8 {
+    (v.clamp(0.0, 1.0) * 255.0).round() as u8
+}

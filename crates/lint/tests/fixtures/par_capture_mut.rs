@@ -1,0 +1,9 @@
+use incam_parallel::par_map;
+
+pub fn detect(frames: &[f32]) -> Vec<f32> {
+    let mut hits = Vec::new();
+    par_map(frames, |f| {
+        hits.push(*f);
+        *f * 2.0
+    })
+}

@@ -1,0 +1,11 @@
+use incam_parallel::par_map_rows;
+
+pub fn energy(rows: &[Vec<f32>], out: &mut [f32]) -> f32 {
+    let mut total = 0.0f32;
+    par_map_rows(rows, out, |row| {
+        let s: f32 = row.iter().sum();
+        total += s;
+        s
+    });
+    total
+}

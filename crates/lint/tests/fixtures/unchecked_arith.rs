@@ -1,0 +1,3 @@
+pub fn wrap(a: u8, b: u8) -> u8 {
+    a.wrapping_add(b)
+}

@@ -1,0 +1,187 @@
+//! Fuzz and agreement properties for the parser: on arbitrary input —
+//! raw byte soup and Rust-flavored token soup biased toward item
+//! keywords, attributes and closure pipes — parsing never panics and
+//! the item spans exactly partition the file; and on every committed
+//! fixture, the parsed `cfg(test)` extraction agrees with the v1
+//! brace-matching heuristic it replaced.
+
+use incam_lint::lexer::lex;
+use incam_lint::parser::{self, File, Item};
+use incam_lint::rules::brace_cfg_test_line_spans;
+use incam_rng::prelude::*;
+use std::path::{Path, PathBuf};
+
+/// Characters that exercise the lexer's tricky state machines.
+const CHAR_SOUP: &[char] = &[
+    '"', '\'', '/', '*', '#', '\\', '\n', 'r', 'b', 'c', '_', 'x', '0', '9', '.', ':', '{', '}',
+    '(', ')', '[', ']', ' ', '!', 'é', '∀',
+];
+
+/// Fragments that exercise the parser's item machinery and the closure
+/// scanner far more often than character soup would: item keywords,
+/// attribute shells, pipes in both closure and binary-or position,
+/// unbalanced braces.
+const RUST_SOUP: &[&str] = &[
+    "fn", "mod", "impl", "struct", "enum", "trait", "use", "pub", "unsafe", "#", "#!", "[", "]",
+    "(", ")", "{", "}", "cfg", "test", "derive", "|", "||", "move", "=", "==", "=>", "<=", "..=",
+    "let", "for", "in", "if", "else", "match", "return", ";", ",", ":", "::", "x", "y", "f32",
+    "\"s\"", "'a", "0.5", "128", "+=", "-=", "*=", "&", "mut", "as", "u8", "// c\n", "/* b */",
+    "\n", ".", "par_map",
+];
+
+fn char_soup(indices: &[u8]) -> String {
+    indices
+        .iter()
+        .map(|&b| CHAR_SOUP[b as usize % CHAR_SOUP.len()])
+        .collect()
+}
+
+fn rust_soup(indices: &[u8]) -> String {
+    indices
+        .iter()
+        .map(|&b| RUST_SOUP[b as usize % RUST_SOUP.len()])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Sibling spans are adjacent, children stay inside their parent.
+fn assert_sibling_invariants(items: &[Item], parent: Option<(usize, usize)>) {
+    for w in items.windows(2) {
+        assert_eq!(
+            w[0].span.end, w[1].span.start,
+            "gap or overlap between sibling items"
+        );
+    }
+    if let Some((lo, hi)) = parent {
+        for item in items {
+            assert!(
+                item.span.start >= lo && item.span.end <= hi,
+                "child span {:?} escapes parent ({lo}, {hi})",
+                item.span
+            );
+        }
+    }
+    for item in items {
+        assert_sibling_invariants(&item.children, Some((item.span.start, item.span.end)));
+    }
+}
+
+/// Parses `src` and checks the structural invariants the rule engine
+/// relies on: never panics (totality), and top-level item spans exactly
+/// partition `[0, src.len())`.
+fn assert_parses_totally(src: &str) -> File {
+    let tokens = lex(src);
+    let file = parser::parse(src, &tokens);
+    if !file.items.is_empty() {
+        assert_eq!(file.items[0].span.start, 0, "first item must start at 0");
+        assert_eq!(
+            file.items.last().map(|i| i.span.end),
+            Some(src.len()),
+            "last item must end at EOF"
+        );
+    }
+    assert_sibling_invariants(&file.items, None);
+    file
+}
+
+proptest! {
+    #[test]
+    fn parser_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(0u8..=255, 1..512)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_parses_totally(&src);
+    }
+
+    #[test]
+    fn parser_is_total_on_char_soup(indices in prop::collection::vec(0u8..=255, 1..512)) {
+        assert_parses_totally(&char_soup(&indices));
+    }
+
+    #[test]
+    fn parser_is_total_on_rust_soup(indices in prop::collection::vec(0u8..=255, 1..256)) {
+        assert_parses_totally(&rust_soup(&indices));
+    }
+
+    #[test]
+    fn closure_scan_is_total_on_rust_soup(indices in prop::collection::vec(0u8..=255, 1..256)) {
+        let src = rust_soup(&indices);
+        let tokens = lex(&src);
+        let _ = parser::scan_closures(&src, &tokens, 0, tokens.len());
+    }
+}
+
+/// Every committed `.rs` fixture, recursively.
+fn fixture_sources() -> Vec<(PathBuf, String)> {
+    fn walk(dir: &Path, out: &mut Vec<(PathBuf, String)>) {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+            .expect("fixtures dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                walk(&path, out);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let src = std::fs::read_to_string(&path).expect("read fixture");
+                out.push((path, src));
+            }
+        }
+    }
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut out = Vec::new();
+    walk(&root, &mut out);
+    out
+}
+
+/// The parsed `cfg(test)` extraction must agree with the v1
+/// brace-matching heuristic on every committed fixture (the corpus the
+/// old engine's behavior was pinned on).
+#[test]
+fn cfg_test_extraction_agrees_with_the_brace_matcher_on_fixtures() {
+    let sources = fixture_sources();
+    assert!(sources.len() >= 10, "fixture corpus went missing");
+    for (path, src) in &sources {
+        let tokens = lex(src);
+        let file = parser::parse(src, &tokens);
+        assert_eq!(
+            file.cfg_test_line_spans(&tokens),
+            brace_cfg_test_line_spans(src),
+            "cfg(test) span disagreement in {}",
+            path.display()
+        );
+    }
+}
+
+/// Same agreement on this crate's own sources — real code with nested
+/// modules, attributes and closures.
+#[test]
+fn cfg_test_extraction_agrees_with_the_brace_matcher_on_own_sources() {
+    let src_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut checked = 0;
+    let mut stack = vec![src_dir];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .expect("src dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let src = std::fs::read_to_string(&path).expect("read source");
+                let tokens = lex(&src);
+                let file = parser::parse(&src, &tokens);
+                assert_eq!(
+                    file.cfg_test_line_spans(&tokens),
+                    brace_cfg_test_line_spans(&src),
+                    "cfg(test) span disagreement in {}",
+                    path.display()
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 10, "expected to cover the whole lint crate");
+}

@@ -160,7 +160,8 @@ fn pragmas_without_reasons_are_violations_and_do_not_suppress() {
     let unordered = "[unordered-iteration] `HashSet` iterates in arbitrary order; use Vec or \
                      BTreeMap/BTreeSet so report-visible state is byte-stable";
     let rules = "rules: wall-clock, unordered-iteration, raw-thread, env-read, registry-dep, \
-                 crate-hygiene, fallible-unwrap";
+                 crate-hygiene, fallible-unwrap, par-capture-mut, par-float-accum, lossy-cast, \
+                 unchecked-arith";
     assert_eq!(
         rust_diags("crates/demo/src/bad.rs", "pragma_bad.rs"),
         [
@@ -211,34 +212,156 @@ fn live_workspace_is_clean() {
 }
 
 #[test]
-fn fallible_unwrap_fires_under_crates_auth() {
+fn fallible_unwrap_fires_in_library_code() {
     let msg = |m: &str| {
         format!(
-            "`.{m}(` can panic in the fail-closed verify path; propagate the error \
-             so the service degrades to `Fallback` instead of crashing"
+            "`.{m}(` can panic in non-test library code; propagate the error to the \
+             caller, or state the invariant that makes it unreachable in a pragma"
         )
     };
     // .unwrap_or( never matches, the pragma'd unwrap is waived, and the
     // #[cfg(test)] module is exempt — only the two real panic sites fire.
+    // Since v2 the rule covers every library source, not just crates/auth.
+    for relpath in ["crates/auth/src/service.rs", "crates/demo/src/service.rs"] {
+        assert_eq!(
+            rust_diags(relpath, "fallible_unwrap.rs"),
+            [
+                format!("{relpath}:2:15: [fallible-unwrap] {}", msg("unwrap")),
+                format!("{relpath}:3:15: [fallible-unwrap] {}", msg("expect")),
+            ]
+        );
+    }
+}
+
+#[test]
+fn fallible_unwrap_exempts_binaries_and_test_trees() {
+    // binaries may unwrap: a CLI panic is a legible failure, not a shed
+    assert!(rust_diags("crates/demo/src/main.rs", "fallible_unwrap.rs").is_empty());
+    assert!(rust_diags("crates/demo/src/bin/tool.rs", "fallible_unwrap.rs").is_empty());
+    // and test trees are scaffolding, not the serving path
+    assert!(rust_diags("crates/auth/tests/fail_closed.rs", "fallible_unwrap.rs").is_empty());
+    assert!(rust_diags("crates/demo/benches/speed.rs", "fallible_unwrap.rs").is_empty());
+}
+
+#[test]
+fn par_capture_mut_fires_on_mutated_captures() {
+    // `hits` is declared outside the closure passed to `par_map`, so the
+    // `.push(` is a capture mutation; `*f * 2.0` (a read) is fine.
     assert_eq!(
-        rust_diags("crates/auth/src/service.rs", "fallible_unwrap.rs"),
+        rust_diags("crates/demo/src/kernels.rs", "par_capture_mut.rs"),
         [
-            format!(
-                "crates/auth/src/service.rs:2:15: [fallible-unwrap] {}",
-                msg("unwrap")
-            ),
-            format!(
-                "crates/auth/src/service.rs:3:15: [fallible-unwrap] {}",
-                msg("expect")
-            ),
+            "crates/demo/src/kernels.rs:6:9: [par-capture-mut] closure passed to `par_map` \
+             mutates captured `hits`; per-item work must be pure — return the value and let \
+             the deterministic pool combine results"
         ]
     );
 }
 
 #[test]
-fn fallible_unwrap_scopes_to_auth_non_test_code() {
-    // other crates may unwrap (their panics don't shed verify traffic)
-    assert!(rust_diags("crates/demo/src/service.rs", "fallible_unwrap.rs").is_empty());
-    // and auth's own test tree is scaffolding, not the serving path
-    assert!(rust_diags("crates/auth/tests/fail_closed.rs", "fallible_unwrap.rs").is_empty());
+fn par_float_accum_fires_on_compound_accumulation() {
+    // `total += s` inside the `par_map_rows` closure accumulates in
+    // schedule order; the `let s: f32 = …` type ascription must not be
+    // mistaken for an assignment.
+    assert_eq!(
+        rust_diags("crates/demo/src/kernels.rs", "par_float_accum.rs"),
+        [
+            "crates/demo/src/kernels.rs:7:9: [par-float-accum] order-sensitive `+=` \
+             accumulation into captured `total` inside a `par_map_rows` closure; use \
+             `par_reduce` or the banded helpers (`par_bands_mut2`) so combination order is \
+             fixed"
+        ]
+    );
+}
+
+#[test]
+fn race_rules_exempt_test_trees() {
+    assert!(rust_diags("crates/demo/tests/kernels.rs", "par_capture_mut.rs").is_empty());
+    assert!(rust_diags("crates/demo/benches/kernels.rs", "par_float_accum.rs").is_empty());
+}
+
+#[test]
+fn lossy_cast_fires_on_unguarded_narrowing_in_hot_crates() {
+    // The unguarded cast fires; the clamp-guarded one on line 6 is the
+    // approved idiom and stays silent.
+    assert_eq!(
+        rust_diags("crates/imaging/src/quant.rs", "lossy_cast.rs"),
+        [
+            "crates/imaging/src/quant.rs:2:17: [lossy-cast] `as u8` silently truncates in a \
+             hot kernel; clamp or mask the value explicitly before narrowing, or justify the \
+             range with a pragma"
+        ]
+    );
+    // Outside the hot-kernel crates the cast is not a paper-accuracy
+    // hazard and the rule does not apply.
+    assert!(rust_diags("crates/demo/src/quant.rs", "lossy_cast.rs").is_empty());
+}
+
+#[test]
+fn unchecked_arith_fires_in_hot_crates_only() {
+    assert_eq!(
+        rust_diags("crates/imaging/src/wrap.rs", "unchecked_arith.rs"),
+        [
+            "crates/imaging/src/wrap.rs:2:7: [unchecked-arith] `.wrapping_add(` bypasses \
+             overflow/bounds checks in a hot kernel; use widening or checked arithmetic, or \
+             justify the wrap with a pragma"
+        ]
+    );
+    assert!(rust_diags("crates/demo/src/wrap.rs", "unchecked_arith.rs").is_empty());
+    assert!(rust_diags("crates/imaging/tests/wrap.rs", "unchecked_arith.rs").is_empty());
+}
+
+#[test]
+fn diagnostics_are_ordered_and_deduplicated() {
+    // Two rules interleave across four sites; the output must come back
+    // sorted by (path, line, col, rule, message) regardless of which
+    // rule pass emitted what first, with no duplicates.
+    let unordered = "[unordered-iteration] `HashMap` iterates in arbitrary order; use Vec or \
+                     BTreeMap/BTreeSet so report-visible state is byte-stable";
+    let wall = "[wall-clock] `Instant` is a wall-clock read; model time through the \
+                deterministic cost framework (only the bench harness measures real time)";
+    let diags = rust_diags("crates/demo/src/metrics.rs", "multi_finding.rs");
+    assert_eq!(
+        diags,
+        [
+            format!("crates/demo/src/metrics.rs:1:23: {unordered}"),
+            format!("crates/demo/src/metrics.rs:2:16: {wall}"),
+            format!("crates/demo/src/metrics.rs:4:21: {unordered}"),
+            format!("crates/demo/src/metrics.rs:5:13: {wall}"),
+        ]
+    );
+    let mut resorted = diags.clone();
+    resorted.sort();
+    resorted.dedup();
+    assert_eq!(
+        diags, resorted,
+        "engine output must already be sorted + deduped"
+    );
+}
+
+/// The coherence pass over a planted fixture tree: `beta` is registered
+/// but never gated, documented, or archived, and ci.sh gates a `ghost`
+/// experiment the registry doesn't know.
+#[test]
+fn coherence_flags_registry_drift() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/coherence_tree");
+    let report = lint_workspace(&root).expect("walk fixture tree");
+    let diags: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert_eq!(
+        diags,
+        [
+            "EXPERIMENTS.md:1:1: [coherence] experiment `beta` is not documented in \
+             EXPERIMENTS.md (mention `beta` or `--experiment beta`)"
+                .to_string(),
+            "ci.sh:1:1: [coherence] ci.sh gates unknown experiment `ghost` (not in repro's \
+             ALL list)"
+                .to_string(),
+            "ci.sh:1:1: [coherence] experiment `beta` has no CI determinism gate (expected a \
+             `repro_diff beta` invocation in ci.sh)"
+                .to_string(),
+            "crates/bench/src/bin/repro.rs:1:1: [coherence] experiment `beta` has no \
+             committed results (expected results/beta.txt; run `repro --experiment beta \
+             --seed 2017 --output results`)"
+                .to_string(),
+        ]
+    );
 }

@@ -273,7 +273,7 @@ impl Mlp {
         trace.push(input.to_vec());
         for layer in &self.layers {
             let next = layer
-                .pre_activations(trace.last().expect("trace is non-empty"))
+                .pre_activations(trace.last().expect("trace is non-empty")) // incam-lint: allow(fallible-unwrap) — trace starts with the input layer, never empty
                 .into_iter()
                 .map(|z| sigmoid.eval(z))
                 .collect();

@@ -80,7 +80,7 @@ pub fn batch_gradients(net: &Mlp, data: &TrainingSet) -> BatchGradients {
 
     for (input, target) in data.inputs.iter().zip(&data.targets) {
         let trace = net.forward_trace(input, &sigmoid);
-        let output = trace.last().expect("trace non-empty");
+        let output = trace.last().expect("trace non-empty"); // incam-lint: allow(fallible-unwrap) — forward_trace always returns the input layer
         assert_eq!(output.len(), target.len(), "target width mismatch");
         let mut deltas: Vec<f32> = output
             .iter()

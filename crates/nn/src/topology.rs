@@ -62,7 +62,7 @@ impl Topology {
 
     /// Output width.
     pub fn outputs(&self) -> usize {
-        *self.layers.last().expect("validated at construction")
+        *self.layers.last().expect("validated at construction") // incam-lint: allow(fallible-unwrap) — the constructor rejects empty layer lists
     }
 
     /// Number of weight matrices (= number of non-input layers).

@@ -143,7 +143,7 @@ pub fn train(
             let input = &data.inputs[idx];
             let target = &data.targets[idx];
             let trace = net.forward_trace(input, &sigmoid);
-            let output = trace.last().expect("trace non-empty");
+            let output = trace.last().expect("trace non-empty"); // incam-lint: allow(fallible-unwrap) — forward_trace always returns the input layer
             assert_eq!(output.len(), target.len(), "target width mismatch");
 
             // output-layer deltas

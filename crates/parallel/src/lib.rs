@@ -272,7 +272,7 @@ where
         let tail = as_worker(|| last.map(f).collect::<Vec<R>>());
         let mut out = Vec::with_capacity(n);
         for handle in handles {
-            out.extend(handle.join().expect("parallel worker panicked"));
+            out.extend(handle.join().expect("parallel worker panicked")); // incam-lint: allow(fallible-unwrap) — a worker panic must propagate, not be silently dropped
         }
         out.extend(tail);
         out

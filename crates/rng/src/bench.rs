@@ -277,7 +277,7 @@ impl Bencher {
 
 fn median(values: &mut [f64]) -> f64 {
     assert!(!values.is_empty());
-    values.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    values.sort_by(|a, b| a.total_cmp(b));
     let mid = values.len() / 2;
     if values.len() % 2 == 1 {
         values[mid]

@@ -76,7 +76,7 @@ pub fn geometry_sweep(
 pub fn optimal_geometry(rows: &[GeometryRow]) -> usize {
     rows.iter()
         .min_by(|a, b| a.energy.joules().total_cmp(&b.energy.joules()))
-        .expect("sweep must be non-empty")
+        .expect("sweep must be non-empty") // incam-lint: allow(fallible-unwrap) — sweep grids are validated non-empty
         .num_pes
 }
 

@@ -130,7 +130,7 @@ impl PipelineConfig {
         let mut s = String::from("S");
         for b in 1..=self.blocks {
             s.push('B');
-            s.push(char::from_digit(b as u32, 10).expect("blocks <= 4"));
+            s.push(char::from_digit(b as u32, 10).expect("blocks <= 4")); // incam-lint: allow(fallible-unwrap) — blocks <= 4, so the digit always exists
             if b == 3 {
                 if let Some(backend) = self.depth_backend {
                     s.push(backend.letter());

@@ -403,7 +403,7 @@ impl FaPipeline {
                     let cascade = &self
                         .detector
                         .as_ref()
-                        .expect("validated at construction")
+                        .expect("validated at construction") // incam-lint: allow(fallible-unwrap) — validated by the builder before the pipeline is handed out
                         .cascade;
                     let result = scan(cascade, img, &self.scan_params);
                     scanned_frames += 1;
