@@ -107,6 +107,9 @@ repro_diff kernels --quick
 step "verify determinism (fail-closed auth service, threads 1 vs 4)"
 repro_diff verify --quick
 
+step "explore-scale determinism (pruned search on the widened space, threads 1 vs 4)"
+repro_diff explore-scale --quick
+
 step "registry determinism (remaining repro experiments, threads 1 vs 4)"
 for exp in fig4c nn-topology pe-geometry bitwidth sigmoid fa-space fig7 fig9 fig10 links table1 compression ablations; do
     repro_diff "$exp" --quick

@@ -15,7 +15,7 @@
 use crate::embed::{EmbeddingHead, EMBED_DIM};
 use crate::service::{StageCost, VerifyPlan, NUM_STAGES};
 use incam_core::block::{Backend, BlockSpec, DataTransform};
-use incam_core::explore::{Binding, BlockSpace, PipelineSpace};
+use incam_core::explore::{Binding, BlockSpace, ConfigAnalysis, PipelineSpace, SearchPlan};
 use incam_core::link::Link;
 use incam_core::pipeline::Source;
 use incam_core::units::{Bytes, BytesPerSec, Fps, Joules, Seconds, Watts};
@@ -149,6 +149,29 @@ pub fn verify_binding_space(costs: &AuthBlockCosts, capture_rate: Fps) -> Pipeli
     .with_block(dual(0, DataTransform::Fixed(Bytes::new(WINDOW_BYTES))))
     .with_block(embed)
     .with_block(dual(2, DataTransform::Fixed(Bytes::new(VERDICT_BYTES))))
+}
+
+/// Searches the verify space with the pruned branch-and-bound engine
+/// and realizes the winner as an executable [`VerifyPlan`].
+///
+/// The search runs through [`SearchPlan`], so dominated bindings are
+/// pruned before the product and the winner is provably the same
+/// earliest-cut first-seen configuration exhaustive enumeration would
+/// pick (the engine's equivalence proptests in `incam-core` cover
+/// exactly this). Returns `None` only for an empty space, which
+/// [`verify_binding_space`] never builds — cut 0 always exists.
+pub fn best_verify_plan(
+    costs: &AuthBlockCosts,
+    capture_rate: Fps,
+    link: &Link,
+) -> Option<(ConfigAnalysis, VerifyPlan)> {
+    let space = verify_binding_space(costs, capture_rate);
+    let plan = SearchPlan::new(&space);
+    let best = plan.best(link)?;
+    let mut bindings = [BIND_ASIC; NUM_STAGES];
+    bindings.copy_from_slice(best.config.bindings());
+    let verify = plan_for(costs, &bindings, best.config.cut(), link.clone());
+    Some((best, verify))
 }
 
 /// Payload crossing the link when the pipeline is cut after `cut`
@@ -293,6 +316,22 @@ mod tests {
             verify_uplink(),
         );
         assert_eq!(verdict_plan.payload.bytes(), VERDICT_BYTES);
+    }
+
+    #[test]
+    fn best_verify_plan_matches_exhaustive_winner() {
+        let costs = AuthBlockCosts::design_point(&head());
+        let link = verify_uplink();
+        let (analysis, plan) =
+            best_verify_plan(&costs, Fps::new(1.0), &link).expect("space is never empty");
+        // the pruned winner is the exhaustive winner, byte for byte
+        let space = verify_binding_space(&costs, Fps::new(1.0));
+        let exhaustive = space.best(&link).expect("space is never empty");
+        assert_eq!(analysis, exhaustive);
+        // and the realized plan agrees with the analysis on the wire
+        plan.validate();
+        assert_eq!(plan.cut, analysis.config.cut());
+        assert_eq!(plan.payload, analysis.upload);
     }
 
     #[test]

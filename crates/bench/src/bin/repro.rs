@@ -10,8 +10,8 @@
 //! ```
 
 use incam_bench::experiments::{
-    ablations, chaos, compression, fa_pipeline, fig4c, fleet, harvest, kernels, nn_studies, verify,
-    vr_studies,
+    ablations, chaos, compression, explore_scale, fa_pipeline, fig4c, fleet, harvest, kernels,
+    nn_studies, verify, vr_studies,
 };
 use incam_vr::analysis::VrModel;
 use incam_wispcam::workload::TrainEffort;
@@ -45,6 +45,7 @@ const ALL: &[&str] = &[
     "fleet",
     "kernels",
     "verify",
+    "explore-scale",
 ];
 
 fn parse_args() -> Result<Options, String> {
@@ -209,6 +210,10 @@ fn run_experiment(name: &str, opts: &Options) -> (String, String) {
         "verify" => {
             banner("Verify service — fail-closed face authentication under chaos");
             print!("{}", verify::run(seed, opts.quick));
+        }
+        "explore-scale" => {
+            banner("Explore at scale — pruned branch-and-bound on the widened imaging space");
+            print!("{}", explore_scale::run(seed, opts.quick));
         }
         _ => unreachable!("validated in parse_args"),
     }

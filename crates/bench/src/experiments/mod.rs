@@ -6,6 +6,7 @@
 pub mod ablations;
 pub mod chaos;
 pub mod compression;
+pub mod explore_scale;
 pub mod fa_pipeline;
 pub mod fig4c;
 pub mod fleet;

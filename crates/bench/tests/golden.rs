@@ -206,6 +206,32 @@ mod chaos_golden {
     }
 
     #[test]
+    fn adaptive_cut_policy_survived_the_search_engine_port() {
+        // PR 10 regression witness: the adaptive-cut policy now
+        // re-ranks a committed held-cut frontier
+        // (`IncrementalSearch::over_held_cuts`) instead of re-running
+        // the old from-scratch `best_cut_held` loop. The port is
+        // byte-preserving, so these counters are the *same* numbers the
+        // pre-engine code produced — any drift here means the
+        // incremental layer stopped agreeing with exhaustive search.
+        use incam_core::link::Link;
+        use incam_vr::analysis::VrModel;
+        use incam_vr::degrade::{run_policy, GracefulPolicy};
+        let r = run_policy(
+            &VrModel::paper_default(),
+            &chaos::canonical_vr_config(),
+            &Link::ethernet_25g(),
+            &chaos::canonical_vr_scenario(REPRO_SEED, VR_FRAMES),
+            GracefulPolicy::AdaptiveCut,
+        );
+        assert_eq!(r.frames_attempted, 150);
+        assert_eq!(r.frames_completed, 146);
+        assert_eq!(r.frames_dropped_link, 4);
+        assert_eq!(r.link_retries, 21);
+        assert_eq!(incam_core::report::sig3(r.effective_fps.fps()), "14.9");
+    }
+
+    #[test]
     fn canonical_wispcam_scenario_matches_golden_counters() {
         let outcomes = chaos::fa_frame_trace(REPRO_SEED, FA_FRAMES, TrainEffort::Quick);
 

@@ -28,6 +28,29 @@
 //! nine Fig. 10 configurations are exactly the distinct space of the VR
 //! pipeline with the depth block's three backends coupled to stitching.
 //!
+//! On top of the enumeration sits the layered search engine, for spaces
+//! where the distinct product is combinatorially large:
+//!
+//! * a [`SearchPlan`] prunes the space before and during enumeration —
+//!   per-block dominance pre-pruning drops bindings an earlier
+//!   same-block sibling weakly dominates on (throughput, energy,
+//!   output size), and prefix bounds kill whole subtrees during the
+//!   cut-major descent — then memoizes the surviving [`Frontier`]
+//!   (keyed by an FNV-1a [`space_digest`]) so repeated
+//!   [`SearchPlan::best`] / [`SearchPlan::pareto_frontier`] calls on an
+//!   unchanged space re-rank a small frontier instead of re-enumerating;
+//! * an [`IncrementalSearch`] owns a committed [`Frontier`] and
+//!   re-ranks it under a *new link only*: the link enters the objective
+//!   solely through the upload term, so the link-independent
+//!   three-objective frontier is a superset of every new link's optimum
+//!   ([`PipelineSpace::best_cut_held`] is a thin wrapper over it).
+//!
+//! All pruning is behavior-preserving: winners and Pareto frontiers are
+//! bit-identical to the exhaustive methods. The dominance argument is
+//! spelled out on [`SearchPlan`] and in `DESIGN.md`
+//! ("Configuration-space exploration"); `tests/search_equivalence.rs`
+//! holds the equivalence oracle (pruned == exhaustive on random spaces).
+//!
 //! # Examples
 //!
 //! ```
@@ -54,11 +77,12 @@
 //! assert_eq!(best.backends(&space), vec![Backend::Asic]); // ...on the ASIC
 //! ```
 
-use crate::block::{Backend, BlockSpec, DataTransform};
+use crate::block::{Backend, BlockKind, BlockSpec, DataTransform};
 use crate::link::Link;
 use crate::offload::{analyze_cut, Constraint};
 use crate::pipeline::{Pipeline, Source, Stage};
 use crate::units::{Bytes, Fps, Joules};
+use std::cell::{OnceCell, RefCell};
 
 /// One candidate way to execute a block: a backend with concrete costs.
 #[derive(Debug, Clone, PartialEq)]
@@ -316,24 +340,29 @@ impl PipelineSpace {
 
     /// Size of the full configuration space: the product of per-block
     /// binding counts times the number of cut positions (`len + 1`).
+    /// Saturates at `u128::MAX` instead of silently wrapping on spaces
+    /// wide enough to overflow (a 128-bit overflow needs ~43 ten-binding
+    /// blocks — the widened raw-imaging spaces make the guard cheap
+    /// insurance, not a theoretical nicety).
     pub fn cardinality(&self) -> u128 {
-        let product: u128 = self
-            .blocks
+        self.blocks
             .iter()
-            .map(|b| b.bindings().len() as u128)
-            .product();
-        product * (self.blocks.len() as u128 + 1)
+            .fold(1u128, |acc, b| {
+                acc.saturating_mul(b.bindings().len() as u128)
+            })
+            .saturating_mul(self.blocks.len() as u128 + 1)
     }
 
     /// Size of the *distinct* configuration space: for each cut, only
     /// bindings of blocks before the cut are observable, so the count is
-    /// the sum over cuts of the prefix binding products.
+    /// the sum over cuts of the prefix binding products. Saturates at
+    /// `u128::MAX` like [`PipelineSpace::cardinality`].
     pub fn distinct_cardinality(&self) -> u128 {
         let mut total = 1u128; // cut 0: the raw-sensor configuration
         let mut prefix = 1u128;
         for block in &self.blocks {
-            prefix *= block.bindings().len() as u128;
-            total += prefix;
+            prefix = prefix.saturating_mul(block.bindings().len() as u128);
+            total = total.saturating_add(prefix);
         }
         total
     }
@@ -429,12 +458,20 @@ impl PipelineSpace {
     /// order — the earliest cut, then the lowest binding indices — i.e.
     /// the least in-camera work. Returns `None` only for a space that
     /// somehow enumerates nothing (never: cut 0 always exists).
+    ///
+    /// The tie-break is *first-seen wins*: a later configuration
+    /// displaces the incumbent only when its total is strictly greater.
+    /// This exact rule is load-bearing — [`SearchPlan`] and
+    /// [`IncrementalSearch`] must reproduce it under pruning, and
+    /// `tests/search_equivalence.rs` proptests that they do on random
+    /// spaces.
     pub fn best(&self, link: &Link) -> Option<ConfigAnalysis> {
         self.best_where(link, |_| true)
     }
 
     /// Like [`PipelineSpace::best`], restricted to configurations
-    /// satisfying `keep`.
+    /// satisfying `keep` — same first-seen tie-break: of equal-total
+    /// survivors the earliest enumerated wins.
     pub fn best_where<F>(&self, link: &Link, keep: F) -> Option<ConfigAnalysis>
     where
         F: FnMut(&Configuration) -> bool,
@@ -471,34 +508,20 @@ impl PipelineSpace {
     /// This is the single re-search entry point shared by
     /// `vr::degrade`'s adaptive-cut policy and the fleet simulator's
     /// per-camera re-selection; callers typically pass
-    /// [`Link::degraded`] with the *observed* goodput.
+    /// [`Link::degraded`] with the *observed* goodput. It is a thin
+    /// wrapper over [`IncrementalSearch::over_held_cuts`] — callers that
+    /// re-search the same committed bindings under a *sequence* of links
+    /// should build the `IncrementalSearch` once and re-rank it per
+    /// link instead of paying the chain evaluation every time.
     ///
     /// # Panics
     ///
     /// Panics if `committed` does not have one binding index per block,
     /// or any index is out of range for its block.
     pub fn best_cut_held(&self, link: &Link, committed: &[usize]) -> ConfigAnalysis {
-        assert_eq!(
-            committed.len(),
-            self.blocks.len(),
-            "committed has {} binding choices for a {}-block space",
-            committed.len(),
-            self.blocks.len()
-        );
-        let mut best: Option<ConfigAnalysis> = None;
-        for cut in 0..=self.blocks.len() {
-            let mut bindings = committed.to_vec();
-            bindings[cut..].fill(0);
-            let analysis = self.evaluate(&Configuration::new(bindings, cut), link);
-            let better = match &best {
-                Some(b) => analysis.total().fps() > b.total().fps(),
-                None => true,
-            };
-            if better {
-                best = Some(analysis);
-            }
-        }
-        best.expect("cut 0 is always evaluated") // incam-lint: allow(fallible-unwrap) — the loop body runs for cut 0, so best is Some
+        IncrementalSearch::over_held_cuts(self, committed)
+            .best_analysis(self, link)
+            .expect("cut 0 is always evaluated") // incam-lint: allow(fallible-unwrap) — the held chain contains cut 0, so a winner exists
     }
 }
 
@@ -536,11 +559,39 @@ impl Iterator for Configurations<'_> {
     }
 }
 
+/// Input size above which [`pareto_frontier`] switches from the
+/// quadratic pairwise scan to the `O(n log n)` sort-then-sweep path.
+/// Below it the scan's lack of allocation and sorting wins; above it
+/// the sweep does (the crossover is flat, so the constant is not
+/// tuned finely). Non-finite inputs always take the quadratic path:
+/// the sweep's total order on floats must agree with the partial-order
+/// comparisons the scan makes, which `NaN` breaks.
+pub const PARETO_SWEEP_THRESHOLD: usize = 64;
+
 /// Filters `analyses` down to the Pareto frontier over the three paper
 /// objectives: total FPS (maximize), in-camera energy per frame
 /// (minimize), and uploaded bytes per frame (minimize). Input order is
 /// preserved; of mutually equal configurations the earliest survives.
+///
+/// Two implementations compute the same set: a quadratic pairwise scan
+/// for small or non-finite inputs, and a sort-then-sweep above
+/// [`PARETO_SWEEP_THRESHOLD`] — `tests/search_equivalence.rs` proptests
+/// their agreement.
 pub fn pareto_frontier(analyses: Vec<ConfigAnalysis>) -> Vec<ConfigAnalysis> {
+    let finite = |a: &ConfigAnalysis| {
+        a.total().fps().is_finite() && a.energy.joules().is_finite() && a.upload.bytes().is_finite()
+    };
+    if analyses.len() > PARETO_SWEEP_THRESHOLD && analyses.iter().all(finite) {
+        pareto_sweep(analyses)
+    } else {
+        pareto_quadratic(analyses)
+    }
+}
+
+/// The reference implementation: pairwise dominance against the kept
+/// set, dropping candidates a kept point dominates or exactly ties, and
+/// retiring kept points the candidate dominates.
+fn pareto_quadratic(analyses: Vec<ConfigAnalysis>) -> Vec<ConfigAnalysis> {
     let mut frontier: Vec<ConfigAnalysis> = Vec::new();
     for candidate in analyses {
         if frontier.iter().any(|kept| {
@@ -555,6 +606,845 @@ pub fn pareto_frontier(analyses: Vec<ConfigAnalysis>) -> Vec<ConfigAnalysis> {
         frontier.push(candidate);
     }
     frontier
+}
+
+/// Sort-then-sweep frontier for all-finite inputs. Candidates are
+/// visited best-first (total FPS descending, then energy, upload, and
+/// input position ascending), so every strict dominator of a point —
+/// and the earliest member of an exact-tie group — precedes it. A
+/// staircase of kept `(energy, upload)` pairs (energies strictly
+/// ascending, uploads strictly descending) then answers "does a prior
+/// kept point weakly dominate this one?" with a binary search: the kept
+/// point at the greatest energy at most the candidate's holds the
+/// minimum kept upload in that range.
+fn pareto_sweep(analyses: Vec<ConfigAnalysis>) -> Vec<ConfigAnalysis> {
+    let mut order: Vec<usize> = (0..analyses.len()).collect();
+    order.sort_unstable_by(|&i, &j| {
+        let (a, b) = (&analyses[i], &analyses[j]);
+        b.total()
+            .fps()
+            .total_cmp(&a.total().fps())
+            .then(a.energy.joules().total_cmp(&b.energy.joules()))
+            .then(a.upload.bytes().total_cmp(&b.upload.bytes()))
+            .then(i.cmp(&j))
+    });
+    let mut stairs: Vec<(f64, f64)> = Vec::new();
+    let mut keep = vec![false; analyses.len()];
+    for &i in &order {
+        let (energy, upload) = (analyses[i].energy.joules(), analyses[i].upload.bytes());
+        let pos = stairs.partition_point(|&(e, _)| e <= energy);
+        if pos > 0 && stairs[pos - 1].1 <= upload {
+            continue; // a prior (total-no-worse) kept point weakly dominates
+        }
+        keep[i] = true;
+        // Insert, retiring kept pairs the new point weakly dominates —
+        // a contiguous run: pairs at energy >= ours with upload >= ours.
+        let ins = stairs.partition_point(|&(e, _)| e < energy);
+        let mut end = ins;
+        while end < stairs.len() && stairs[end].1 >= upload {
+            end += 1;
+        }
+        stairs.splice(ins..end, [(energy, upload)]);
+    }
+    let mut frontier = Vec::new();
+    for (i, analysis) in analyses.into_iter().enumerate() {
+        if keep[i] {
+            frontier.push(analysis);
+        }
+    }
+    frontier
+}
+
+// ---------------------------------------------------------------------------
+// The layered search engine: digests, SearchPlan, Frontier,
+// IncrementalSearch.
+// ---------------------------------------------------------------------------
+
+/// 64-bit FNV-1a, the digest the engine keys memoized frontiers by.
+/// Hand-rolled because the workspace is dependency-free and the digest
+/// only needs to be stable and cheap, not cryptographic.
+#[derive(Debug, Clone, Copy)]
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+fn digest_transform(h: &mut Fnv64, transform: DataTransform) {
+    match transform {
+        DataTransform::Identity => h.write(&[0]),
+        DataTransform::Scale(factor) => {
+            h.write(&[1]);
+            h.write_f64(factor);
+        }
+        DataTransform::Fixed(size) => {
+            h.write(&[2]);
+            h.write_f64(size.bytes());
+        }
+    }
+}
+
+/// A stable FNV-1a digest of everything the search engine reads out of
+/// a space: source costs, block specs, and per-binding costs, in order.
+/// A [`Frontier`] carries the digest of the space it was computed from,
+/// and [`IncrementalSearch::best_analysis`] checks it before resolving
+/// configurations against a space.
+pub fn space_digest(space: &PipelineSpace) -> u64 {
+    let mut h = Fnv64::new();
+    let source = space.source();
+    h.write_str(source.name());
+    h.write_f64(source.frame_size().bytes());
+    h.write_f64(source.max_fps().fps());
+    h.write_f64(source.capture_energy().joules());
+    h.write_u64(space.len() as u64);
+    for block in space.blocks() {
+        h.write_str(block.spec().name());
+        h.write(&[u8::from(block.spec().kind() == BlockKind::Optional)]);
+        digest_transform(&mut h, block.spec().transform());
+        h.write_u64(block.bindings().len() as u64);
+        for binding in block.bindings() {
+            h.write_str(&binding.backend().letter().to_string());
+            h.write_f64(binding.throughput().fps());
+            h.write_f64(binding.energy_per_frame().joules());
+            match binding.output() {
+                None => h.write(&[0]),
+                Some(transform) => {
+                    h.write(&[1]);
+                    digest_transform(&mut h, transform);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+/// A stable FNV-1a digest of a link's cost-relevant fields, used to key
+/// [`SearchPlan`]'s per-link result caches (cache hits additionally
+/// verify full [`Link`] equality, so a digest collision costs a miss,
+/// never a wrong answer).
+pub fn link_digest(link: &Link) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(link.name());
+    h.write_f64(link.raw_rate().per_sec());
+    h.write_f64(link.efficiency());
+    h.write_f64(link.energy_per_bit().joules());
+    h.finish()
+}
+
+/// Node-count accounting for one pruned frontier construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Distinct configurations exhaustive enumeration would evaluate
+    /// ([`PipelineSpace::distinct_cardinality`], saturating at
+    /// `u64::MAX`).
+    pub exhaustive: u64,
+    /// Configurations the pruned descent actually evaluated (leaves
+    /// reached).
+    pub evaluated: u64,
+    /// Bindings removed by per-block dominance pre-pruning (counted
+    /// once per block, not per configuration they would have appeared
+    /// in).
+    pub bindings_pruned: u64,
+    /// Subtrees discarded whole by prefix-bound pruning during the
+    /// descent.
+    pub subtrees_pruned: u64,
+}
+
+impl SearchStats {
+    /// Exhaustive-to-evaluated node ratio — the headline reduction
+    /// `repro --experiment explore-scale` reports.
+    pub fn reduction(&self) -> f64 {
+        self.exhaustive as f64 / (self.evaluated as f64).max(1.0)
+    }
+}
+
+/// One surviving point of a [`Frontier`]: a distinct configuration with
+/// its three link-independent objectives, computed with exactly the
+/// same floating-point operations (and operation order) as
+/// [`PipelineSpace::evaluate`], so re-ranking under a link reproduces
+/// the exhaustive search bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierPoint {
+    /// The canonical configuration this point stands for.
+    pub config: Configuration,
+    /// Pipelined in-camera compute throughput
+    /// ([`ConfigAnalysis::compute`]).
+    pub compute: Fps,
+    /// In-camera energy per frame through the cut
+    /// ([`ConfigAnalysis::energy`]).
+    pub energy: Joules,
+    /// Bytes uploaded per frame at the cut ([`ConfigAnalysis::upload`]).
+    pub upload: Bytes,
+}
+
+impl FrontierPoint {
+    /// End-to-end frame rate of this point over `link`: compute bound
+    /// by the link's upload rate, exactly as [`ConfigAnalysis::total`].
+    pub fn total(&self, link: &Link) -> Fps {
+        self.compute.min(link.upload_fps(self.upload))
+    }
+
+    /// Weak dominance against raw objective values: at least as fast to
+    /// compute, at most as much energy, at most as large an upload key.
+    fn covers(&self, compute: f64, energy: f64, upload_key: f64) -> bool {
+        self.compute.fps() >= compute
+            && self.energy.joules() <= energy
+            && upload_key_of(self.upload) <= upload_key
+    }
+}
+
+/// The upload objective under the ordering every link agrees on:
+/// positive finite sizes order by byte count (fewer bytes never upload
+/// slower over any link), while degenerate sizes (zero, negative,
+/// non-finite) saturate [`Link::upload_fps`] to zero FPS and are
+/// therefore *worst* — encoded as `+inf` so dominance tests stay sound
+/// on them.
+fn upload_key_of(upload: Bytes) -> f64 {
+    let bytes = upload.bytes();
+    if bytes > 0.0 && bytes.is_finite() {
+        bytes
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// The memoized result of one pruned enumeration: every distinct
+/// configuration *not* weakly dominated, on the three link-independent
+/// objectives (compute FPS up, in-camera energy down, upload down), by
+/// an earlier-enumerated configuration — kept in enumeration order.
+///
+/// A link enters the search objective only through the upload term
+/// (`total = compute.min(link.upload_fps(upload))`, monotone
+/// non-increasing in the upload ordering), so for *every* link the
+/// frontier contains the exhaustive search's first-seen winner, and
+/// scanning it in order with the same strictly-greater-displaces rule
+/// reproduces that winner exactly. This is what makes link-only
+/// re-search ([`IncrementalSearch`]) sound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frontier {
+    space_digest: u64,
+    points: Vec<FrontierPoint>,
+    stats: SearchStats,
+}
+
+impl Frontier {
+    /// The surviving points, in enumeration order.
+    pub fn points(&self) -> &[FrontierPoint] {
+        &self.points
+    }
+
+    /// Digest of the space this frontier was computed from (see
+    /// [`space_digest`]).
+    pub fn space_digest(&self) -> u64 {
+        self.space_digest
+    }
+
+    /// Node-count accounting of the construction.
+    pub fn stats(&self) -> SearchStats {
+        self.stats
+    }
+
+    /// Number of surviving points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no point survived — never for a frontier built from
+    /// a real space, whose cut-0 configuration has no earlier point to
+    /// dominate it.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The point with the highest end-to-end rate over `link`, by the
+    /// exhaustive tie-break: first-seen wins, later points displace
+    /// only when strictly greater.
+    fn best_point(&self, link: &Link) -> Option<&FrontierPoint> {
+        let mut best: Option<(&FrontierPoint, f64)> = None;
+        for point in &self.points {
+            let total = point.total(link).fps();
+            let better = match best {
+                Some((_, incumbent)) => total > incumbent,
+                None => true,
+            };
+            if better {
+                best = Some((point, total));
+            }
+        }
+        best.map(|(point, _)| point)
+    }
+}
+
+/// Entries a [`SearchPlan`] keeps per per-link result cache; eviction
+/// is oldest-first, so a rotating set of links larger than this
+/// degrades to recomputation, never to a wrong answer.
+const LINK_CACHE_CAP: usize = 32;
+
+/// Branch-and-bound search over a [`PipelineSpace`].
+///
+/// Construction pre-prunes each block's bindings by dominance; the
+/// first call that needs the [`Frontier`] runs a cut-major descent over
+/// the surviving product with prefix-bound subtree pruning and
+/// memoizes the result (tagged with the FNV [`space_digest`]), so
+/// repeated [`SearchPlan::best`] / [`SearchPlan::pareto_frontier`]
+/// calls on an unchanged space re-rank the (small) frontier instead of
+/// re-enumerating. Per-link results are additionally cached under
+/// [`link_digest`].
+///
+/// # Why pruning preserves behavior
+///
+/// All pruning is behavior-preserving: `best` and `pareto_frontier`
+/// return results bit-identical to the exhaustive [`PipelineSpace`]
+/// methods. Three arguments carry this (spelled out in `DESIGN.md`,
+/// proptested in `tests/search_equivalence.rs`):
+///
+/// 1. *Per-block dominance.* If an earlier same-block sibling is at
+///    least as fast, at most as energy-hungry, and emits at most as
+///    much data for every input size (comparable transforms only),
+///    substituting it into any configuration that uses the dominated
+///    binding yields an earlier-enumerated configuration at least as
+///    good on all three objectives under every link — so the dominated
+///    binding appears in no Pareto frontier and displaces no first-seen
+///    winner. It can be dropped before the product is ever formed.
+/// 2. *Earliest-witness frontier.* A configuration weakly dominated on
+///    (compute, energy, upload key) by an earlier-enumerated one can
+///    never be the first strict maximum of
+///    `total = min(compute, upload_fps)` for any link, because
+///    `upload_fps` is monotone non-increasing in the upload key.
+/// 3. *Prefix bounds.* In a regular space (positive finite sizes and
+///    transforms) compute, energy, and upload through a cut are
+///    monotone in each binding choice, so an optimistic bound for a
+///    subtree that is still covered by an already-kept (earlier) point
+///    proves every leaf of that subtree dominated.
+///
+/// Spaces that are not *regular* — non-positive or non-finite frame
+/// sizes, scale factors, or fixed outputs — disable pre-pruning,
+/// subtree bounds, and the frontier-based Pareto path (degenerate
+/// uploads saturate to zero FPS, breaking the monotonicity those rules
+/// lean on); winner search stays pruned and exact via the upload-key
+/// ordering, and `pareto_frontier` falls back to the exhaustive path.
+#[derive(Debug, Clone)]
+pub struct SearchPlan<'a> {
+    space: &'a PipelineSpace,
+    digest: u64,
+    regular: bool,
+    live: Vec<Vec<usize>>,
+    bindings_pruned: u64,
+    frontier: OnceCell<Frontier>,
+    best_cache: RefCell<Vec<(u64, Link, Option<ConfigAnalysis>)>>,
+    pareto_cache: RefCell<Vec<(u64, Link, Vec<ConfigAnalysis>)>>,
+}
+
+impl<'a> SearchPlan<'a> {
+    /// Builds a plan over `space`, running per-block dominance
+    /// pre-pruning up front. The frontier itself is computed lazily on
+    /// first use and memoized.
+    pub fn new(space: &'a PipelineSpace) -> Self {
+        let regular = space_is_regular(space);
+        let mut live = Vec::with_capacity(space.len());
+        let mut bindings_pruned = 0u64;
+        for block in space.blocks() {
+            let bindings = block.bindings();
+            let mut keep: Vec<usize> = Vec::with_capacity(bindings.len());
+            for (j, candidate) in bindings.iter().enumerate() {
+                let dominated = regular
+                    && keep
+                        .iter()
+                        .any(|&i| binding_dominates(block, &bindings[i], candidate));
+                if dominated {
+                    bindings_pruned += 1;
+                } else {
+                    keep.push(j);
+                }
+            }
+            live.push(keep);
+        }
+        Self {
+            space,
+            digest: space_digest(space),
+            regular,
+            live,
+            bindings_pruned,
+            frontier: OnceCell::new(),
+            best_cache: RefCell::new(Vec::new()),
+            pareto_cache: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The space this plan searches.
+    pub fn space(&self) -> &'a PipelineSpace {
+        self.space
+    }
+
+    /// FNV-1a digest of the space (see [`space_digest`]); the memoized
+    /// frontier carries the same digest.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// `true` when the space admits the monotone pruning rules (see the
+    /// type docs); pruning is disabled wholesale otherwise.
+    pub fn is_regular(&self) -> bool {
+        self.regular
+    }
+
+    /// The binding indices of `block` that survived dominance
+    /// pre-pruning, ascending. Index 0 always survives (it has no
+    /// earlier sibling), so canonical representatives stay enumerable.
+    pub fn live_bindings(&self, block: usize) -> &[usize] {
+        &self.live[block]
+    }
+
+    /// The memoized link-independent frontier, built on first call.
+    pub fn frontier(&self) -> &Frontier {
+        self.frontier.get_or_init(|| self.build_frontier())
+    }
+
+    /// Node-count accounting of the (possibly memoized) frontier build.
+    pub fn stats(&self) -> SearchStats {
+        self.frontier().stats
+    }
+
+    /// The exhaustive distinct enumeration over `link`, bypassing all
+    /// pruning — the oracle path, and the one view-layer consumers
+    /// (figure tables that print every configuration, dominated or not)
+    /// route through.
+    pub fn explore(&self, link: &'a Link) -> impl Iterator<Item = ConfigAnalysis> + 'a {
+        self.space.explore(link)
+    }
+
+    /// The exhaustive distinct enumeration of configurations, bypassing
+    /// all pruning — for view layers whose *contract* is the full set
+    /// (e.g. the VR paper set, whose shape space carries placeholder
+    /// costs under which sibling bindings are cost-identical and would
+    /// otherwise be pruned down to one representative).
+    pub fn distinct_configurations(&self) -> impl Iterator<Item = Configuration> + 'a {
+        self.space.distinct_configurations()
+    }
+
+    /// The exhaustive-equivalent best configuration over `link`, from
+    /// the pruned frontier (memoized per link).
+    pub fn best(&self, link: &Link) -> Option<ConfigAnalysis> {
+        let key = link_digest(link);
+        if let Some((_, _, hit)) = self
+            .best_cache
+            .borrow()
+            .iter()
+            .find(|(k, l, _)| *k == key && l == link)
+        {
+            return hit.clone();
+        }
+        let result = self
+            .frontier()
+            .best_point(link)
+            .map(|point| self.space.evaluate(&point.config, link));
+        let mut cache = self.best_cache.borrow_mut();
+        if cache.len() >= LINK_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push((key, link.clone(), result.clone()));
+        result
+    }
+
+    /// The exhaustive-equivalent Pareto frontier over `link` (memoized
+    /// per link). Regular spaces re-rank the pruned frontier; others
+    /// fall back to [`PipelineSpace::pareto_frontier`].
+    pub fn pareto_frontier(&self, link: &Link) -> Vec<ConfigAnalysis> {
+        let key = link_digest(link);
+        if let Some((_, _, hit)) = self
+            .pareto_cache
+            .borrow()
+            .iter()
+            .find(|(k, l, _)| *k == key && l == link)
+        {
+            return hit.clone();
+        }
+        let result = if self.regular {
+            pareto_frontier(
+                self.frontier()
+                    .points()
+                    .iter()
+                    .map(|point| self.space.evaluate(&point.config, link))
+                    .collect(),
+            )
+        } else {
+            self.space.pareto_frontier(link)
+        };
+        let mut cache = self.pareto_cache.borrow_mut();
+        if cache.len() >= LINK_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push((key, link.clone(), result.clone()));
+        result
+    }
+
+    fn build_frontier(&self) -> Frontier {
+        let n = self.space.len();
+        let source = self.space.source();
+        // Per-block live-binding cost tables (original index, effective
+        // throughput / energy / transform), plus per-block optimistic
+        // bounds for the prefix-bound test.
+        let mut costs: Vec<Vec<(usize, Fps, Joules, DataTransform)>> = Vec::with_capacity(n);
+        for (block, live) in self.space.blocks().iter().zip(&self.live) {
+            costs.push(
+                live.iter()
+                    .map(|&j| {
+                        let binding = &block.bindings()[j];
+                        let transform = binding.output().unwrap_or(block.spec().transform());
+                        (
+                            j,
+                            binding.throughput(),
+                            binding.energy_per_frame(),
+                            transform,
+                        )
+                    })
+                    .collect(),
+            );
+        }
+        let max_tput: Vec<Fps> = costs
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .map(|&(_, t, _, _)| t)
+                    .fold(Fps::new(f64::NEG_INFINITY), Fps::max)
+            })
+            .collect();
+        let min_energy: Vec<Joules> = costs
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .map(|&(_, _, e, _)| e)
+                    .fold(Joules::new(f64::INFINITY), Joules::min)
+            })
+            .collect();
+        let mut builder = FrontierBuilder {
+            costs: &costs,
+            max_tput: &max_tput,
+            min_energy: &min_energy,
+            regular: self.regular,
+            points: Vec::new(),
+            bindings: vec![0usize; n],
+            stats: SearchStats {
+                exhaustive: saturating_u64(self.space.distinct_cardinality()),
+                evaluated: 0,
+                bindings_pruned: self.bindings_pruned,
+                subtrees_pruned: 0,
+            },
+        };
+        for cut in 0..=n {
+            builder.descend(
+                cut,
+                0,
+                source.max_fps(),
+                source.capture_energy(),
+                source.frame_size(),
+            );
+        }
+        Frontier {
+            space_digest: self.digest,
+            points: builder.points,
+            stats: builder.stats,
+        }
+    }
+}
+
+/// Working state of one cut-major frontier descent.
+struct FrontierBuilder<'b> {
+    costs: &'b [Vec<(usize, Fps, Joules, DataTransform)>],
+    max_tput: &'b [Fps],
+    min_energy: &'b [Joules],
+    regular: bool,
+    points: Vec<FrontierPoint>,
+    bindings: Vec<usize>,
+    stats: SearchStats,
+}
+
+impl FrontierBuilder<'_> {
+    /// DFS over binding choices for blocks `depth..cut`, visiting
+    /// leaves in exact enumeration order and carrying the prefix
+    /// objectives with the same fold operations (and order) as
+    /// `Pipeline::compute_fps_through` / `energy_per_frame_through` /
+    /// `data_after` — leaf objectives are bit-identical to
+    /// [`PipelineSpace::evaluate`].
+    fn descend(&mut self, cut: usize, depth: usize, fps: Fps, energy: Joules, size: Bytes) {
+        if depth == cut {
+            self.stats.evaluated += 1;
+            let key = upload_key_of(size);
+            let dominated = self
+                .points
+                .iter()
+                .any(|p| p.covers(fps.fps(), energy.joules(), key));
+            if !dominated {
+                self.points.push(FrontierPoint {
+                    config: Configuration::new(self.bindings.clone(), cut),
+                    compute: fps,
+                    energy,
+                    upload: size,
+                });
+            }
+            return;
+        }
+        if self.regular
+            && !self.points.is_empty()
+            && self.subtree_covered(cut, depth, fps, energy, size)
+        {
+            self.stats.subtrees_pruned += 1;
+            return;
+        }
+        let costs = self.costs;
+        for &(j, throughput, frame_energy, transform) in &costs[depth] {
+            self.bindings[depth] = j;
+            self.descend(
+                cut,
+                depth + 1,
+                fps.min(throughput),
+                energy + frame_energy,
+                transform.apply(size),
+            );
+        }
+        self.bindings[depth] = 0;
+    }
+
+    /// `true` when an already-kept (hence earlier-enumerated) point
+    /// weakly dominates the most optimistic completion of this prefix:
+    /// compute bounded above by each remaining block's best live
+    /// throughput, energy bounded below by each block's cheapest live
+    /// binding (folded in block order — f64 addition is monotone in
+    /// each argument, so the fold is a true lower bound), and upload
+    /// bounded below by propagating each block's smallest live
+    /// transform.
+    fn subtree_covered(
+        &self,
+        cut: usize,
+        depth: usize,
+        fps: Fps,
+        energy: Joules,
+        size: Bytes,
+    ) -> bool {
+        let mut ub_compute = fps;
+        let mut lb_energy = energy;
+        let mut lb_size = size;
+        for k in depth..cut {
+            ub_compute = ub_compute.min(self.max_tput[k]);
+            lb_energy += self.min_energy[k];
+            lb_size = self.costs[k]
+                .iter()
+                .map(|&(_, _, _, t)| t.apply(lb_size))
+                .fold(Bytes::new(f64::INFINITY), Bytes::min);
+        }
+        // Any actual completion uploads at least lb_size bytes; a
+        // non-positive propagated bound collapses to key 0.0, which is
+        // below every real key and stays sound.
+        let lb_bytes = lb_size.bytes();
+        let lb_key = if lb_bytes > 0.0 && lb_bytes.is_finite() {
+            lb_bytes
+        } else {
+            0.0
+        };
+        self.points
+            .iter()
+            .any(|p| p.covers(ub_compute.fps(), lb_energy.joules(), lb_key))
+    }
+}
+
+/// `true` when same-block binding `a` weakly dominates `b`: at least
+/// as fast, at most as much energy, and an effective output transform
+/// emitting at most as much data for every input size.
+fn binding_dominates(block: &BlockSpace, a: &Binding, b: &Binding) -> bool {
+    let effective = |x: &Binding| x.output().unwrap_or(block.spec().transform());
+    a.throughput().fps() >= b.throughput().fps()
+        && a.energy_per_frame().joules() <= b.energy_per_frame().joules()
+        && transform_le(effective(a), effective(b))
+}
+
+/// Pointwise `a(x) <= b(x)` for all sizes `x >= 0`, decided
+/// conservatively: scales (with `Identity` read as `Scale(1.0)`)
+/// compare by factor, fixed outputs by size, and cross-kind pairs are
+/// incomparable — a scale beats a fixed output on small inputs and
+/// loses on large ones — so the answer is `false`.
+fn transform_le(a: DataTransform, b: DataTransform) -> bool {
+    match (a, b) {
+        (DataTransform::Fixed(x), DataTransform::Fixed(y)) => x.bytes() <= y.bytes(),
+        (DataTransform::Fixed(_), _) | (_, DataTransform::Fixed(_)) => false,
+        (a, b) => scale_factor(a) <= scale_factor(b),
+    }
+}
+
+fn scale_factor(transform: DataTransform) -> f64 {
+    match transform {
+        DataTransform::Scale(factor) => factor,
+        DataTransform::Identity => 1.0,
+        // Unreachable from transform_le; NaN makes any comparison that
+        // does get here answer "incomparable".
+        DataTransform::Fixed(_) => f64::NAN,
+    }
+}
+
+/// A space is *regular* when every size the search manipulates stays
+/// positive and finite: the source frame and every effective transform
+/// (positive finite scales or fixed outputs). Regularity is what makes
+/// compute/energy/upload monotone under [`SearchPlan`]'s pruning rules.
+fn space_is_regular(space: &PipelineSpace) -> bool {
+    let positive = |v: f64| v > 0.0 && v.is_finite();
+    let transform_ok = |t: DataTransform| match t {
+        DataTransform::Identity => true,
+        DataTransform::Scale(factor) => positive(factor),
+        DataTransform::Fixed(size) => positive(size.bytes()),
+    };
+    positive(space.source().frame_size().bytes())
+        && space.blocks().iter().all(|block| {
+            block
+                .bindings()
+                .iter()
+                .all(|b| transform_ok(b.output().unwrap_or(block.spec().transform())))
+        })
+}
+
+fn saturating_u64(v: u128) -> u64 {
+    u64::try_from(v).unwrap_or(u64::MAX)
+}
+
+/// Link-only re-search over a committed [`Frontier`].
+///
+/// Owns its data — configurations plus their precomputed
+/// link-independent objectives — so long-lived controllers (the fleet
+/// simulator's per-profile tables, `vr::degrade`'s adaptive-cut
+/// policy) can re-rank on every goodput shift without re-enumerating
+/// the space or holding a borrow of it. Since a link affects only the
+/// upload term, re-ranking the frontier under a new link returns
+/// exactly the configuration a from-scratch search would (bit-equal;
+/// proptested in `tests/search_equivalence.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalSearch {
+    frontier: Frontier,
+}
+
+impl IncrementalSearch {
+    /// Commits the pruned frontier of the whole distinct space.
+    pub fn over_space(space: &PipelineSpace) -> Self {
+        Self {
+            frontier: SearchPlan::new(space).frontier().clone(),
+        }
+    }
+
+    /// Commits an existing frontier (e.g. cloned out of a long-lived
+    /// [`SearchPlan`]).
+    pub fn from_frontier(frontier: Frontier) -> Self {
+        Self { frontier }
+    }
+
+    /// Commits the *held-cut chain* of a committed binding vector: the
+    /// `len + 1` canonical cut configurations with bindings held at
+    /// `committed`, witness-filtered in cut order. This is the frontier
+    /// online cut re-selection re-ranks (see
+    /// [`PipelineSpace::best_cut_held`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `committed` does not have one binding index per block,
+    /// or any index is out of range for its block.
+    pub fn over_held_cuts(space: &PipelineSpace, committed: &[usize]) -> Self {
+        assert_eq!(
+            committed.len(),
+            space.len(),
+            "committed has {} binding choices for a {}-block space",
+            committed.len(),
+            space.len()
+        );
+        // One realization serves every cut: the `*_through(cut)` /
+        // `data_after(cut)` accessors read only stages before the cut,
+        // so each chain point's objectives are bit-identical to
+        // evaluating its canonicalized configuration from scratch.
+        let pipeline = space.realize(&Configuration::new(committed.to_vec(), space.len()));
+        let chain = space.len() as u64 + 1;
+        let mut points: Vec<FrontierPoint> = Vec::with_capacity(space.len() + 1);
+        for cut in 0..=space.len() {
+            let compute = pipeline.compute_fps_through(cut);
+            let energy = pipeline.energy_per_frame_through(cut);
+            let upload = pipeline.data_after(cut);
+            let key = upload_key_of(upload);
+            if points
+                .iter()
+                .any(|p| p.covers(compute.fps(), energy.joules(), key))
+            {
+                continue;
+            }
+            let mut bindings = committed.to_vec();
+            bindings[cut..].fill(0);
+            points.push(FrontierPoint {
+                config: Configuration::new(bindings, cut),
+                compute,
+                energy,
+                upload,
+            });
+        }
+        Self {
+            frontier: Frontier {
+                space_digest: space_digest(space),
+                points,
+                stats: SearchStats {
+                    exhaustive: chain,
+                    evaluated: chain,
+                    bindings_pruned: 0,
+                    subtrees_pruned: 0,
+                },
+            },
+        }
+    }
+
+    /// The committed frontier.
+    pub fn frontier(&self) -> &Frontier {
+        &self.frontier
+    }
+
+    /// Re-ranks the committed frontier under `link`: the point with the
+    /// highest end-to-end rate, first-seen tie-break — the same winner
+    /// a from-scratch search over the committed set returns.
+    pub fn best(&self, link: &Link) -> Option<&FrontierPoint> {
+        self.frontier.best_point(link)
+    }
+
+    /// The winner's full [`ConfigAnalysis`], resolved against the space
+    /// the frontier was committed from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space` is not the space this frontier was committed
+    /// from (checked via [`space_digest`]).
+    pub fn best_analysis(&self, space: &PipelineSpace, link: &Link) -> Option<ConfigAnalysis> {
+        assert_eq!(
+            space_digest(space),
+            self.frontier.space_digest,
+            "IncrementalSearch frontier was committed from a different space"
+        );
+        self.best(link)
+            .map(|point| space.evaluate(&point.config, link))
+    }
 }
 
 #[cfg(test)]

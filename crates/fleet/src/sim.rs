@@ -4,9 +4,12 @@
 //! every transmission contends for the shared [`Spectrum`]; delivered
 //! frames pass the [`Ingest`] tier's admission control and batching; and
 //! every resolved frame feeds the camera's observed-goodput estimate,
-//! which drives online cut re-selection through
-//! [`PipelineSpace::best_cut_held`](incam_core::explore::PipelineSpace::best_cut_held)
-//! — the same entry point as `vr::degrade`'s adaptive-cut policy.
+//! which drives online cut re-selection through an
+//! [`incam_core::explore::IncrementalSearch`] over
+//! each profile's committed held-cut frontier — the same link-only
+//! re-ranking as `vr::degrade`'s adaptive-cut policy, built once per
+//! profile and re-ranked in O(frontier) per re-search instead of
+//! re-evaluating every cut from scratch.
 //!
 //! # Event model
 //!
@@ -31,7 +34,7 @@
 use crate::ingest::{Admission, Ingest, IngestConfig};
 use crate::queue::{EventKey, EventQueue};
 use crate::spectrum::Spectrum;
-use incam_core::explore::Configuration;
+use incam_core::explore::{Configuration, IncrementalSearch};
 use incam_core::fleet::{CameraProfile, FleetReport};
 use incam_core::units::{Bytes, Joules, Seconds};
 use incam_faults::fleet::{camera_seed, TracePool};
@@ -168,11 +171,18 @@ struct ProfileTables {
     compute_energy: Vec<Joules>,
     /// Indexed by cut: bytes shipped over the uplink.
     payload: Vec<Bytes>,
+    /// The committed held-cut frontier: per-camera online re-selection
+    /// re-ranks this under each observed-goodput link instead of
+    /// re-enumerating and re-evaluating every cut from scratch
+    /// (byte-identical winners — the frontier is witness-filtered on
+    /// link-independent objectives only).
+    held: IncrementalSearch,
 }
 
 impl ProfileTables {
     fn build(profile: CameraProfile, ticks_per_sec: u64) -> Self {
         profile.validate();
+        let held = IncrementalSearch::over_held_cuts(&profile.space, &profile.committed);
         let pipeline = profile.space.realize(&Configuration::new(
             profile.committed.clone(),
             profile.space.len(),
@@ -201,6 +211,7 @@ impl ProfileTables {
             compute_ticks,
             compute_energy,
             payload,
+            held,
         }
     }
 }
@@ -529,10 +540,10 @@ impl FleetSim {
 
         if cam.resolved.is_multiple_of(cfg.re_search_every) {
             report.re_searches += 1;
-            let best = tables.profile.space.best_cut_held(
-                &tables.profile.uplink.degraded(cam.ema),
-                &tables.profile.committed,
-            );
+            let best = tables
+                .held
+                .best(&tables.profile.uplink.degraded(cam.ema))
+                .expect("the held chain always contains cut 0"); // incam-lint: allow(fallible-unwrap) — over_held_cuts keeps at least the cut-0 point
             let new_cut = best.config.cut() as u32;
             if new_cut != cam.cut {
                 report.cut_changes += 1;

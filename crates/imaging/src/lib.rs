@@ -35,6 +35,7 @@ pub mod noise;
 pub mod quality;
 pub mod resample;
 pub mod scenes;
+pub mod stages;
 
 pub use image::{GrayImage, Image};
 pub use integral::IntegralImage;

@@ -1,0 +1,356 @@
+//! The raw imaging pipeline as configuration-space blocks.
+//!
+//! Buckler et al. (*Reconfiguring the Imaging Pipeline for Computer
+//! Vision*, PAPERS.md) observe that the classic ISP — demosaic, denoise,
+//! tone-map — is engineered for human viewing, and that vision
+//! algorithms tolerate far cheaper approximations of every stage. This
+//! module expresses that observation in [`incam_core::explore`] terms:
+//! each ISP stage becomes an optional [`BlockSpace`] whose bindings span
+//! the quality-vs-cost range, so the *search engine* discovers what
+//! Buckler et al. measured — the high-quality bindings are dominated on
+//! every cost axis (throughput, energy, output size) and prune out of
+//! the Pareto set before the product is ever formed. Accuracy is
+//! deliberately not a search axis; the dominated bindings carry the
+//! quality the search proves it never needs to pay for.
+//!
+//! The final reduction stage is a NeuriCam-style key-frame dual stream
+//! (PAPERS.md): ship every `K`-th frame at full resolution plus every
+//! frame subsampled by `s` per axis, and let the *cloud* reconstruct
+//! full-rate video — so the camera pays `1/K + 1/s²` of the bytes and
+//! none of the reconstruction compute (it lands past the cut, where the
+//! paper's model bills compute as free and only communication is paid).
+//!
+//! Costs are derived, not asserted: each binding's throughput and
+//! energy follow from a per-frame operation count (grounded in the
+//! arithmetic of this crate's own kernels — [`crate::color::demosaic_bilinear`],
+//! [`crate::convolve`], [`crate::resample`]) and a per-backend
+//! (ops/s, energy/op) point, the same linear costing the WISPCam MCU
+//! model uses.
+
+use incam_core::block::{Backend, BlockSpec, DataTransform};
+use incam_core::explore::{Binding, BlockSpace, PipelineSpace};
+use incam_core::pipeline::Source;
+use incam_core::units::{Bytes, Fps, Joules};
+
+/// Sensor width of the widened space's raw source (pixels).
+pub const RAW_WIDTH: f64 = 1920.0;
+
+/// Sensor height of the widened space's raw source (pixels).
+pub const RAW_HEIGHT: f64 = 1080.0;
+
+/// Pixels per raw frame.
+pub const RAW_PIXELS: f64 = RAW_WIDTH * RAW_HEIGHT;
+
+/// Bytes per raw frame: an 8-bit Bayer mosaic, one byte per pixel
+/// (see [`crate::color::bayer_mosaic`]).
+pub const RAW_FRAME_BYTES: f64 = RAW_PIXELS;
+
+/// Nominal sensor frame rate.
+pub const RAW_FPS: f64 = 30.0;
+
+/// Sensor capture energy per raw frame: ~400 pJ/pixel, a mainstream
+/// CMOS rolling-shutter figure.
+pub const CAPTURE_ENERGY_PER_PIXEL_J: f64 = 400e-12;
+
+/// One compute backend as a linear cost point: how fast it retires
+/// image operations and what each costs. Energy and time are both
+/// linear in operation count — the same closed-form costing the
+/// WISPCam MCU model uses, applied across the substrate range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendPoint {
+    /// The explorer backend this point prices.
+    pub backend: Backend,
+    /// Sustained image operations per second.
+    pub ops_per_sec: f64,
+    /// Energy per operation (J).
+    pub energy_per_op: Joules,
+}
+
+/// Fixed-function ISP silicon: pixel-pipelined, sub-pJ per operation.
+pub const ASIC: BackendPoint = BackendPoint {
+    backend: Backend::Asic,
+    ops_per_sec: 1.8e9,
+    energy_per_op: Joules::new(0.06e-12),
+};
+
+/// Embedded application CPU: flexible, ~250× the ASIC's energy/op.
+pub const CPU: BackendPoint = BackendPoint {
+    backend: Backend::Cpu,
+    ops_per_sec: 120e6,
+    energy_per_op: Joules::new(15e-12),
+};
+
+/// Microcontroller: the sub-mW fallback, slowest and hungriest per op.
+pub const MCU: BackendPoint = BackendPoint {
+    backend: Backend::Mcu,
+    ops_per_sec: 12e6,
+    energy_per_op: Joules::new(300e-12),
+};
+
+/// Integrated GPU: massive throughput at a 50× ASIC energy/op premium.
+pub const GPU: BackendPoint = BackendPoint {
+    backend: Backend::Gpu,
+    ops_per_sec: 60e9,
+    energy_per_op: Joules::new(3e-12),
+};
+
+impl BackendPoint {
+    /// Prices `ops_per_frame` operations on this backend as an explorer
+    /// [`Binding`]: throughput = ops/s ÷ ops/frame, energy = ops ×
+    /// energy/op.
+    pub fn binding(&self, ops_per_frame: f64) -> Binding {
+        Binding::new(self.backend, Fps::new(self.ops_per_sec / ops_per_frame))
+            .with_energy_per_frame(Joules::new(self.energy_per_op.joules() * ops_per_frame))
+    }
+}
+
+/// The demosaic stage: Bayer mosaic in, RGB out (3 bytes per raw byte;
+/// [`crate::color::demosaic_bilinear`] is the reference arithmetic at
+/// ~7 ops/pixel — two-to-four neighbor averages per missing channel).
+///
+/// Four bindings spanning Buckler et al.'s quality range, ordered
+/// cheapest-viewing-quality first so the earlier-sibling dominance rule
+/// sees them in presentation order:
+///
+/// 0. ASIC bilinear — the live full-resolution point;
+/// 1. ASIC edge-aware (gradient-corrected, ~24 ops/px) — *better*
+///    demosaic quality, but dominated by binding 0 on every cost axis;
+/// 2. CPU bilinear — dominated (same output, slower, hungrier);
+/// 3. ASIC 2×-subsampled bilinear — half the pixels, half the output
+///    bytes (`Scale(1.5)` instead of `Scale(3.0)`): the Buckler-style
+///    "vision doesn't need full resolution" point, live because nothing
+///    earlier beats its output size.
+pub fn demosaic_block() -> BlockSpace {
+    let full = 7.0 * RAW_PIXELS;
+    let edge_aware = 24.0 * RAW_PIXELS;
+    let subsampled = 3.5 * RAW_PIXELS;
+    BlockSpace::new(
+        BlockSpec::optional("DM", DataTransform::Scale(3.0)),
+        vec![
+            ASIC.binding(full),
+            ASIC.binding(edge_aware),
+            CPU.binding(full),
+            ASIC.binding(subsampled)
+                .with_output(DataTransform::Scale(1.5)),
+        ],
+    )
+}
+
+/// The denoise stage (size-preserving). Reference arithmetic:
+/// [`crate::convolve`] separable Gaussian at ~11 ops/px; the bilateral
+/// filter's range weights push it to ~30 ops/px; a 3×3 median sort
+/// network lands at ~25 ops/px.
+///
+/// 0. ASIC bilateral — live: the quality point nothing earlier beats;
+/// 1. ASIC Gaussian — live: cheaper and faster, worse edges;
+/// 2. CPU Gaussian — dominated by binding 0;
+/// 3. ASIC median — dominated by binding 1 (slower *and* hungrier than
+///    the Gaussian at identical output size).
+pub fn denoise_block() -> BlockSpace {
+    BlockSpace::new(
+        BlockSpec::optional("DN", DataTransform::Identity),
+        vec![
+            ASIC.binding(30.0 * RAW_PIXELS),
+            ASIC.binding(11.0 * RAW_PIXELS),
+            CPU.binding(11.0 * RAW_PIXELS),
+            ASIC.binding(25.0 * RAW_PIXELS),
+        ],
+    )
+}
+
+/// The tone-map stage: global curve plus luma extraction, RGB down to
+/// one 8-bit channel (`Scale(1/3)`), ~4 ops/px (LUT lookup + weighted
+/// luma sum, as in [`crate::color::rgb_to_gray`]).
+///
+/// 0. ASIC global — the sole live binding;
+/// 1. ASIC local (CLAHE-class, ~18 ops/px) — better viewing contrast,
+///    dominated on cost;
+/// 2. MCU global — dominated.
+pub fn tone_map_block() -> BlockSpace {
+    BlockSpace::new(
+        BlockSpec::optional("TM", DataTransform::Scale(1.0 / 3.0)),
+        vec![
+            ASIC.binding(4.0 * RAW_PIXELS),
+            ASIC.binding(18.0 * RAW_PIXELS),
+            MCU.binding(4.0 * RAW_PIXELS),
+        ],
+    )
+}
+
+/// Output-byte ratio of a key-frame dual stream: one full-resolution
+/// key frame every `k` frames plus every frame subsampled by `s` per
+/// axis (`1/k + 1/s²` of the input bytes). Reconstruction of full-rate
+/// video from the two streams happens past the cut, on the cloud side,
+/// where the model bills compute as free.
+pub fn dual_stream_ratio(k: f64, s: f64) -> f64 {
+    1.0 / k + 1.0 / (s * s)
+}
+
+/// The NeuriCam-style key-frame dual-stream stage. Per-frame work is
+/// subsample + key-frame delta packing (reference arithmetic:
+/// [`crate::resample::downscale_by`] plus the delta pass, 6–8 ops/px
+/// rising with the subsample depth's extra addressing).
+///
+/// 0. ASIC K=2, s=2 — ships 75% of the bytes;
+/// 1. ASIC K=4, s=4 — 31.25%;
+/// 2. ASIC K=8, s=8 — ~14.1%;
+/// 3. MCU K=4, s=4 — dominated by binding 1.
+///
+/// Bindings 0–2 are all live: energy rises as shipped bytes fall, so
+/// none dominates another — they are exactly the new Pareto points the
+/// widened space contributes.
+pub fn dual_stream_block() -> BlockSpace {
+    let ratio = |k: f64, s: f64| DataTransform::Scale(dual_stream_ratio(k, s));
+    BlockSpace::new(
+        BlockSpec::optional("KF", ratio(2.0, 2.0)),
+        vec![
+            ASIC.binding(6.0 * RAW_PIXELS),
+            ASIC.binding(7.0 * RAW_PIXELS).with_output(ratio(4.0, 4.0)),
+            ASIC.binding(8.0 * RAW_PIXELS).with_output(ratio(8.0, 8.0)),
+            MCU.binding(7.0 * RAW_PIXELS).with_output(ratio(4.0, 4.0)),
+        ],
+    )
+}
+
+/// The feature-extraction stage: dense descriptors at ~10% of the input
+/// bytes, ~20 ops/px (pyramid + oriented gradients).
+///
+/// 0. ASIC — live;
+/// 1. GPU — live: ~33× the throughput at ~50× the energy, the classic
+///    speed-vs-power corner neither dominates.
+pub fn feature_block() -> BlockSpace {
+    BlockSpace::new(
+        BlockSpec::core("FE", DataTransform::Scale(0.1)),
+        vec![
+            ASIC.binding(20.0 * RAW_PIXELS),
+            GPU.binding(20.0 * RAW_PIXELS),
+        ],
+    )
+}
+
+/// The verdict stage: a fixed 4-byte score ends the data stream
+/// (~2 M ops of classifier arithmetic on the descriptors, independent
+/// of frame size).
+///
+/// 0. ASIC — live;
+/// 1. MCU — dominated.
+pub fn verdict_block() -> BlockSpace {
+    const VERDICT_OPS: f64 = 2e6;
+    BlockSpace::new(
+        BlockSpec::core("VD", DataTransform::Fixed(Bytes::new(4.0))),
+        vec![ASIC.binding(VERDICT_OPS), MCU.binding(VERDICT_OPS)],
+    )
+}
+
+/// The widened raw-imaging configuration space: a 1080p Bayer source
+/// through demosaic / denoise / tone-map / dual-stream / feature /
+/// verdict, 1413 distinct configurations before pruning.
+///
+/// The stage costs are fixed per binding at the nominal full-resolution
+/// frame — a deliberate simplification (a stage downstream of the
+/// subsampled demosaic really touches fewer pixels), conservative in
+/// the search's favor: pruning never sees costs *lower* than reality.
+pub fn raw_pipeline_space(capture_rate: Fps) -> PipelineSpace {
+    PipelineSpace::new(
+        Source::new("RAW", Bytes::new(RAW_FRAME_BYTES), capture_rate)
+            .with_capture_energy(Joules::new(CAPTURE_ENERGY_PER_PIXEL_J * RAW_PIXELS)),
+    )
+    .with_block(demosaic_block())
+    .with_block(denoise_block())
+    .with_block(tone_map_block())
+    .with_block(dual_stream_block())
+    .with_block(feature_block())
+    .with_block(verdict_block())
+}
+
+/// [`raw_pipeline_space`] at the sensor's nominal 30 fps.
+pub fn widened_space() -> PipelineSpace {
+    raw_pipeline_space(Fps::new(RAW_FPS))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incam_core::explore::SearchPlan;
+    use incam_core::link::Link;
+    use incam_core::units::BytesPerSec;
+
+    fn wifi() -> Link {
+        Link::new("wifi", BytesPerSec::from_bits_per_sec(5e6), 1.0)
+    }
+
+    #[test]
+    fn widened_space_has_the_advertised_shape() {
+        let space = widened_space();
+        assert_eq!(space.len(), 6);
+        // 4*4*3*4*2*2 binding products x 7 cuts
+        assert_eq!(space.cardinality(), 768 * 7);
+        // cut-major: 1 + 4 + 16 + 48 + 192 + 384 + 768
+        assert_eq!(space.distinct_cardinality(), 1413);
+    }
+
+    #[test]
+    fn dominated_quality_tiers_prune_out() {
+        let space = widened_space();
+        let plan = SearchPlan::new(&space);
+        assert!(plan.is_regular());
+        // live bindings per block: the quality tiers (edge-aware
+        // demosaic, median denoise, local tone-map, every CPU/MCU
+        // software fallback) are dominated and gone
+        let live: Vec<usize> = (0..space.len())
+            .map(|b| plan.live_bindings(b).len())
+            .collect();
+        assert_eq!(live, vec![2, 2, 1, 3, 2, 1]);
+        // index 0 always survives
+        for b in 0..space.len() {
+            assert_eq!(plan.live_bindings(b)[0], 0);
+        }
+    }
+
+    #[test]
+    fn pruned_search_cuts_node_count_at_least_tenfold() {
+        let space = widened_space();
+        let plan = SearchPlan::new(&space);
+        let stats = plan.stats();
+        assert_eq!(stats.exhaustive, 1413);
+        assert!(stats.evaluated <= 71, "evaluated {}", stats.evaluated);
+        assert!(
+            stats.reduction() >= 10.0,
+            "reduction {:.1}x",
+            stats.reduction()
+        );
+    }
+
+    #[test]
+    fn pruned_winner_matches_exhaustive() {
+        let space = widened_space();
+        let plan = SearchPlan::new(&space);
+        for rate in [64e3, 5e6, 100e6, 25e9] {
+            let link = Link::new("l", BytesPerSec::from_bits_per_sec(rate), 1.0);
+            assert_eq!(plan.best(&link), space.best(&link), "at {rate} b/s");
+        }
+    }
+
+    #[test]
+    fn dual_stream_contributes_new_pareto_points() {
+        let space = widened_space();
+        let plan = SearchPlan::new(&space);
+        let frontier = plan.pareto_frontier(&wifi());
+        assert!(!frontier.is_empty());
+        // at least one Pareto point runs the dual stream in camera
+        // (binding index > 0 or the K2s2 default at a cut past block 3)
+        assert!(
+            frontier
+                .iter()
+                .any(|a| a.config.cut() >= 4 && a.config.bindings()[3] > 0),
+            "no dual-stream Pareto point on the wifi link"
+        );
+    }
+
+    #[test]
+    fn dual_stream_ratio_is_the_keyframe_sum() {
+        assert!((dual_stream_ratio(2.0, 2.0) - 0.75).abs() < 1e-12);
+        assert!((dual_stream_ratio(4.0, 4.0) - 0.3125).abs() < 1e-12);
+        assert!((dual_stream_ratio(8.0, 8.0) - 0.140625).abs() < 1e-12);
+    }
+}

@@ -318,6 +318,17 @@ mod tests {
     }
 
     #[test]
+    fn hyphenated_experiment_names_survive_both_parsers() {
+        // `explore-scale` (PR 10) is the first registered experiment
+        // whose name contains a hyphen in both the registry and a
+        // direct-form ci gate; pin that neither parser splits it.
+        let src = "const ALL: &[&str] = &[\n    \"verify\",\n    \"explore-scale\",\n];\n";
+        assert_eq!(parse_all_list(src), ["verify", "explore-scale"]);
+        let ci = "repro_diff verify --quick\nrepro_diff explore-scale --quick\n";
+        assert_eq!(parse_ci_gates(ci), ["explore-scale", "verify"]);
+    }
+
+    #[test]
     fn target_field_is_read() {
         assert_eq!(
             json_target_field("{\n  \"harness\": \"x\",\n  \"target\": \"kernels\",\n}"),

@@ -29,6 +29,7 @@
 use crate::analysis::{VrModel, DATA_RATIOS};
 use crate::backend::DepthBackend;
 use crate::configs::PipelineConfig;
+use incam_core::explore::IncrementalSearch;
 use incam_core::link::Link;
 use incam_core::runtime::{DegradationReport, RetryPolicy, Runtime};
 use incam_faults::{ChaosOracle, ComputeFaultModel, LinkTrace};
@@ -149,15 +150,18 @@ pub fn run_policy(
             // goodput, holding the depth/stitching bindings at the
             // configured backend so only the cut moves (the hardware is
             // already committed; the offload point is not). Ties resolve
-            // to the earliest cut — least in-camera work. The search
-            // itself is `PipelineSpace::best_cut_held`, the same entry
-            // point the fleet simulator's per-camera re-selection uses.
+            // to the earliest cut — least in-camera work. The search is
+            // `IncrementalSearch` over the held-cut chain, the same
+            // link-only re-ranking the fleet simulator's per-camera
+            // re-selection uses; re-ranking a committed frontier returns
+            // byte-identical winners to the old from-scratch
+            // `best_cut_held` loop (proptested in incam-core).
             let degraded = link.degraded(scenario.observed_goodput());
             let idx = backend.index();
-            let best = model
-                .binding_space()
-                .best_cut_held(&degraded, &[0, 0, idx, idx]);
-            (model.pipeline(backend), best.config.cut(), scenario.retry)
+            let space = model.binding_space();
+            let held = IncrementalSearch::over_held_cuts(&space, &[0, 0, idx, idx]);
+            let cut = held.best(&degraded).map_or(0, |point| point.config.cut());
+            (model.pipeline(backend), cut, scenario.retry)
         }
     };
 
